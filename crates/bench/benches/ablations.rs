@@ -1,0 +1,147 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! These benches *measure and print* the quantity under ablation (via
+//! `iter_custom`-free plain evaluation in the setup phase) and then time
+//! the ablated engine, so `cargo bench` output doubles as the ablation
+//! record:
+//!
+//! 1. **Tail shape** — `PaperNormal` (the paper's normal fit) vs
+//!    `SkewedIid` (the exact right-skewed mixture): how much do extreme
+//!    chip-delay quantiles move?
+//! 2. **Correlation structure** — i.i.d. paths vs the hierarchical
+//!    chip/region/device decomposition: how much less effective do spares
+//!    become when variation is correlated?
+//! 3. **Quadrature order** — the closed-form path model's Gauss–Hermite
+//!    accuracy/cost trade-off against brute-force Monte Carlo.
+//! 4. **MC vs QMC** — quantile-estimator error of plain Monte Carlo
+//!    against a Halton low-discrepancy stream at equal sample budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ntv_core::duplication::DuplicationStudy;
+use ntv_core::engine::VariationMode;
+use ntv_core::perf;
+use ntv_core::{DatapathConfig, DatapathEngine};
+use ntv_device::{TechModel, TechNode};
+use ntv_mc::StreamRng;
+
+fn bench_tail_shape(c: &mut Criterion) {
+    let tech = TechModel::new(TechNode::PtmHp22);
+    let mut group = c.benchmark_group("ablation_tail_shape");
+    for (label, mode) in [
+        ("paper_normal", VariationMode::PaperNormal),
+        ("skewed_iid", VariationMode::SkewedIid),
+    ] {
+        let engine = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
+        // Report the ablated quantity once.
+        let drop = perf::performance_drop(&engine, 0.5, 2_000, 1).drop;
+        println!(
+            "[ablation] 22nm perf drop @0.5V with {label}: {:.1}%",
+            drop * 100.0
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, _| {
+            let mut rng = StreamRng::from_seed(1);
+            b.iter(|| std::hint::black_box(engine.sample_chip_delay_fo4(0.5, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_correlation_structure(c: &mut Criterion) {
+    let tech = TechModel::new(TechNode::Gp90);
+    let mut group = c.benchmark_group("ablation_correlation");
+    for (label, mode) in [
+        ("paper_normal_iid", VariationMode::PaperNormal),
+        ("hierarchical", VariationMode::Hierarchical),
+    ] {
+        let engine = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
+        let study = DuplicationStudy::new(&engine);
+        let baseline = perf::baseline_q99_fo4(&engine, 2_000, 2);
+        let matrix = study.sample_matrix(0.55, 128, 2_000, 2);
+        let spares = study.required_spares(&matrix, baseline);
+        println!(
+            "[ablation] 90nm spares needed @0.55V with {label}: {}",
+            spares.map_or_else(|_| ">128".to_owned(), |s| s.to_string())
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, _| {
+            let mut rng = StreamRng::from_seed(3);
+            b.iter(|| std::hint::black_box(engine.sample_lane_delays_fo4(0.55, 134, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quadrature_order(c: &mut Criterion) {
+    use ntv_circuit::chain::ChainMc;
+    use ntv_mc::GaussHermite;
+
+    let tech = TechModel::new(TechNode::Gp45);
+    let chain = ChainMc::new(&tech, 50);
+    let mut rng = StreamRng::from_seed(4);
+    let mc_mean = chain.summary(0.55, 4_000, &mut rng).mean();
+
+    let mut group = c.benchmark_group("ablation_quadrature_order");
+    for order in [4usize, 8, 16, 32] {
+        let gh = GaussHermite::new(order);
+        let params = *tech.params();
+        let chip = ntv_device::ChipSample::nominal();
+        let mean =
+            50.0 * gh.expect_normal(0.0, params.sigma_vth_random, |dv| {
+                tech.gate_delay_ps_at(0.55, &chip, dv, 0.0)
+            }) * (0.5 * params.sigma_k_random * params.sigma_k_random).exp();
+        println!(
+            "[ablation] GH order {order}: conditional chain mean {mean:.1} ps (gate-level MC cross-chip mean {mc_mean:.1} ps)"
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(gh.expect_normal(0.0, params.sigma_vth_random, |dv| {
+                    tech.gate_delay_ps_at(0.55, &chip, dv, 0.0)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mc_vs_qmc(c: &mut Criterion) {
+    use ntv_mc::qmc::Halton;
+    use ntv_mc::{normal, order, Quantiles};
+
+    // True q99 of the max of 12,800 standard normals.
+    let true_q99 = normal::quantile(0.99_f64.powf(1.0 / 12_800.0));
+    let n = 2_000;
+
+    let mut h = Halton::new(2);
+    let qmc: Vec<f64> = (0..n).map(|_| h.next_max_normal(12_800)).collect();
+    let qmc_err = (Quantiles::from_samples(qmc).q99() - true_q99).abs();
+    let mut rng = StreamRng::from_seed(11);
+    let mc: Vec<f64> = (0..n)
+        .map(|_| order::sample_max_normal(&mut rng, 12_800, 0.0, 1.0))
+        .collect();
+    let mc_err = (Quantiles::from_samples(mc).q99() - true_q99).abs();
+    println!(
+        "[ablation] q99(max of 12800) estimator error at {n} samples: MC {mc_err:.4}, QMC {qmc_err:.4}"
+    );
+
+    let mut group = c.benchmark_group("ablation_mc_vs_qmc");
+    group.bench_function("mc_sample", |b| {
+        let mut rng = StreamRng::from_seed(12);
+        b.iter(|| std::hint::black_box(order::sample_max_normal(&mut rng, 12_800, 0.0, 1.0)))
+    });
+    group.bench_function("qmc_sample", |b| {
+        let mut h = Halton::new(2);
+        b.iter(|| std::hint::black_box(h.next_max_normal(12_800)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_tail_shape, bench_correlation_structure, bench_quadrature_order,
+        bench_mc_vs_qmc
+}
+criterion_main!(ablations);

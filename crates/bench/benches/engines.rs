@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the simulation engines themselves: the gate-level
+//! chain Monte Carlo, the quadrature path model, the architecture-level
+//! samplers, the STA netlist engine, and the Diet SODA PE interpreter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ntv_circuit::adder::kogge_stone;
+use ntv_circuit::chain::ChainMc;
+use ntv_circuit::path_model::PathModel;
+use ntv_circuit::sta;
+use ntv_core::{DatapathConfig, DatapathEngine};
+use ntv_device::{ChipSample, TechModel, TechNode};
+use ntv_mc::StreamRng;
+use ntv_soda::kernels;
+use ntv_soda::pe::ProcessingElement;
+
+fn bench_chain_mc(c: &mut Criterion) {
+    let tech = TechModel::new(TechNode::Gp90);
+    let mut group = c.benchmark_group("chain_mc");
+    for len in [1usize, 50, 400] {
+        let chain = ChainMc::new(&tech, len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            let mut rng = StreamRng::from_seed(1);
+            b.iter(|| std::hint::black_box(chain.sample_ps(0.55, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_path_model(c: &mut Criterion) {
+    let tech = TechModel::new(TechNode::Gp45);
+    let model = PathModel::new(&tech, 50);
+    let chip = ChipSample::nominal();
+    c.bench_function("path_model/conditional_moments", |b| {
+        b.iter(|| std::hint::black_box(model.conditional_moments(0.55, &chip)))
+    });
+}
+
+fn bench_datapath_engine(c: &mut Criterion) {
+    let tech = TechModel::new(TechNode::Gp90);
+    let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+    // Warm the path-distribution cache so the bench isolates sampling.
+    let _ = engine.path_distribution(0.55);
+    let mut group = c.benchmark_group("datapath_engine");
+    group.bench_function("chip_delay_sample", |b| {
+        let mut rng = StreamRng::from_seed(2);
+        b.iter(|| std::hint::black_box(engine.sample_chip_delay_fo4(0.55, &mut rng)))
+    });
+    group.bench_function("lane_delays_160", |b| {
+        let mut rng = StreamRng::from_seed(3);
+        b.iter(|| std::hint::black_box(engine.sample_lane_delays_fo4(0.55, 160, &mut rng)))
+    });
+    group.bench_function("path_distribution_build", |b| {
+        b.iter(|| {
+            let fresh = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+            std::hint::black_box(fresh.path_distribution(0.55))
+        })
+    });
+    group.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let tech = TechModel::new(TechNode::Gp90);
+    let adder = kogge_stone(64);
+    c.bench_function("sta/kogge_stone_64_mc_trial", |b| {
+        let mut rng = StreamRng::from_seed(4);
+        b.iter(|| {
+            let chip = tech.sample_chip(&mut rng);
+            let delays = sta::sample_delays(&adder, &tech, 0.6, &chip, &mut rng);
+            std::hint::black_box(sta::analyze(&adder, &delays).critical_delay_ps)
+        })
+    });
+}
+
+fn bench_soda(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soda");
+    group.bench_function("fir_5tap_384", |b| {
+        let signal: Vec<i16> = (0..384).map(|i| ((i * 37) % 199) as i16 - 99).collect();
+        b.iter(|| {
+            let mut pe = ProcessingElement::new();
+            std::hint::black_box(kernels::fir(&mut pe, &signal, &[3, -1, 4, 1, -5], 2).unwrap())
+        })
+    });
+    group.bench_function("fft128", |b| {
+        let re: Vec<i16> = (0..128).map(|i| ((i * 53) % 8191) as i16 - 4096).collect();
+        let im = vec![0i16; 128];
+        b.iter(|| {
+            let mut pe = ProcessingElement::new();
+            std::hint::black_box(kernels::fft128(&mut pe, &re, &im).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = engines;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_chain_mc, bench_path_model, bench_datapath_engine, bench_sta, bench_soda
+}
+criterion_main!(engines);

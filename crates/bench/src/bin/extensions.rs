@@ -1,0 +1,42 @@
+//! Run the extension experiments (SIMD-width sweep, adaptive body bias,
+//! timing-yield curves) that go beyond the paper's printed figures.
+
+use ntv_bench::{experiments::extensions, experiments::policies, DEFAULT_SEED};
+use ntv_device::TechNode;
+
+fn main() {
+    let samples = 5_000;
+    for node in [TechNode::Gp90, TechNode::PtmHp22] {
+        println!(
+            "{}\n",
+            extensions::width_sweep(node, 0.55, samples, DEFAULT_SEED)
+        );
+    }
+    for node in TechNode::ALL {
+        println!(
+            "{}",
+            extensions::abb_comparison(node, 0.6, samples, DEFAULT_SEED)
+        );
+    }
+    println!();
+    println!(
+        "{}",
+        extensions::yield_curves(TechNode::Gp90, 0.55, samples, DEFAULT_SEED)
+    );
+    println!();
+    println!("{}", policies::run(25, DEFAULT_SEED));
+    println!();
+    for node in [TechNode::Gp90, TechNode::PtmHp22] {
+        let tech = ntv_device::TechModel::new(node);
+        println!(
+            "Extension — variance decomposition, {node} @0.55 V\n{}",
+            ntv_core::sensitivity::decompose(
+                &tech,
+                ntv_core::DatapathConfig::paper_default(),
+                0.55,
+                samples,
+                DEFAULT_SEED,
+            )
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's fig1 (see `ntv_bench::experiments::fig1`).
+
+use ntv_bench::{experiments::fig1, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "fig1" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", fig1::run(samples, DEFAULT_SEED));
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's fig11 (see `ntv_bench::experiments::fig11`).
+
+use ntv_bench::{experiments::fig11, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "fig11" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", fig11::run(samples, DEFAULT_SEED));
+}

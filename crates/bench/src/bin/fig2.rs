@@ -1,0 +1,11 @@
+//! Regenerate the paper's fig2 (see `ntv_bench::experiments::fig2`).
+
+use ntv_bench::{experiments::fig2, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "fig2" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", fig2::run(samples, DEFAULT_SEED));
+}

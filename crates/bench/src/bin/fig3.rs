@@ -1,0 +1,11 @@
+//! Regenerate the paper's fig3 (see `ntv_bench::experiments::fig3`).
+
+use ntv_bench::{experiments::fig3, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "fig3" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", fig3::run(samples, DEFAULT_SEED));
+}

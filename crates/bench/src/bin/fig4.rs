@@ -1,0 +1,11 @@
+//! Regenerate the paper's fig4 (see `ntv_bench::experiments::fig4`).
+
+use ntv_bench::{experiments::fig4, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "fig4" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", fig4::run(samples, DEFAULT_SEED));
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's fig5 (see `ntv_bench::experiments::fig5`).
+
+use ntv_bench::{experiments::fig5, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "fig5" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", fig5::run(samples, DEFAULT_SEED));
+}

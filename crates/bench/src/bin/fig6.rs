@@ -1,0 +1,11 @@
+//! Regenerate the paper's fig6 (see `ntv_bench::experiments::fig6`).
+
+use ntv_bench::{experiments::fig6, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "fig6" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", fig6::run(samples, DEFAULT_SEED));
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's fig7 (see `ntv_bench::experiments::fig7`).
+
+use ntv_bench::{experiments::fig7, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "fig7" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", fig7::run(samples, DEFAULT_SEED));
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's fig8 (see `ntv_bench::experiments::fig8`).
+
+use ntv_bench::{experiments::fig8, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "fig8" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", fig8::run(samples, DEFAULT_SEED));
+}

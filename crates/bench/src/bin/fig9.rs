@@ -1,0 +1,10 @@
+//! Regenerate the paper's Fig 9 (energy/delay regions) for every node.
+
+use ntv_bench::experiments::fig9;
+use ntv_device::TechNode;
+
+fn main() {
+    for node in TechNode::ALL {
+        println!("{}", fig9::run_for(node));
+    }
+}

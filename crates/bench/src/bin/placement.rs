@@ -1,0 +1,7 @@
+//! Regenerate the Appendix D placement study (Fig 12).
+
+use ntv_bench::{experiments::placement, DEFAULT_SEED};
+
+fn main() {
+    println!("{}", placement::run(DEFAULT_SEED));
+}

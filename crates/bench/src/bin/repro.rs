@@ -1,0 +1,86 @@
+//! Run every experiment and print the full paper-vs-measured report —
+//! the data behind EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p ntv-bench --bin repro
+//! ```
+//!
+//! Pass `--quick` to use reduced sample counts (useful in CI).
+
+use std::time::Instant;
+
+use ntv_bench::experiments::{
+    fig1, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, placement, table1, table2, table3,
+    table4,
+};
+use ntv_bench::{ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+use ntv_device::TechNode;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (arch, circuit) = if quick {
+        (1_000, 300)
+    } else {
+        (ARCH_SAMPLES, CIRCUIT_SAMPLES)
+    };
+    let seed = DEFAULT_SEED;
+    let t0 = Instant::now();
+
+    let section = |name: &str| {
+        println!("\n{}", "=".repeat(72));
+        println!("{name}  [t = {:.1}s]", t0.elapsed().as_secs_f64());
+        println!("{}", "=".repeat(72));
+    };
+
+    section("Fig 1 — circuit-level delay variation (90nm)");
+    println!("{}", fig1::run(circuit, seed));
+
+    section("Fig 2 — chain-of-50 variation vs Vdd (4 nodes)");
+    println!("{}", fig2::run(circuit, seed));
+
+    section("Fig 3 — 128-wide delay distributions (90nm)");
+    println!("{}", fig3::run(arch, seed));
+
+    section("Fig 4 — performance drop (4 nodes)");
+    println!("{}", fig4::run(arch, seed));
+
+    section("Fig 5 — duplicated systems @0.55V (90nm)");
+    println!("{}", fig5::run(arch, seed));
+
+    section("Fig 6 — voltage margining distributions (45nm @600mV)");
+    println!("{}", fig6::run(arch, seed));
+
+    section("Fig 7 — duplication vs margining power (4 nodes)");
+    println!("{}", fig7::run(arch, seed));
+
+    section("Fig 8 — chip delay vs margin and spares (45nm @600mV)");
+    println!("{}", fig8::run(arch, seed));
+
+    section("Fig 9 — energy/delay regions");
+    for node in TechNode::ALL {
+        println!("{}", fig9::run_for(node));
+    }
+
+    section("Fig 11 — variation vs chain length @0.55V");
+    println!("{}", fig11::run(circuit, seed));
+
+    section("Table 1 — structural duplication");
+    println!("{}", table1::run(arch, seed));
+
+    section("Table 2 — voltage margining");
+    println!("{}", table2::run(arch, seed));
+
+    section("Table 3 — combined design choices (45nm @600mV)");
+    println!("{}", table3::run(arch, seed));
+
+    section("Table 4 — frequency margining");
+    println!("{}", table4::run(arch, seed));
+
+    section("Appendix D — spare placement & XRAM bypass");
+    println!("{}", placement::run(seed));
+
+    println!(
+        "\nall experiments regenerated in {:.1}s (samples: arch {arch}, circuit {circuit}, seed {seed})",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's table1 (see `ntv_bench::experiments::table1`).
+
+use ntv_bench::{experiments::table1, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "table1" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", table1::run(samples, DEFAULT_SEED));
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's table2 (see `ntv_bench::experiments::table2`).
+
+use ntv_bench::{experiments::table2, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "table2" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", table2::run(samples, DEFAULT_SEED));
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's table3 (see `ntv_bench::experiments::table3`).
+
+use ntv_bench::{experiments::table3, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "table3" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", table3::run(samples, DEFAULT_SEED));
+}

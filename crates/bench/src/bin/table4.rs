@@ -1,0 +1,11 @@
+//! Regenerate the paper's table4 (see `ntv_bench::experiments::table4`).
+
+use ntv_bench::{experiments::table4, ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+
+fn main() {
+    let samples = match "table4" {
+        "fig1" | "fig2" | "fig11" => CIRCUIT_SAMPLES,
+        _ => ARCH_SAMPLES,
+    };
+    println!("{}", table4::run(samples, DEFAULT_SEED));
+}

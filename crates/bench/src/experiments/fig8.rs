@@ -1,0 +1,117 @@
+//! Fig 8: 99 % chip delays for the 128-wide datapath at 600–620 mV and
+//! for duplicated systems at 600 mV, against the target delay — 45 nm GP.
+//!
+//! The paper reads two equivalent fixes off this plot: (2 spares + 10 mV)
+//! or (8 spares + 5 mV); Table 3 then prices them.
+
+use ntv_core::dse::DseStudy;
+use ntv_core::margining::MarginStudy;
+use ntv_core::{DatapathConfig, DatapathEngine};
+use ntv_device::{TechModel, TechNode};
+use serde::{Deserialize, Serialize};
+
+use crate::table::TextTable;
+
+/// Full Fig 8 result: q99 chip delay on a (margin, spares) grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Result {
+    /// Base NTV voltage (0.6 V).
+    pub vdd: f64,
+    /// Target delay (ns).
+    pub target_ns: f64,
+    /// `(margin_mv, spares, q99_ns)` grid points.
+    pub grid: Vec<(f64, u32, f64)>,
+}
+
+impl Fig8Result {
+    /// The grid value at a (margin, spares) point, if computed.
+    #[must_use]
+    pub fn q99_ns(&self, margin_mv: f64, spares: u32) -> Option<f64> {
+        self.grid
+            .iter()
+            .find(|&&(m, s, _)| (m - margin_mv).abs() < 1e-9 && s == spares)
+            .map(|&(_, _, q)| q)
+    }
+}
+
+/// Regenerate Fig 8.
+#[must_use]
+pub fn run(samples: usize, seed: u64) -> Fig8Result {
+    let vdd = 0.60;
+    let tech = TechModel::new(TechNode::Gp45);
+    let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+    let target_ns = MarginStudy::new(&engine).target_delay_ns(vdd, samples, seed);
+    let dse = DseStudy::new(&engine);
+
+    let mut grid = Vec::new();
+    for &spares in &[0u32, 2, 8] {
+        for step in 0..5 {
+            let margin_mv = f64::from(step) * 5.0;
+            let q99 = dse.q99_ns_with_spares(vdd + margin_mv / 1000.0, spares, samples, seed);
+            grid.push((margin_mv, spares, q99));
+        }
+    }
+    Fig8Result {
+        vdd,
+        target_ns,
+        grid,
+    }
+}
+
+impl std::fmt::Display for Fig8Result {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig 8 — q99 chip delay (ns) vs voltage margin and spares, 45nm GP @600 mV"
+        )?;
+        writeln!(f, "target delay = {:.3} ns", self.target_ns)?;
+        let mut t = TextTable::new(&["margin (mV)", "spares", "q99 (ns)", "meets target"]);
+        for &(m, s, q) in &self.grid {
+            t.row(&[
+                format!("{m:.0}"),
+                s.to_string(),
+                format!("{q:.3}"),
+                if q <= self.target_ns { "yes" } else { "no" }.to_owned(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_monotone_in_both_axes() {
+        let r = run(2000, 15);
+        // Fixed spares: q99 falls with margin.
+        for &spares in &[0u32, 2, 8] {
+            let series: Vec<f64> = (0..5)
+                .map(|i| r.q99_ns(f64::from(i) * 5.0, spares).expect("computed"))
+                .collect();
+            for w in series.windows(2) {
+                assert!(w[1] < w[0], "spares={spares}: {series:?}");
+            }
+        }
+        // Fixed margin: q99 falls with spares.
+        for step in 0..5 {
+            let m = f64::from(step) * 5.0;
+            let s0 = r.q99_ns(m, 0).expect("computed");
+            let s8 = r.q99_ns(m, 8).expect("computed");
+            assert!(s8 <= s0);
+        }
+    }
+
+    #[test]
+    fn paper_fix_points_meet_target() {
+        // Paper: 2 spares + 10 mV, or 8 spares + 5 mV, both reach the target.
+        // Our model reproduces the first exactly; the second lands within
+        // half a percent of the target delay.
+        let r = run(2500, 16);
+        assert!(r.q99_ns(10.0, 2).expect("computed") <= r.target_ns * 1.002);
+        assert!(r.q99_ns(5.0, 8).expect("computed") <= r.target_ns * 1.005);
+        // The unmitigated point does not.
+        assert!(r.q99_ns(0.0, 0).expect("computed") > r.target_ns);
+    }
+}

@@ -1,0 +1,183 @@
+//! The chain of FO4 inverters — the paper's canonical test circuit.
+//!
+//! §3.2: *"a chain of 50 FO4 inverters is used to emulate a critical path of
+//! the SIMD datapath because they are similar in terms of average delay and
+//! variation at all voltages."* This module is the exact gate-level
+//! Monte-Carlo engine behind Figs 1, 2 and 11: every sample draws a fresh
+//! chip (systematic variation) and a fresh random variation for each of the
+//! `N` inverters.
+
+use ntv_device::{ChipSample, TechModel};
+use ntv_mc::{StreamRng, Summary};
+
+/// Gate-level Monte-Carlo engine for an `N`-stage FO4 inverter chain.
+///
+/// # Example
+///
+/// ```
+/// use ntv_circuit::chain::ChainMc;
+/// use ntv_device::{TechModel, TechNode};
+/// use ntv_mc::StreamRng;
+///
+/// let tech = TechModel::new(TechNode::Gp90);
+/// let single = ChainMc::new(&tech, 1);
+/// let chain = ChainMc::new(&tech, 50);
+/// let mut rng = StreamRng::from_seed(3);
+/// let s1 = single.summary(0.5, 400, &mut rng);
+/// let s50 = chain.summary(0.5, 400, &mut rng);
+/// // Uncorrelated per-gate variation averages out along the chain (Fig 1).
+/// assert!(s50.three_sigma_over_mu() < 0.6 * s1.three_sigma_over_mu());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainMc<'a> {
+    tech: &'a TechModel,
+    length: usize,
+}
+
+impl<'a> ChainMc<'a> {
+    /// A chain of `length` FO4 inverters in technology `tech`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0`.
+    #[must_use]
+    pub fn new(tech: &'a TechModel, length: usize) -> Self {
+        assert!(length > 0, "a chain needs at least one stage");
+        Self { tech, length }
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// The technology model in use.
+    #[must_use]
+    pub fn tech(&self) -> &TechModel {
+        self.tech
+    }
+
+    /// Variation-free chain delay (ps) at `vdd`.
+    #[must_use]
+    pub fn nominal_delay_ps(&self, vdd: f64) -> f64 {
+        self.length as f64 * self.tech.fo4_delay_ps(vdd)
+    }
+
+    /// Sample the chain delay (ps) on an already-drawn chip.
+    pub fn sample_on_chip_ps(&self, vdd: f64, chip: &ChipSample, rng: &mut StreamRng) -> f64 {
+        (0..self.length)
+            .map(|_| {
+                let gate = self.tech.sample_gate(rng);
+                self.tech.gate_delay_ps(vdd, chip, &gate)
+            })
+            .sum()
+    }
+
+    /// Sample the chain delay (ps), drawing a fresh chip (cross-chip
+    /// Monte Carlo, as in Fig 1).
+    pub fn sample_ps(&self, vdd: f64, rng: &mut StreamRng) -> f64 {
+        let chip = self.tech.sample_chip(rng);
+        self.sample_on_chip_ps(vdd, &chip, rng)
+    }
+
+    /// Draw `samples` cross-chip delays (ps).
+    #[must_use]
+    pub fn distribution_ps(&self, vdd: f64, samples: usize, rng: &mut StreamRng) -> Vec<f64> {
+        (0..samples).map(|_| self.sample_ps(vdd, rng)).collect()
+    }
+
+    /// Summary statistics of `samples` cross-chip delays.
+    #[must_use]
+    pub fn summary(&self, vdd: f64, samples: usize, rng: &mut StreamRng) -> Summary {
+        (0..samples).map(|_| self.sample_ps(vdd, rng)).collect()
+    }
+
+    /// The paper's variation metric 3σ/μ for this chain at `vdd`.
+    #[must_use]
+    pub fn three_sigma_over_mu(&self, vdd: f64, samples: usize, rng: &mut StreamRng) -> f64 {
+        self.summary(vdd, samples, rng).three_sigma_over_mu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntv_device::TechNode;
+
+    #[test]
+    fn chain_delay_scales_linearly_with_length() {
+        let tech = TechModel::new(TechNode::Gp45);
+        let c10 = ChainMc::new(&tech, 10);
+        let c40 = ChainMc::new(&tech, 40);
+        assert!((c40.nominal_delay_ps(0.6) / c10.nominal_delay_ps(0.6) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_tracks_nominal_delay() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let chain = ChainMc::new(&tech, 50);
+        let mut rng = StreamRng::from_seed(21);
+        let s = chain.summary(0.7, 2000, &mut rng);
+        // The nonlinear Vth dependence introduces a small positive bias;
+        // the mean must stay within a few percent of nominal.
+        let nominal = chain.nominal_delay_ps(0.7);
+        assert!(
+            (s.mean() / nominal - 1.0).abs() < 0.05,
+            "mean {} nominal {nominal}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn variation_shrinks_with_chain_length_at_fixed_voltage() {
+        // Fig 11: 3 sigma/mu falls with N (with diminishing returns).
+        let tech = TechModel::new(TechNode::Gp90);
+        let mut rng = StreamRng::from_seed(5);
+        let v = 0.55;
+        let s1 = ChainMc::new(&tech, 1).three_sigma_over_mu(v, 3000, &mut rng);
+        let s10 = ChainMc::new(&tech, 10).three_sigma_over_mu(v, 3000, &mut rng);
+        let s100 = ChainMc::new(&tech, 100).three_sigma_over_mu(v, 1500, &mut rng);
+        assert!(s1 > s10, "{s1} vs {s10}");
+        assert!(s10 > s100, "{s10} vs {s100}");
+        // ...but not with the 1/sqrt(N) of a purely random model: the
+        // systematic floor keeps s100 well above s1/10.
+        assert!(s100 > s1 / 10.0);
+    }
+
+    #[test]
+    fn variation_grows_as_voltage_drops() {
+        let tech = TechModel::new(TechNode::PtmHp22);
+        let chain = ChainMc::new(&tech, 50);
+        let mut rng = StreamRng::from_seed(6);
+        let hi = chain.three_sigma_over_mu(0.8, 2000, &mut rng);
+        let lo = chain.three_sigma_over_mu(0.5, 2000, &mut rng);
+        assert!(lo > 1.5 * hi, "0.5V: {lo}, 0.8V: {hi}");
+    }
+
+    #[test]
+    fn distribution_is_right_skewed_at_low_voltage() {
+        // Fig 1a histograms at 0.5 V have a long right tail.
+        let tech = TechModel::new(TechNode::Gp90);
+        let chain = ChainMc::new(&tech, 1);
+        let mut rng = StreamRng::from_seed(9);
+        let s = chain.summary(0.5, 4000, &mut rng);
+        assert!(s.skewness() > 0.2, "skewness {}", s.skewness());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let chain = ChainMc::new(&tech, 5);
+        let a = chain.distribution_ps(0.6, 10, &mut StreamRng::from_seed(1));
+        let b = chain.distribution_ps(0.6, 10, &mut StreamRng::from_seed(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_length_rejected() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let _ = ChainMc::new(&tech, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Netlist reporting: statistics and Graphviz export.
+//!
+//! Small EDA-tool conveniences over [`crate::netlist::Netlist`]: a cell
+//! census with depth/width metrics, and a DOT emitter for inspecting
+//! small netlists visually (`dot -Tsvg`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// Cell census and shape metrics for a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Gate count per cell type (excluding inputs).
+    pub cell_census: BTreeMap<String, usize>,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Logic gates.
+    pub gates: usize,
+    /// Maximum logic depth.
+    pub depth: usize,
+    /// Total fan-in edges.
+    pub edges: usize,
+}
+
+impl NetlistStats {
+    /// Compute statistics for a netlist.
+    #[must_use]
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut cell_census: BTreeMap<String, usize> = BTreeMap::new();
+        let mut edges = 0;
+        for node in netlist.nodes() {
+            if node.kind() != GateKind::Input {
+                *cell_census.entry(node.kind().to_string()).or_insert(0) += 1;
+            }
+            edges += node.fanin().len();
+        }
+        Self {
+            cell_census,
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            gates: netlist.gate_count(),
+            depth: netlist.logic_depth(),
+            edges,
+        }
+    }
+}
+
+impl std::fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} gates ({} inputs, {} outputs), depth {}, {} edges",
+            self.gates, self.inputs, self.outputs, self.depth, self.edges
+        )?;
+        for (cell, count) in &self.cell_census {
+            writeln!(f, "  {cell:<6} x{count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Emit the netlist as a Graphviz `digraph`, optionally highlighting a
+/// path (e.g. the STA critical path) in red.
+#[must_use]
+pub fn to_dot(netlist: &Netlist, highlight: &[crate::netlist::GateId]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let on_path = |id: crate::netlist::GateId| highlight.contains(&id);
+    for id in netlist.ids() {
+        let node = netlist.node(id);
+        let shape = if node.kind() == GateKind::Input {
+            "circle"
+        } else {
+            "box"
+        };
+        let color = if on_path(id) {
+            ", color=red, penwidth=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={shape}{color}];",
+            id.index(),
+            node.kind()
+        );
+    }
+    for id in netlist.ids() {
+        for &src in netlist.node(id).fanin() {
+            let color = if on_path(id) && on_path(src) {
+                " [color=red, penwidth=2]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  n{} -> n{}{color};", src.index(), id.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::kogge_stone;
+    use crate::sta;
+    use ntv_device::{TechModel, TechNode};
+
+    #[test]
+    fn stats_census_adds_up() {
+        let ks = kogge_stone(16);
+        let stats = NetlistStats::of(&ks);
+        let census_total: usize = stats.cell_census.values().sum();
+        assert_eq!(census_total, stats.gates);
+        assert_eq!(stats.inputs, 32);
+        assert_eq!(stats.outputs, 17);
+        assert_eq!(stats.depth, 6);
+        assert!(stats.cell_census.contains_key("XOR2"));
+        assert!(stats.cell_census.contains_key("AOI21"));
+    }
+
+    #[test]
+    fn display_lists_cells() {
+        let text = NetlistStats::of(&kogge_stone(8)).to_string();
+        assert!(text.contains("gates"));
+        assert!(text.contains("XOR2"));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let ks = kogge_stone(4);
+        let dot = to_dot(&ks, &[]);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        // One node line per netlist node, one edge line per fan-in edge.
+        let node_lines = dot.lines().filter(|l| l.contains("[label=")).count();
+        assert_eq!(node_lines, ks.node_count());
+        let edge_lines = dot.lines().filter(|l| l.contains(" -> ")).count();
+        let expected_edges: usize = ks.nodes().iter().map(|n| n.fanin().len()).sum();
+        assert_eq!(edge_lines, expected_edges);
+    }
+
+    #[test]
+    fn critical_path_highlighting_marks_red() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let ks = kogge_stone(8);
+        let delays = sta::nominal_delays(&ks, &tech, 1.0);
+        let result = sta::analyze(&ks, &delays);
+        let dot = to_dot(&ks, &result.critical_path);
+        assert!(dot.contains("color=red"));
+        // At least one red edge along the path.
+        assert!(dot.lines().any(|l| l.contains(" -> ") && l.contains("red")));
+    }
+}

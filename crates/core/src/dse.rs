@@ -1,0 +1,235 @@
+//! Combined duplication + voltage-margin design-space exploration
+//! (paper §4.4, Table 3, Fig 8).
+//!
+//! For a 128-wide system at a given NTV operating point, each candidate
+//! spare count α needs some residual voltage margin `Vm(α)` to reach the
+//! target delay; the total power overhead `P_dup(α) + P_margin(Vm(α))` is
+//! convex-ish in α, and the paper's headline example (45 nm @600 mV) finds
+//! the optimum at (2 spares, 10 mV) ≈ 1.7 %, beating duplication-only
+//! (26 spares, 4.3 %) and margining-only (17 mV, 2.4 %).
+
+use ntv_mc::StreamRng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::DatapathEngine;
+use crate::overhead::DietSodaBudget;
+use crate::perf;
+
+/// One row of Table 3: a (spares, margin) design choice and its cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignChoice {
+    /// Spare lanes.
+    pub spares: u32,
+    /// Residual voltage margin (V) required with that many spares.
+    pub margin: f64,
+    /// Power overhead: duplication + margin (fraction of PE power).
+    pub power_overhead: f64,
+}
+
+/// The combined design-space exploration for one engine.
+#[derive(Debug, Clone)]
+pub struct DseStudy<'a> {
+    engine: &'a DatapathEngine<'a>,
+    budget: DietSodaBudget,
+}
+
+impl<'a> DseStudy<'a> {
+    /// Study with the paper's Diet SODA budget.
+    #[must_use]
+    pub fn new(engine: &'a DatapathEngine<'a>) -> Self {
+        Self {
+            engine,
+            budget: DietSodaBudget::paper(),
+        }
+    }
+
+    /// q99 chip delay (ns) at an effective voltage with α spares, chip
+    /// draws fixed by `seed` (common random numbers).
+    #[must_use]
+    pub fn q99_ns_with_spares(
+        &self,
+        vdd_effective: f64,
+        spares: u32,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        let lanes = self.engine.config().lanes;
+        let physical = lanes + spares as usize;
+        let fo4_ps = self.engine.tech().fo4_delay_ps(vdd_effective);
+        let mut rng = StreamRng::from_seed_and_label(seed, "dse-eval");
+        let mut worst_used: Vec<f64> = (0..samples)
+            .map(|_| {
+                let row = self
+                    .engine
+                    .sample_lane_delays_fo4(vdd_effective, physical, &mut rng);
+                ntv_mc::order::kth_smallest(&row, lanes - 1)
+            })
+            .collect();
+        worst_used.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = ntv_mc::Quantiles::from_samples(worst_used);
+        q.q99() * fo4_ps / 1000.0
+    }
+
+    /// Minimum voltage margin (to 0.1 mV) needed with α spares to meet
+    /// `target_ns` at `vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if 200 mV of margin still misses the target.
+    #[must_use]
+    pub fn margin_for_spares(
+        &self,
+        vdd: f64,
+        spares: u32,
+        target_ns: f64,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        const TOLERANCE: f64 = 0.1e-3;
+        const MAX_MARGIN: f64 = 0.2;
+        if self.q99_ns_with_spares(vdd, spares, samples, seed) <= target_ns {
+            return 0.0;
+        }
+        assert!(
+            self.q99_ns_with_spares(vdd + MAX_MARGIN, spares, samples, seed) <= target_ns,
+            "margin above {MAX_MARGIN} V required — outside the model's regime"
+        );
+        let (mut lo, mut hi) = (0.0_f64, MAX_MARGIN);
+        while hi - lo > TOLERANCE {
+            let mid = 0.5 * (lo + hi);
+            if self.q99_ns_with_spares(vdd + mid, spares, samples, seed) <= target_ns {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+
+    /// Explore the (spares, margin) trade-off at `vdd` for the given spare
+    /// candidates (one Table 3).
+    #[must_use]
+    pub fn explore(
+        &self,
+        vdd: f64,
+        spare_candidates: &[u32],
+        samples: usize,
+        seed: u64,
+    ) -> Vec<DesignChoice> {
+        let target_ns = {
+            let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed);
+            base_fo4 * self.engine.tech().fo4_delay_ps(vdd) / 1000.0
+        };
+        spare_candidates
+            .iter()
+            .map(|&spares| {
+                let margin = self.margin_for_spares(vdd, spares, target_ns, samples, seed);
+                DesignChoice {
+                    spares,
+                    margin,
+                    power_overhead: self.budget.combined_power_overhead(spares, vdd, margin),
+                }
+            })
+            .collect()
+    }
+
+    /// The cheapest design choice among `choices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    #[must_use]
+    pub fn best(choices: &[DesignChoice]) -> DesignChoice {
+        *choices
+            .iter()
+            .min_by(|a, b| {
+                a.power_overhead
+                    .partial_cmp(&b.power_overhead)
+                    .expect("finite overheads")
+            })
+            .expect("at least one design choice")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatapathConfig;
+    use ntv_device::{TechModel, TechNode};
+
+    const SAMPLES: usize = 1200;
+
+    #[test]
+    fn margin_shrinks_with_spares() {
+        // Fig 8 / Table 3: more spares -> less residual margin needed.
+        let tech = TechModel::new(TechNode::Gp45);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let dse = DseStudy::new(&engine);
+        let rows = dse.explore(0.6, &[0, 2, 8, 26], SAMPLES, 1);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].margin <= w[0].margin + 1e-4,
+                "margin not decreasing: {rows:?}"
+            );
+        }
+        // Margin-only row needs a real margin; many spares need (almost) none.
+        assert!(rows[0].margin > 5e-3);
+        assert!(rows[3].margin < rows[0].margin * 0.5);
+    }
+
+    #[test]
+    fn combination_beats_extremes_at_45nm_600mv() {
+        // Table 3's headline: a small-spares + small-margin combination has
+        // the lowest power overhead.
+        let tech = TechModel::new(TechNode::Gp45);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let dse = DseStudy::new(&engine);
+        let rows = dse.explore(0.6, &[0, 1, 2, 4, 8, 16, 26], SAMPLES, 2);
+        let best = DseStudy::best(&rows);
+        let margin_only = rows[0];
+        let dup_only = rows.last().copied().expect("non-empty");
+        assert!(best.power_overhead <= margin_only.power_overhead);
+        assert!(best.power_overhead <= dup_only.power_overhead);
+        // The optimum is an interior point: some spares, some margin.
+        assert!(best.spares > 0 && best.spares < 26, "{best:?}");
+        assert!(best.margin > 0.0);
+    }
+
+    #[test]
+    fn q99_with_zero_spares_matches_plain_distribution_scale() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let dse = DseStudy::new(&engine);
+        let via_dse = dse.q99_ns_with_spares(0.55, 0, SAMPLES, 3);
+        let mut rng = StreamRng::from_seed(99);
+        let direct = engine
+            .chip_delay_distribution(0.55, SAMPLES, &mut rng)
+            .q99_ns();
+        assert!(
+            (via_dse / direct - 1.0).abs() < 0.03,
+            "{via_dse} vs {direct}"
+        );
+    }
+
+    #[test]
+    fn best_picks_minimum() {
+        let choices = [
+            DesignChoice {
+                spares: 0,
+                margin: 0.017,
+                power_overhead: 0.024,
+            },
+            DesignChoice {
+                spares: 2,
+                margin: 0.010,
+                power_overhead: 0.017,
+            },
+            DesignChoice {
+                spares: 26,
+                margin: 0.0,
+                power_overhead: 0.043,
+            },
+        ];
+        assert_eq!(DseStudy::best(&choices).spares, 2);
+    }
+}

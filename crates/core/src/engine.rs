@@ -1,0 +1,672 @@
+//! The fast Monte-Carlo chip-delay engine.
+//!
+//! The paper's architecture model (§3.2) treats every critical path as an
+//! independent draw from the chain-of-50 cross-chip delay distribution
+//! (Fig 1b): *"a chain of 50 FO4 inverters is used to emulate a critical
+//! path"*, a lane is the slowest of its 100 paths and the chip the slowest
+//! of its lanes. Three correlation/shape models are provided:
+//!
+//! * [`VariationMode::PaperNormal`] (default) — paths are i.i.d. **normal**
+//!   with the chain distribution's exact mean and σ. This is the
+//!   "distribution curves generated from Monte-Carlo data" methodology the
+//!   paper describes, and it reproduces Table 1/2 and Fig 4 quantitatively
+//!   (the paper's 22 nm performance drop of 18 % equals the normal-tail
+//!   order-statistics prediction to within a point).
+//! * [`VariationMode::SkewedIid`] — paths are i.i.d. draws from the *exact*
+//!   unconditional mixture CDF `F(x) = E_sys[Φ((x − μ(sys))/σ(sys))]`,
+//!   including the heavy right tail the exponential near-threshold delay
+//!   law produces. Used by the tail-shape ablation bench: extreme
+//!   quantiles of maxima are substantially more pessimistic than the
+//!   normal fit suggests.
+//! * [`VariationMode::Hierarchical`] — chip-global + per-lane regional
+//!   systematic variation shared by a lane's paths, random variation per
+//!   device. Correlated variation makes the slowest-lane tail less
+//!   trimmable by spares; the correlation-structure ablation quantifies
+//!   this.
+//!
+//! All engines precompute one [`PathDistribution`] per operating point
+//! (Gauss–Hermite quadrature over the systematic draws of the conditional
+//! CLT path moments; a 1024-point survival grid serves the skewed mode's
+//! deep tail). FO4 units are defined as the paper defines them — the
+//! simulated chain delay divided by the chain length (e.g. 22.05 ns / 50 =
+//! 441 ps at 0.5 V in 90 nm), i.e. the distribution *mean* per stage.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ntv_circuit::path_model::{PathModel, PathMoments};
+use ntv_device::{ChipSample, TechModel};
+use ntv_mc::{normal, order, GaussHermite, Histogram, Quantiles, StreamRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::DatapathConfig;
+
+/// How process variation is correlated across the datapath, and what tail
+/// shape path delays have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum VariationMode {
+    /// The paper's methodology: every critical path is an independent
+    /// normal draw with the chain distribution's mean and σ.
+    #[default]
+    PaperNormal,
+    /// Every path is an independent draw from the exact (right-skewed)
+    /// unconditional chain-delay distribution.
+    SkewedIid,
+    /// Physical decomposition: chip-global + per-lane regional systematic
+    /// variation shared by a lane's paths, random variation per device.
+    Hierarchical,
+}
+
+/// Precomputed unconditional path-delay distribution at one operating
+/// point: exact mean/σ (all modes) plus a survival grid (skewed mode).
+#[derive(Debug, Clone)]
+pub struct PathDistribution {
+    /// Delay grid (ps), ascending.
+    xs: Vec<f64>,
+    /// Survival function `P(delay > x)` at each grid point.
+    sf: Vec<f64>,
+    mean_ps: f64,
+    std_ps: f64,
+}
+
+impl PathDistribution {
+    const GRID: usize = 1024;
+    const GH_VTH: usize = 24;
+    const GH_K: usize = 12;
+
+    /// Build the distribution for a `length`-stage path at `vdd`.
+    #[must_use]
+    pub fn build(tech: &TechModel, vdd: f64, length: usize) -> Self {
+        let params = tech.params();
+        let model = PathModel::new(tech, length);
+        let gh_v = GaussHermite::new(Self::GH_VTH);
+        let gh_k = GaussHermite::new(Self::GH_K);
+        const INV_PI: f64 = 1.0 / std::f64::consts::PI;
+
+        // Conditional moments at each systematic-Vth node; the systematic
+        // current factor scales both moments by exp(−lk) exactly.
+        let sqrt2 = std::f64::consts::SQRT_2;
+        let comps: Vec<(f64, f64, f64)> = gh_v
+            .nodes()
+            .iter()
+            .zip(gh_v.weights())
+            .flat_map(|(&xv, &wv)| {
+                let dv = sqrt2 * params.sigma_vth_systematic * xv;
+                let m = model.conditional_moments(
+                    vdd,
+                    &ChipSample {
+                        dvth: dv,
+                        ln_k: 0.0,
+                    },
+                );
+                gh_k.nodes()
+                    .iter()
+                    .zip(gh_k.weights())
+                    .map(move |(&xk, &wk)| {
+                        let k = (-(sqrt2 * params.sigma_k_systematic * xk)).exp();
+                        (wv * wk * INV_PI, m.mean_ps * k, m.std_ps * k)
+                    })
+            })
+            .collect();
+
+        let mean_ps: f64 = comps.iter().map(|&(w, mu, _)| w * mu).sum();
+        let second: f64 = comps.iter().map(|&(w, mu, s)| w * (mu * mu + s * s)).sum();
+        let std_ps = (second - mean_ps * mean_ps).max(0.0).sqrt();
+        let lo = comps
+            .iter()
+            .map(|&(_, mu, s)| mu - 8.0 * s)
+            .fold(f64::INFINITY, f64::min);
+        let hi = comps
+            .iter()
+            .map(|&(_, mu, s)| mu + 12.0 * s)
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        let xs: Vec<f64> = (0..Self::GRID)
+            .map(|i| lo + (hi - lo) * i as f64 / (Self::GRID - 1) as f64)
+            .collect();
+        let sf: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                comps
+                    .iter()
+                    .map(|&(w, mu, s)| {
+                        if s > 0.0 {
+                            w * 0.5 * normal::erfc((x - mu) / (s * sqrt2))
+                        } else if x < mu {
+                            w
+                        } else {
+                            0.0
+                        }
+                    })
+                    .sum::<f64>()
+            })
+            .collect();
+
+        Self {
+            xs,
+            sf,
+            mean_ps,
+            std_ps,
+        }
+    }
+
+    /// Unconditional mean path delay (ps).
+    #[must_use]
+    pub fn mean_ps(&self) -> f64 {
+        self.mean_ps
+    }
+
+    /// Unconditional path-delay standard deviation (ps), exact for the
+    /// mixture (used by the normal fit of [`VariationMode::PaperNormal`]).
+    #[must_use]
+    pub fn std_ps(&self) -> f64 {
+        self.std_ps
+    }
+
+    /// Survival `P(delay > x)` by linear interpolation on the grid.
+    #[must_use]
+    pub fn survival(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return 1.0;
+        }
+        if x >= *self.xs.last().expect("non-empty grid") {
+            return 0.0;
+        }
+        let i = self.xs.partition_point(|&g| g <= x) - 1;
+        let t = (x - self.xs[i]) / (self.xs[i + 1] - self.xs[i]);
+        self.sf[i] * (1.0 - t) + self.sf[i + 1] * t
+    }
+
+    /// Delay (ps) whose survival equals `g` (log-interpolated in the tail).
+    #[must_use]
+    fn quantile_by_survival(&self, g: f64) -> f64 {
+        debug_assert!(g > 0.0 && g < 1.0);
+        if g >= self.sf[0] {
+            return self.xs[0];
+        }
+        let last = self.sf.len() - 1;
+        if g <= self.sf[last].max(f64::MIN_POSITIVE) && self.sf[last] <= 0.0 {
+            return self.xs[last];
+        }
+        // Binary search: sf is non-increasing.
+        let (mut lo, mut hi) = (0usize, last);
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.sf[mid] > g {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (ga, gb) = (self.sf[lo], self.sf[hi]);
+        if gb <= 0.0 || ga <= gb {
+            return self.xs[hi];
+        }
+        // Interpolate in log-survival: near-linear for Gaussian-class tails.
+        let t = (ga.ln() - g.ln()) / (ga.ln() - gb.ln());
+        self.xs[lo] + (self.xs[hi] - self.xs[lo]) * t.clamp(0.0, 1.0)
+    }
+
+    /// Sample one path delay (ps).
+    pub fn sample(&self, rng: &mut StreamRng) -> f64 {
+        let u = rng.uniform_open();
+        self.quantile_by_survival((1.0 - u).max(f64::MIN_POSITIVE))
+    }
+
+    /// Sample the maximum of `n` i.i.d. path delays (ps) in O(log grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample_max(&self, n: usize, rng: &mut StreamRng) -> f64 {
+        assert!(n > 0, "maximum of zero paths is undefined");
+        let u = rng.uniform_open();
+        // Survival target of the max: 1 − u^(1/n), computed stably.
+        let g = (-(u.ln() / n as f64).exp_m1()).max(f64::MIN_POSITIVE);
+        self.quantile_by_survival(g)
+    }
+}
+
+/// Monte-Carlo distribution of the chip delay at one operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipDelayDistribution {
+    /// Supply voltage this distribution was sampled at (V).
+    pub vdd: f64,
+    /// The FO4 unit at `vdd` (ps): simulated chain delay ÷ chain length,
+    /// the paper's definition (441 ps at 0.5 V in 90 nm).
+    pub fo4_unit_ps: f64,
+    /// Chip-delay samples in FO4 units, ready for quantile queries.
+    pub fo4_quantiles: Quantiles,
+}
+
+impl ChipDelayDistribution {
+    /// The paper's comparison statistic: the 99 % point in FO4 units
+    /// ("fo4chipd").
+    #[must_use]
+    pub fn q99_fo4(&self) -> f64 {
+        self.fo4_quantiles.q99()
+    }
+
+    /// The 99 % point in nanoseconds ("chipd").
+    #[must_use]
+    pub fn q99_ns(&self) -> f64 {
+        self.q99_fo4() * self.fo4_unit_ps / 1000.0
+    }
+
+    /// Arbitrary quantile in FO4 units.
+    #[must_use]
+    pub fn quantile_fo4(&self, p: f64) -> f64 {
+        self.fo4_quantiles.quantile(p)
+    }
+
+    /// Histogram of the FO4-unit samples (the "Occurrences" series of
+    /// Figs 3/5/6).
+    #[must_use]
+    pub fn histogram(&self, bins: usize) -> Histogram {
+        Histogram::from_samples(self.fo4_quantiles.as_sorted_slice(), bins)
+    }
+
+    /// Number of Monte-Carlo samples behind the distribution.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.fo4_quantiles.len()
+    }
+}
+
+/// Fast architecture-level Monte-Carlo engine for one technology model and
+/// datapath shape.
+///
+/// # Example
+///
+/// ```
+/// use ntv_core::{DatapathConfig, DatapathEngine};
+/// use ntv_device::{TechModel, TechNode};
+/// use ntv_mc::StreamRng;
+///
+/// let tech = TechModel::new(TechNode::Gp90);
+/// let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+/// let mut rng = StreamRng::from_seed(1);
+/// let dist = engine.chip_delay_distribution(0.55, 1_000, &mut rng);
+/// // The slowest of 12,800 paths always exceeds the 50-FO4 ideal.
+/// assert!(dist.fo4_quantiles.min() > 50.0);
+/// ```
+#[derive(Debug)]
+pub struct DatapathEngine<'a> {
+    tech: &'a TechModel,
+    config: DatapathConfig,
+    mode: VariationMode,
+    path_model: PathModel<'a>,
+    cache: Mutex<HashMap<u64, Arc<PathDistribution>>>,
+}
+
+impl<'a> DatapathEngine<'a> {
+    /// Engine for `tech` with the given datapath shape, in the paper's
+    /// normal-fit i.i.d. variation mode.
+    #[must_use]
+    pub fn new(tech: &'a TechModel, config: DatapathConfig) -> Self {
+        Self::with_mode(tech, config, VariationMode::PaperNormal)
+    }
+
+    /// Engine with an explicit [`VariationMode`].
+    #[must_use]
+    pub fn with_mode(tech: &'a TechModel, config: DatapathConfig, mode: VariationMode) -> Self {
+        Self {
+            tech,
+            config,
+            mode,
+            path_model: PathModel::new(tech, config.path_length),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The datapath shape.
+    #[must_use]
+    pub fn config(&self) -> &DatapathConfig {
+        &self.config
+    }
+
+    /// The variation-correlation mode.
+    #[must_use]
+    pub fn mode(&self) -> VariationMode {
+        self.mode
+    }
+
+    /// The technology model.
+    #[must_use]
+    pub fn tech(&self) -> &TechModel {
+        self.tech
+    }
+
+    /// Conditional path moments for an explicit chip (exposed for
+    /// validation tests and the hierarchical mode).
+    #[must_use]
+    pub fn path_moments(&self, vdd: f64, chip: &ChipSample) -> PathMoments {
+        self.path_model.conditional_moments(vdd, chip)
+    }
+
+    /// The precomputed unconditional path distribution at `vdd`
+    /// (built on first use, then cached).
+    #[must_use]
+    pub fn path_distribution(&self, vdd: f64) -> Arc<PathDistribution> {
+        let key = vdd.to_bits();
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache
+            .entry(key)
+            .or_insert_with(|| {
+                Arc::new(PathDistribution::build(
+                    self.tech,
+                    vdd,
+                    self.config.path_length,
+                ))
+            })
+            .clone()
+    }
+
+    /// Sample the delays (FO4 units) of `n_lanes` lanes on a fresh chip.
+    ///
+    /// Each lane delay is the maximum of `paths_per_lane` path delays.
+    #[must_use]
+    pub fn sample_lane_delays_fo4(
+        &self,
+        vdd: f64,
+        n_lanes: usize,
+        rng: &mut StreamRng,
+    ) -> Vec<f64> {
+        let dist = self.path_distribution(vdd);
+        let fo4 = dist.mean_ps() / self.config.path_length as f64;
+        match self.mode {
+            VariationMode::PaperNormal => (0..n_lanes)
+                .map(|_| {
+                    order::sample_max_normal(
+                        rng,
+                        self.config.paths_per_lane,
+                        dist.mean_ps(),
+                        dist.std_ps(),
+                    ) / fo4
+                })
+                .collect(),
+            VariationMode::SkewedIid => (0..n_lanes)
+                .map(|_| dist.sample_max(self.config.paths_per_lane, rng) / fo4)
+                .collect(),
+            VariationMode::Hierarchical => {
+                let chip = self.tech.sample_chip_global(rng);
+                let m = self.path_moments(vdd, &chip);
+                (0..n_lanes)
+                    .map(|_| {
+                        let region = self.tech.sample_region(rng);
+                        let f = self.tech.region_delay_factor(vdd, &region);
+                        order::sample_max_normal(
+                            rng,
+                            self.config.paths_per_lane,
+                            m.mean_ps * f,
+                            m.std_ps * f,
+                        ) / fo4
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Sample one chip delay (FO4 units): the slowest lane of the
+    /// datapath.
+    #[must_use]
+    pub fn sample_chip_delay_fo4(&self, vdd: f64, rng: &mut StreamRng) -> f64 {
+        let dist = self.path_distribution(vdd);
+        let fo4 = dist.mean_ps() / self.config.path_length as f64;
+        match self.mode {
+            // Max over lanes of max over paths == max over all paths.
+            VariationMode::PaperNormal => {
+                order::sample_max_normal(
+                    rng,
+                    self.config.critical_path_count(),
+                    dist.mean_ps(),
+                    dist.std_ps(),
+                ) / fo4
+            }
+            VariationMode::SkewedIid => {
+                dist.sample_max(self.config.critical_path_count(), rng) / fo4
+            }
+            VariationMode::Hierarchical => self
+                .sample_lane_delays_fo4(vdd, self.config.lanes, rng)
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Monte-Carlo chip-delay distribution at `vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    #[must_use]
+    pub fn chip_delay_distribution(
+        &self,
+        vdd: f64,
+        samples: usize,
+        rng: &mut StreamRng,
+    ) -> ChipDelayDistribution {
+        assert!(samples > 0, "need at least one Monte-Carlo sample");
+        let data: Vec<f64> = (0..samples)
+            .map(|_| self.sample_chip_delay_fo4(vdd, rng))
+            .collect();
+        ChipDelayDistribution {
+            vdd,
+            fo4_unit_ps: self.fo4_unit_ps(vdd),
+            fo4_quantiles: Quantiles::from_samples(data),
+        }
+    }
+
+    /// The FO4 unit at `vdd`: the simulated chain delay divided by the
+    /// chain length (the paper's definition, e.g. 22.05 ns / 50 = 441 ps
+    /// at 0.5 V in 90 nm).
+    #[must_use]
+    pub fn fo4_unit_ps(&self, vdd: f64) -> f64 {
+        self.path_distribution(vdd).mean_ps() / self.config.path_length as f64
+    }
+
+    /// Distribution of a *single critical path's* delay in FO4 units
+    /// (the leftmost curve of Fig 3).
+    #[must_use]
+    pub fn path_delay_distribution(
+        &self,
+        vdd: f64,
+        samples: usize,
+        rng: &mut StreamRng,
+    ) -> ChipDelayDistribution {
+        assert!(samples > 0, "need at least one Monte-Carlo sample");
+        let dist = self.path_distribution(vdd);
+        let fo4 = dist.mean_ps() / self.config.path_length as f64;
+        let data: Vec<f64> = (0..samples)
+            .map(|_| match self.mode {
+                VariationMode::SkewedIid | VariationMode::Hierarchical => dist.sample(rng) / fo4,
+                VariationMode::PaperNormal => rng.normal(dist.mean_ps(), dist.std_ps()) / fo4,
+            })
+            .collect();
+        ChipDelayDistribution {
+            vdd,
+            fo4_unit_ps: fo4,
+            fo4_quantiles: Quantiles::from_samples(data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntv_device::TechNode;
+    use ntv_mc::Summary;
+
+    fn engine_default(tech: &TechModel) -> DatapathEngine<'_> {
+        DatapathEngine::new(tech, DatapathConfig::paper_default())
+    }
+
+    #[test]
+    fn path_distribution_matches_gate_level_chain() {
+        // The precomputed CDF must agree with the exact gate-level chain
+        // Monte Carlo (cross-chip) in mean, spread and upper tail.
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = engine_default(&tech);
+        for &vdd in &[0.5, 1.0] {
+            let dist = engine.path_distribution(vdd);
+            let chain = ntv_circuit::chain::ChainMc::new(&tech, 50);
+            let mut rng = StreamRng::from_seed(31);
+            let mc: Vec<f64> = chain.distribution_ps(vdd, 6000, &mut rng);
+            let s: Summary = mc.iter().copied().collect();
+            assert!(
+                (dist.mean_ps() / s.mean() - 1.0).abs() < 0.01,
+                "vdd={vdd}: mean {} vs {}",
+                dist.mean_ps(),
+                s.mean()
+            );
+            // Compare the 99% point via inverse survival.
+            let q = ntv_mc::Quantiles::from_samples(mc);
+            let q99_model = dist.quantile_by_survival(0.01);
+            assert!(
+                (q99_model / q.q99() - 1.0).abs() < 0.02,
+                "vdd={vdd}: q99 {} vs {}",
+                q99_model,
+                q.q99()
+            );
+        }
+    }
+
+    #[test]
+    fn sample_max_matches_brute_force() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = engine_default(&tech);
+        let dist = engine.path_distribution(0.55);
+        let mut rng = StreamRng::from_seed(9);
+        let fast: Summary = (0..20_000).map(|_| dist.sample_max(32, &mut rng)).collect();
+        let slow: Summary = (0..20_000)
+            .map(|_| {
+                (0..32)
+                    .map(|_| dist.sample(&mut rng))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        assert!((fast.mean() / slow.mean() - 1.0).abs() < 0.005);
+        assert!((fast.std_dev() / slow.std_dev() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn survival_is_monotone_and_bounded() {
+        let tech = TechModel::new(TechNode::PtmHp22);
+        let engine = engine_default(&tech);
+        let dist = engine.path_distribution(0.5);
+        let mean = dist.mean_ps();
+        let mut prev = 1.0;
+        for i in 0..100 {
+            let x = mean * (0.5 + 1.5 * i as f64 / 100.0);
+            let s = dist.survival(x);
+            assert!((0.0..=1.0).contains(&s));
+            assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+        assert!((dist.survival(mean) - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn wider_simd_is_slower() {
+        // Fig 3: 128-wide@1V right of 1-wide@1V, right of a single path@1V.
+        let tech = TechModel::new(TechNode::Gp90);
+        let mut rng = StreamRng::from_seed(3);
+        let one_path = DatapathEngine::new(&tech, DatapathConfig::new(1, 1, 50))
+            .chip_delay_distribution(1.0, 2000, &mut rng);
+        let one_lane = DatapathEngine::new(&tech, DatapathConfig::new(1, 100, 50))
+            .chip_delay_distribution(1.0, 2000, &mut rng);
+        let full = engine_default(&tech).chip_delay_distribution(1.0, 2000, &mut rng);
+        assert!(one_path.fo4_quantiles.median() < one_lane.fo4_quantiles.median());
+        assert!(one_lane.fo4_quantiles.median() < full.fo4_quantiles.median());
+    }
+
+    #[test]
+    fn low_voltage_distributions_drift_right_in_fo4_units() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = engine_default(&tech);
+        let mut rng = StreamRng::from_seed(4);
+        let at_1v = engine.chip_delay_distribution(1.0, 2000, &mut rng);
+        let at_055 = engine.chip_delay_distribution(0.55, 2000, &mut rng);
+        let at_05 = engine.chip_delay_distribution(0.5, 2000, &mut rng);
+        assert!(at_055.q99_fo4() > at_1v.q99_fo4());
+        assert!(at_05.q99_fo4() > at_055.q99_fo4());
+    }
+
+    #[test]
+    fn lane_sampling_matches_whole_chip_reduction() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = engine_default(&tech);
+        let mut rng_a = StreamRng::from_seed(10);
+        let mut rng_b = StreamRng::from_seed(20);
+        let n = 3000;
+        let via_lanes: Vec<f64> = (0..n)
+            .map(|_| {
+                let lanes = engine.sample_lane_delays_fo4(0.6, 128, &mut rng_a);
+                lanes.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        let direct: Vec<f64> = (0..n)
+            .map(|_| engine.sample_chip_delay_fo4(0.6, &mut rng_b))
+            .collect();
+        let qa = Quantiles::from_samples(via_lanes);
+        let qb = Quantiles::from_samples(direct);
+        for p in [0.1, 0.5, 0.9] {
+            let (a, b) = (qa.quantile(p), qb.quantile(p));
+            assert!((a / b - 1.0).abs() < 0.01, "p={p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_mode_also_works() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::with_mode(
+            &tech,
+            DatapathConfig::paper_default(),
+            VariationMode::Hierarchical,
+        );
+        let mut rng = StreamRng::from_seed(6);
+        let d = engine.chip_delay_distribution(0.55, 800, &mut rng);
+        assert!(d.q99_fo4() > 50.0);
+        assert_eq!(engine.mode(), VariationMode::Hierarchical);
+    }
+
+    #[test]
+    fn chip_delay_exceeds_ideal_path() {
+        let tech = TechModel::new(TechNode::PtmHp22);
+        let engine = engine_default(&tech);
+        let mut rng = StreamRng::from_seed(5);
+        let d = engine.chip_delay_distribution(0.5, 500, &mut rng);
+        assert!(d.fo4_quantiles.min() > 50.0);
+    }
+
+    #[test]
+    fn q99_ns_consistent_with_fo4() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = engine_default(&tech);
+        let mut rng = StreamRng::from_seed(6);
+        let d = engine.chip_delay_distribution(0.5, 500, &mut rng);
+        assert!((d.q99_ns() - d.q99_fo4() * d.fo4_unit_ps / 1000.0).abs() < 1e-12);
+        assert!(d.q99_ns() > 20.0 && d.q99_ns() < 30.0, "{}", d.q99_ns());
+    }
+
+    #[test]
+    fn path_distribution_centres_near_50_fo4() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = engine_default(&tech);
+        let mut rng = StreamRng::from_seed(7);
+        let d = engine.path_delay_distribution(1.0, 3000, &mut rng);
+        assert!((d.fo4_quantiles.median() / 50.0 - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let tech = TechModel::new(TechNode::Gp45);
+        let engine = engine_default(&tech);
+        let a = engine
+            .chip_delay_distribution(0.6, 50, &mut StreamRng::from_seed(42))
+            .q99_fo4();
+        let b = engine
+            .chip_delay_distribution(0.6, 50, &mut StreamRng::from_seed(42))
+            .q99_fo4();
+        assert_eq!(a, b);
+    }
+}

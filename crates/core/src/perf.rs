@@ -1,0 +1,157 @@
+//! Performance drop at near-threshold voltages (Fig 4).
+//!
+//! The paper's definition (§3.2): with `fo4chipd` the 99 % point of the
+//! FO4-normalized chip-delay distribution,
+//!
+//! ```text
+//! drop(V) = (fo4chipd@V − fo4chipd@FV) / fo4chipd@FV
+//! ```
+//!
+//! where FV is the node's nominal voltage. Because both operands are in FO4
+//! units, the raw slowdown of low-voltage operation divides out and only
+//! the *variation-induced* degradation remains.
+
+use ntv_mc::StreamRng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::DatapathEngine;
+
+/// One point of the Fig 4 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfDropPoint {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// fo4chipd: 99 % chip delay in FO4 units at `vdd`.
+    pub q99_fo4: f64,
+    /// Variation-induced performance drop vs nominal (fraction).
+    pub drop: f64,
+}
+
+/// The nominal-voltage baseline fo4chipd for `engine`.
+#[must_use]
+pub fn baseline_q99_fo4(engine: &DatapathEngine<'_>, samples: usize, seed: u64) -> f64 {
+    let mut rng = StreamRng::from_seed_and_label(seed, "perf-baseline");
+    engine
+        .chip_delay_distribution(engine.tech().nominal_vdd(), samples, &mut rng)
+        .q99_fo4()
+}
+
+/// Performance drop at a single voltage.
+///
+/// Common random numbers: the baseline and the NTV run use seeds derived
+/// from the same `seed`, so repeated calls are reproducible.
+#[must_use]
+pub fn performance_drop(
+    engine: &DatapathEngine<'_>,
+    vdd: f64,
+    samples: usize,
+    seed: u64,
+) -> PerfDropPoint {
+    let base = baseline_q99_fo4(engine, samples, seed);
+    let mut rng = StreamRng::from_seed_and_label(seed, "perf-ntv");
+    let q99 = engine
+        .chip_delay_distribution(vdd, samples, &mut rng)
+        .q99_fo4();
+    PerfDropPoint {
+        vdd,
+        q99_fo4: q99,
+        drop: q99 / base - 1.0,
+    }
+}
+
+/// Performance-drop sweep over several voltages (one Fig 4 curve).
+///
+/// The baseline is computed once; every voltage reuses the same chip draws
+/// (common random numbers), making the curve smooth in `vdd`.
+#[must_use]
+pub fn performance_drop_sweep(
+    engine: &DatapathEngine<'_>,
+    voltages: &[f64],
+    samples: usize,
+    seed: u64,
+) -> Vec<PerfDropPoint> {
+    let base = baseline_q99_fo4(engine, samples, seed);
+    voltages
+        .iter()
+        .map(|&vdd| {
+            let mut rng = StreamRng::from_seed_and_label(seed, "perf-ntv");
+            let q99 = engine
+                .chip_delay_distribution(vdd, samples, &mut rng)
+                .q99_fo4();
+            PerfDropPoint {
+                vdd,
+                q99_fo4: q99,
+                drop: q99 / base - 1.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatapathConfig;
+    use ntv_device::{TechModel, TechNode};
+
+    const SAMPLES: usize = 3000;
+
+    #[test]
+    fn drop_matches_fig4_90nm() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        // Paper: 5% @0.5V, 2.5% @0.55V, 1.5% @0.6V.
+        let d05 = performance_drop(&engine, 0.50, SAMPLES, 1).drop;
+        let d055 = performance_drop(&engine, 0.55, SAMPLES, 1).drop;
+        let d06 = performance_drop(&engine, 0.60, SAMPLES, 1).drop;
+        assert!((0.03..0.08).contains(&d05), "0.50V: {d05}");
+        assert!((0.015..0.045).contains(&d055), "0.55V: {d055}");
+        assert!((0.008..0.03).contains(&d06), "0.60V: {d06}");
+        assert!(d05 > d055 && d055 > d06);
+    }
+
+    #[test]
+    fn drop_matches_fig4_22nm() {
+        let tech = TechModel::new(TechNode::PtmHp22);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let d05 = performance_drop(&engine, 0.50, SAMPLES, 2).drop;
+        // Paper: climbs to ~18-20% at 0.5 V.
+        assert!((0.12..0.28).contains(&d05), "22nm 0.5V: {d05}");
+    }
+
+    #[test]
+    fn drop_at_nominal_is_zero() {
+        let tech = TechModel::new(TechNode::Gp45);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let d = performance_drop(&engine, 1.0, SAMPLES, 3).drop;
+        // Same voltage, different random streams: only MC noise remains.
+        assert!(d.abs() < 0.01, "drop at nominal: {d}");
+    }
+
+    #[test]
+    fn sweep_is_monotone_decreasing_in_v() {
+        let tech = TechModel::new(TechNode::PtmHp32);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let pts = performance_drop_sweep(&engine, &[0.5, 0.55, 0.6, 0.65, 0.7], SAMPLES, 4);
+        for w in pts.windows(2) {
+            assert!(w[0].drop > w[1].drop, "{:?}", pts);
+        }
+    }
+
+    #[test]
+    fn scaled_nodes_drop_more() {
+        let samples = 2000;
+        let drops: Vec<f64> = TechNode::ALL
+            .iter()
+            .map(|&n| {
+                let tech = TechModel::new(n);
+                let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+                performance_drop(&engine, 0.5, samples, 5).drop
+            })
+            .collect();
+        // 90nm smallest, 22nm largest (Fig 4).
+        assert!(
+            drops[0] < drops[1] && drops[0] < drops[2] && drops[3] > drops[2],
+            "{drops:?}"
+        );
+    }
+}

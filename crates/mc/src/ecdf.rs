@@ -1,0 +1,139 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Used by validation tests to compare the exact gate-level Monte-Carlo
+//! engine against the closed-form (CLT + quadrature) engine: the two must
+//! produce statistically indistinguishable delay distributions, which we
+//! check with the Kolmogorov–Smirnov distance.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a sorted sample.
+///
+/// # Example
+///
+/// ```
+/// use ntv_mc::ecdf::Ecdf;
+/// let e = Ecdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(e.eval(0.0), 0.0);
+/// assert_eq!(e.eval(2.0), 0.5);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from an unsorted sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-finite values.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "ecdf requires at least one sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "ecdf requires finite samples"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — fraction of samples `<= x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The underlying sorted sample.
+    #[must_use]
+    pub fn as_sorted_slice(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Two-sample Kolmogorov–Smirnov statistic `sup |F₁ − F₂|`.
+    #[must_use]
+    pub fn ks_distance(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in &self.sorted {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        for &x in &other.sorted {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+
+    /// One-sample KS statistic against a reference CDF.
+    pub fn ks_distance_to(&self, mut cdf: impl FnMut(f64) -> f64) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = cdf(x);
+            d = d.max((f - i as f64 / n).abs());
+            d = d.max(((i + 1) as f64 / n - f).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal;
+    use crate::rng::StreamRng;
+
+    #[test]
+    fn eval_steps() {
+        let e = Ecdf::from_samples(vec![2.0, 1.0, 3.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.eval(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_ks() {
+        let a = Ecdf::from_samples(vec![1.0, 2.0, 3.0]);
+        let b = a.clone();
+        assert_eq!(a.ks_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_ks_one() {
+        let a = Ecdf::from_samples(vec![1.0, 2.0]);
+        let b = Ecdf::from_samples(vec![10.0, 20.0]);
+        assert!((a.ks_distance(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_sample_matches_normal_cdf() {
+        let mut rng = StreamRng::from_seed(31);
+        let e = Ecdf::from_samples((0..20_000).map(|_| rng.standard_normal()).collect());
+        let d = e.ks_distance_to(normal::cdf);
+        // KS critical value at alpha=0.001 for n=20000 is ~1.95/sqrt(n)=0.0138.
+        assert!(d < 0.0138, "ks distance {d}");
+    }
+
+    #[test]
+    fn ks_is_symmetric() {
+        let mut rng = StreamRng::from_seed(5);
+        let a = Ecdf::from_samples((0..500).map(|_| rng.standard_normal()).collect());
+        let b = Ecdf::from_samples((0..700).map(|_| rng.standard_normal() + 0.2).collect());
+        assert!((a.ks_distance(&b) - b.ks_distance(&a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Monte-Carlo and statistics toolkit used throughout the `ntv-simd` workspace.
+//!
+//! The variation study in Seo et al. (DAC 2012) is, at its core, a Monte-Carlo
+//! order-statistics exercise: sample per-device threshold-voltage and
+//! current-factor deviations, propagate them through a gate-delay model, and
+//! look at extreme quantiles of maxima over many critical paths and SIMD
+//! lanes. This crate provides the numerical machinery for that, implemented
+//! from scratch on top of [`rand`]:
+//!
+//! * [`rng`] — deterministic seeding and stream splitting so every experiment
+//!   is reproducible,
+//! * [`normal`] — the standard normal pdf/CDF/quantile function,
+//! * [`quadrature`] — Gauss–Hermite rules for expectations under a normal,
+//! * [`stats`] — streaming summary statistics (mean, σ, 3σ/μ, skewness),
+//! * [`quantile`] — empirical quantiles of a sample,
+//! * [`histogram`] — fixed-bin histograms for distribution plots,
+//! * [`ecdf`] — empirical CDFs and Kolmogorov–Smirnov distance,
+//! * [`order`] — order-statistics helpers (sampling the maximum of *n*
+//!   i.i.d. normals in O(1), Blom scores),
+//! * [`qmc`] — a Halton low-discrepancy stream for variance-reduced
+//!   quantile estimation,
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals.
+//!
+//! # Example
+//!
+//! ```
+//! use ntv_mc::rng::StreamRng;
+//! use ntv_mc::stats::Summary;
+//!
+//! let mut rng = StreamRng::from_seed_and_label(42, "example");
+//! let summary: Summary = (0..10_000).map(|_| 3.0 + rng.standard_normal()).collect();
+//! assert!((summary.mean() - 3.0).abs() < 0.05);
+//! assert!((summary.std_dev() - 1.0).abs() < 0.05);
+//! ```
+
+pub mod bootstrap;
+pub mod ecdf;
+pub mod histogram;
+pub mod normal;
+pub mod order;
+pub mod qmc;
+pub mod quadrature;
+pub mod quantile;
+pub mod rng;
+pub mod stats;
+
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use quadrature::GaussHermite;
+pub use quantile::Quantiles;
+pub use rng::StreamRng;
+pub use stats::Summary;

@@ -1,0 +1,177 @@
+//! Order-statistics helpers.
+//!
+//! The chip delay of an N-wide SIMD datapath is the **maximum** over N lane
+//! delays, each of which is the maximum over ~100 critical-path delays
+//! (paper §3.2). Structural duplication (§4.1) drops the α slowest of
+//! `128 + α` lanes, i.e. takes the 128-th *smallest* order statistic. This
+//! module provides:
+//!
+//! * O(1) sampling of `max(X₁..Xₙ)` for i.i.d. normal `Xᵢ` via the inverse
+//!   CDF (`F_max = Φⁿ` ⇒ `max = Φ⁻¹(U^{1/n})`),
+//! * k-th order statistic selection from a sample,
+//! * Blom's approximation to expected normal order statistics (used for
+//!   sanity checks and analytic comparisons).
+
+use crate::normal;
+use crate::rng::StreamRng;
+
+/// Sample the maximum of `n` i.i.d. `N(mean, std_dev²)` variables in O(1).
+///
+/// Exact in distribution: if `U ~ Uniform(0,1)` then `Φ⁻¹(U^{1/n})` has the
+/// distribution of the maximum of `n` standard normals.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `std_dev < 0`.
+///
+/// # Example
+///
+/// ```
+/// use ntv_mc::{order, rng::StreamRng};
+/// let mut rng = StreamRng::from_seed(1);
+/// let m = order::sample_max_normal(&mut rng, 100, 0.0, 1.0);
+/// assert!(m.is_finite());
+/// ```
+pub fn sample_max_normal(rng: &mut StreamRng, n: usize, mean: f64, std_dev: f64) -> f64 {
+    assert!(n > 0, "maximum of zero variables is undefined");
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    if std_dev == 0.0 {
+        return mean;
+    }
+    let u = rng.uniform_open();
+    // u^(1/n) computed in log space to stay accurate for large n.
+    let p = (u.ln() / n as f64).exp();
+    // Guard against p rounding to exactly 1.0 for tiny n and u ≈ 1.
+    let p = p.min(1.0 - f64::EPSILON);
+    mean + std_dev * normal::quantile(p.max(f64::MIN_POSITIVE))
+}
+
+/// k-th smallest element (0-based) of a sample, by partial selection.
+///
+/// # Panics
+///
+/// Panics if `k >= samples.len()`.
+#[must_use]
+pub fn kth_smallest(samples: &[f64], k: usize) -> f64 {
+    assert!(k < samples.len(), "order statistic index out of range");
+    let mut v = samples.to_vec();
+    let (_, kth, _) = v.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("finite"));
+    *kth
+}
+
+/// Largest element of a non-empty sample.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn max(samples: &[f64]) -> f64 {
+    assert!(
+        !samples.is_empty(),
+        "maximum of an empty sample is undefined"
+    );
+    samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Blom's approximation to the expected i-th order statistic (1-based,
+/// ascending) of `n` standard normals: `Φ⁻¹((i − 3/8) / (n + 1/4))`.
+///
+/// # Panics
+///
+/// Panics if `i == 0` or `i > n`.
+#[must_use]
+pub fn blom_score(i: usize, n: usize) -> f64 {
+    assert!(i >= 1 && i <= n, "order statistic index {i} out of 1..={n}");
+    normal::quantile((i as f64 - 0.375) / (n as f64 + 0.25))
+}
+
+/// Expected maximum of `n` standard normals (Blom approximation).
+#[must_use]
+pub fn expected_max_normal(n: usize) -> f64 {
+    blom_score(n, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn sample_max_matches_brute_force_distribution() {
+        let mut fast = StreamRng::from_seed(10);
+        let mut slow = StreamRng::from_seed(11);
+        let n = 50;
+        let fast_stats: Summary = (0..20_000)
+            .map(|_| sample_max_normal(&mut fast, n, 0.0, 1.0))
+            .collect();
+        let slow_stats: Summary = (0..20_000)
+            .map(|_| {
+                (0..n)
+                    .map(|_| slow.standard_normal())
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        assert!(
+            (fast_stats.mean() - slow_stats.mean()).abs() < 0.02,
+            "fast {} slow {}",
+            fast_stats.mean(),
+            slow_stats.mean()
+        );
+        assert!((fast_stats.std_dev() - slow_stats.std_dev()).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_max_of_one_is_plain_normal() {
+        let mut rng = StreamRng::from_seed(3);
+        let s: Summary = (0..50_000)
+            .map(|_| sample_max_normal(&mut rng, 1, 2.0, 3.0))
+            .collect();
+        assert!((s.mean() - 2.0).abs() < 0.05);
+        assert!((s.std_dev() - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sample_max_zero_sigma() {
+        let mut rng = StreamRng::from_seed(4);
+        assert_eq!(sample_max_normal(&mut rng, 10, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn expected_max_grows_with_n() {
+        let mut prev = f64::NEG_INFINITY;
+        for n in [1, 2, 10, 100, 1000, 12_800] {
+            let e = expected_max_normal(n);
+            assert!(e > prev, "n={n}");
+            prev = e;
+        }
+        // Known value: E[max of 100 std normals] ~ 2.50.
+        assert!((expected_max_normal(100) - 2.50).abs() < 0.03);
+    }
+
+    #[test]
+    fn kth_smallest_selects_correctly() {
+        let v = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(kth_smallest(&v, 0), 1.0);
+        assert_eq!(kth_smallest(&v, 2), 3.0);
+        assert_eq!(kth_smallest(&v, 4), 5.0);
+    }
+
+    #[test]
+    fn max_helper() {
+        assert_eq!(max(&[1.0, 9.0, -3.0]), 9.0);
+    }
+
+    #[test]
+    fn blom_median_is_zero() {
+        // For odd n, the middle order statistic has expectation ~0.
+        let mid = blom_score(51, 101);
+        assert!(mid.abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "maximum of zero")]
+    fn max_of_zero_vars_rejected() {
+        let mut rng = StreamRng::from_seed(0);
+        let _ = sample_max_normal(&mut rng, 0, 0.0, 1.0);
+    }
+}

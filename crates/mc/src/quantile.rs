@@ -1,0 +1,183 @@
+//! Empirical quantiles.
+//!
+//! The architecture study compares distributions at their **99 % point**
+//! ("fo4chipd" in the paper): the number of spares (Table 1) and the voltage
+//! margin (Table 2) are both defined by matching q99 of a mitigated system to
+//! q99 of the nominal-voltage baseline. [`Quantiles`] owns a sorted copy of a
+//! sample and answers interpolated quantile queries.
+
+use serde::{Deserialize, Serialize};
+
+/// A sorted sample supporting interpolated quantile queries.
+///
+/// Uses the common linear-interpolation definition (type 7 in the
+/// Hyndman–Fan taxonomy, the default of R and NumPy).
+///
+/// # Example
+///
+/// ```
+/// use ntv_mc::quantile::Quantiles;
+/// let q = Quantiles::from_samples(vec![4.0, 1.0, 3.0, 2.0]);
+/// assert_eq!(q.quantile(0.0), 1.0);
+/// assert_eq!(q.quantile(1.0), 4.0);
+/// assert_eq!(q.quantile(0.5), 2.5);
+/// assert_eq!(q.median(), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Quantiles {
+    sorted: Vec<f64>,
+}
+
+impl Quantiles {
+    /// Build from an unsorted sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or contains non-finite values.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "quantiles require at least one sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "quantiles require finite samples"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed value).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Interpolated quantile for probability `p ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile requires p in [0,1], got {p}"
+        );
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let h = p * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = h - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// The 99 % point — the paper's chip-delay comparison statistic.
+    #[must_use]
+    pub fn q99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Median (50 % point).
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Borrow the sorted sample.
+    #[must_use]
+    pub fn as_sorted_slice(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Consume and return the sorted sample.
+    #[must_use]
+    pub fn into_sorted_vec(self) -> Vec<f64> {
+        self.sorted
+    }
+}
+
+impl FromIterator<f64> for Quantiles {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::from_samples(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample() {
+        let q = Quantiles::from_samples(vec![7.0]);
+        assert_eq!(q.quantile(0.0), 7.0);
+        assert_eq!(q.quantile(0.37), 7.0);
+        assert_eq!(q.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn interpolation_matches_numpy_default() {
+        // numpy.quantile([1,2,3,4,5], 0.99) == 4.96
+        let q = Quantiles::from_samples(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((q.q99() - 4.96).abs() < 1e-12);
+        // numpy.quantile([1,2,3,4], 0.25) == 1.75
+        let q = Quantiles::from_samples(vec![4.0, 3.0, 2.0, 1.0]);
+        assert!((q.quantile(0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_p() {
+        let q: Quantiles = (0..100).map(|i| ((i * 61) % 100) as f64).collect();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=50 {
+            let v = q.quantile(i as f64 / 50.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn min_max_and_bounds() {
+        let q = Quantiles::from_samples(vec![3.0, -1.0, 10.0]);
+        assert_eq!(q.min(), -1.0);
+        assert_eq!(q.max(), 10.0);
+        assert_eq!(q.quantile(0.0), q.min());
+        assert_eq!(q.quantile(1.0), q.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_rejected() {
+        let _ = Quantiles::from_samples(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in [0,1]")]
+    fn out_of_range_p_rejected() {
+        let q = Quantiles::from_samples(vec![1.0]);
+        let _ = q.quantile(1.5);
+    }
+}

@@ -1,0 +1,226 @@
+//! Deterministic random-number streams.
+//!
+//! Every experiment in this workspace takes an explicit `u64` seed, and
+//! derives independent sub-streams from string labels, so that
+//!
+//! * results are bit-reproducible across runs,
+//! * common-random-number (CRN) comparisons are possible: two configurations
+//!   evaluated with the same seed see the same process-variation draws, which
+//!   removes Monte-Carlo noise from *differences* (used heavily by the
+//!   voltage-margin bisection in `ntv-core`),
+//! * adding a new consumer of randomness does not perturb existing streams
+//!   (each consumer derives its own labelled stream).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Derive a child seed from a parent seed and a label using the FNV-1a hash.
+///
+/// This is not cryptographic; it only needs to decorrelate streams, which is
+/// sufficient for Monte-Carlo use with a counter-based generator underneath.
+///
+/// # Example
+///
+/// ```
+/// let a = ntv_mc::rng::derive_seed(1, "lanes");
+/// let b = ntv_mc::rng::derive_seed(1, "paths");
+/// assert_ne!(a, b);
+/// assert_eq!(a, ntv_mc::rng::derive_seed(1, "lanes"));
+/// ```
+#[must_use]
+pub fn derive_seed(seed: u64, label: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for byte in label.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche (splitmix64 finalizer) so nearby seeds diverge.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// A seeded random stream with convenience samplers for this workspace.
+///
+/// Wraps [`SmallRng`] (fast, non-cryptographic — appropriate for Monte-Carlo)
+/// and adds Gaussian sampling via the Marsaglia polar method.
+///
+/// # Example
+///
+/// ```
+/// use ntv_mc::rng::StreamRng;
+/// let mut rng = StreamRng::from_seed(7);
+/// let x = rng.standard_normal();
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamRng {
+    inner: SmallRng,
+    /// Cached second output of the polar method.
+    spare_normal: Option<f64>,
+}
+
+impl StreamRng {
+    /// Create a stream from a raw seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: SmallRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Create a stream from a seed and a purpose label (see [`derive_seed`]).
+    #[must_use]
+    pub fn from_seed_and_label(seed: u64, label: &str) -> Self {
+        Self::from_seed(derive_seed(seed, label))
+    }
+
+    /// Split off an independent child stream identified by `label`.
+    ///
+    /// The child is derived from fresh entropy drawn from `self`, mixed with
+    /// the label, so repeated splits with distinct labels are decorrelated
+    /// from each other and from the parent's future output.
+    #[must_use]
+    pub fn split(&mut self, label: &str) -> Self {
+        let fresh = self.inner.next_u64();
+        Self::from_seed(derive_seed(fresh, label))
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in the open interval `(0, 1)`.
+    ///
+    /// Useful when the value feeds an inverse CDF that is singular at 0 or 1.
+    pub fn uniform_open(&mut self) -> f64 {
+        loop {
+            let u = self.inner.gen::<f64>();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Standard normal sample (Marsaglia polar method).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = 2.0 * self.inner.gen::<f64>() - 1.0;
+            let v: f64 = 2.0 * self.inner.gen::<f64>() - 1.0;
+            let s: f64 = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare_normal = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "standard deviation must be finite and non-negative, got {std_dev}"
+        );
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty range");
+        self.inner.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn derive_seed_is_deterministic_and_label_sensitive() {
+        assert_eq!(derive_seed(3, "a"), derive_seed(3, "a"));
+        assert_ne!(derive_seed(3, "a"), derive_seed(3, "b"));
+        assert_ne!(derive_seed(3, "a"), derive_seed(4, "a"));
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = StreamRng::from_seed(99);
+        let mut b = StreamRng::from_seed(99);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn split_streams_diverge() {
+        let mut parent = StreamRng::from_seed(5);
+        let mut c1 = parent.split("one");
+        let mut c2 = parent.split("two");
+        let x: Vec<f64> = (0..8).map(|_| c1.uniform()).collect();
+        let y: Vec<f64> = (0..8).map(|_| c2.uniform()).collect();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StreamRng::from_seed(1234);
+        let s: Summary = (0..200_000).map(|_| rng.standard_normal()).collect();
+        assert!(s.mean().abs() < 0.01, "mean {}", s.mean());
+        assert!((s.std_dev() - 1.0).abs() < 0.01, "std {}", s.std_dev());
+        assert!(s.skewness().abs() < 0.05, "skew {}", s.skewness());
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StreamRng::from_seed(77);
+        let s: Summary = (0..100_000).map(|_| rng.normal(10.0, 2.0)).collect();
+        assert!((s.mean() - 10.0).abs() < 0.05);
+        assert!((s.std_dev() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_open_never_zero() {
+        let mut rng = StreamRng::from_seed(2);
+        for _ in 0..10_000 {
+            let u = rng.uniform_open();
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation")]
+    fn normal_rejects_negative_sigma() {
+        let mut rng = StreamRng::from_seed(0);
+        let _ = rng.normal(0.0, -1.0);
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut rng = StreamRng::from_seed(11);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.index(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,60 @@
+//! Map the three operating regions (super-, near-, sub-threshold) and the
+//! energy/performance trade-off that makes near-threshold the sweet spot —
+//! the paper's Fig 9 as an interactive sweep.
+//!
+//! ```text
+//! cargo run --release --example energy_regions [-- <node>]
+//! ```
+
+use ntv_simd::device::energy::EnergyModel;
+use ntv_simd::device::{TechModel, TechNode};
+
+fn main() {
+    let node: TechNode = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("node: one of 90nm/45nm/32nm/22nm"))
+        .unwrap_or(TechNode::Gp90);
+    let tech = TechModel::new(node);
+    let energy = EnergyModel::new(&tech);
+
+    println!("energy and delay vs supply voltage, {node} (per chain-of-50 op)\n");
+    println!(
+        "{:>6} {:>16} {:>12} {:>12} {:>12} {:>12}",
+        "Vdd", "region", "E_sw (fJ)", "E_leak (fJ)", "E_total (fJ)", "delay (ns)"
+    );
+    for p in energy.sweep(0.15, tech.nominal_vdd(), 30) {
+        println!(
+            "{:>5.2}V {:>16} {:>12.1} {:>12.2} {:>12.1} {:>12.2}",
+            p.vdd,
+            tech.region(p.vdd).to_string(),
+            p.switching_fj,
+            p.leakage_fj,
+            p.total_fj,
+            p.delay_ns
+        );
+    }
+
+    let minimum = energy.minimum_energy_point();
+    let ntv = energy.point(0.5);
+    let nominal = energy.point(tech.nominal_vdd());
+    println!(
+        "\nminimum-energy point: {:.1} fJ at {:.2} V ({}), but {:.0}x slower than nominal",
+        minimum.total_fj,
+        minimum.vdd,
+        tech.region(minimum.vdd),
+        minimum.delay_ns / nominal.delay_ns
+    );
+    println!(
+        "near-threshold (0.50 V): {:.1}x the minimum's energy for {:.1}x its speed",
+        ntv.total_fj / minimum.total_fj,
+        minimum.delay_ns / ntv.delay_ns
+    );
+    println!(
+        "vs nominal ({:.1} V): {:.1}x less energy at {:.1}x the delay",
+        tech.nominal_vdd(),
+        nominal.total_fj / ntv.total_fj,
+        ntv.delay_ns / nominal.delay_ns
+    );
+    println!("\nthat balance — big energy win, recoverable-by-parallelism slowdown —");
+    println!("is why the paper pairs near-threshold circuits with a wide SIMD array.");
+}

@@ -1,0 +1,214 @@
+//! `ntv` — command-line front end for the near-threshold variation
+//! toolkit.
+//!
+//! ```text
+//! ntv drop      <node> <vdd>        variation-induced performance drop
+//! ntv spares    <node> <vdd>        structural-duplication solution
+//! ntv margin    <node> <vdd>        voltage-margining solution
+//! ntv plan      <node> <vdd>        combined design-space exploration
+//! ntv yield     <node> <vdd> <ns>   timing yield at a clock period
+//! ntv sensitivity <node> <vdd>      variance decomposition by source
+//! ntv info      <node>              device-model summary
+//! ```
+//!
+//! Nodes: `90nm`, `45nm`, `32nm`, `22nm`. Voltages in volts (e.g. `0.55`).
+
+use std::process::ExitCode;
+
+use ntv_simd::core::dse::DseStudy;
+use ntv_simd::core::duplication::DuplicationStudy;
+use ntv_simd::core::margining::MarginStudy;
+use ntv_simd::core::perf;
+use ntv_simd::core::sensitivity;
+use ntv_simd::core::yield_model::YieldStudy;
+use ntv_simd::core::{DatapathConfig, DatapathEngine};
+use ntv_simd::device::energy::EnergyModel;
+use ntv_simd::device::{Corner, TechModel, TechNode};
+
+const SAMPLES: usize = 5_000;
+const SEED: u64 = 2012;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ntv <command> <node> [args]\n\
+         commands:\n  \
+         drop <node> <vdd>          performance drop vs nominal\n  \
+         spares <node> <vdd>        duplication solution (Table 1 cell)\n  \
+         margin <node> <vdd>        margining solution (Table 2 cell)\n  \
+         plan <node> <vdd>          combined exploration (Table 3 style)\n  \
+         yield <node> <vdd> <ns>    timing yield at a clock period\n  \
+         sensitivity <node> <vdd>   variance decomposition by source\n  \
+         info <node>                device-model summary\n\
+         nodes: 90nm | 45nm | 32nm | 22nm"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_node(s: &str) -> Result<TechNode, ExitCode> {
+    s.parse().map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn parse_vdd(s: &str) -> Result<f64, ExitCode> {
+    match s.parse::<f64>() {
+        Ok(v) if (0.3..=1.2).contains(&v) => Ok(v),
+        _ => {
+            eprintln!("invalid supply voltage `{s}` (expected volts, 0.3..=1.2)");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+
+    match (command.as_str(), args.get(1), args.get(2), args.get(3)) {
+        ("info", Some(node), None, None) => {
+            let node = match parse_node(node) {
+                Ok(n) => n,
+                Err(e) => return e,
+            };
+            let tech = TechModel::new(node);
+            let p = tech.params();
+            println!("{node}: nominal {} V, Vth0 {} V", p.vdd_nominal, p.vth0);
+            println!(
+                "  FO4 delay: {:.1} ps @nominal, {:.1} ps @0.5 V",
+                tech.fo4_delay_ps(p.vdd_nominal),
+                tech.fo4_delay_ps(0.5)
+            );
+            println!(
+                "  sigma(Vth): {:.1} mV random, {:.1} mV systematic; sigma(ln k): {:.3} / {:.3}",
+                p.sigma_vth_random * 1000.0,
+                p.sigma_vth_systematic * 1000.0,
+                p.sigma_k_random,
+                p.sigma_k_systematic
+            );
+            for corner in Corner::ALL {
+                println!(
+                    "  {corner}: {:+.1}% delay @0.5 V",
+                    corner.slowdown(&tech, 0.5) * 100.0
+                );
+            }
+            let e = EnergyModel::new(&tech);
+            let min = e.minimum_energy_point();
+            println!(
+                "  minimum energy: {:.1} fJ/op at {:.2} V",
+                min.total_fj, min.vdd
+            );
+            ExitCode::SUCCESS
+        }
+        ("drop", Some(node), Some(vdd), None) => {
+            let (node, vdd) = match (parse_node(node), parse_vdd(vdd)) {
+                (Ok(n), Ok(v)) => (n, v),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let tech = TechModel::new(node);
+            let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+            let p = perf::performance_drop(&engine, vdd, SAMPLES, SEED);
+            println!(
+                "{node} @{vdd} V: q99 = {:.2} FO4, drop vs nominal = {:.1}%",
+                p.q99_fo4,
+                p.drop * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        ("spares", Some(node), Some(vdd), None) => {
+            let (node, vdd) = match (parse_node(node), parse_vdd(vdd)) {
+                (Ok(n), Ok(v)) => (n, v),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let tech = TechModel::new(node);
+            let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+            match DuplicationStudy::new(&engine).solve(vdd, 128, SAMPLES, SEED) {
+                Ok(sol) => println!(
+                    "{node} @{vdd} V: {} spares ({:.1}% area, {:.2}% power)",
+                    sol.spares,
+                    sol.area_overhead * 100.0,
+                    sol.power_overhead * 100.0
+                ),
+                Err(e) => println!("{node} @{vdd} V: {e}"),
+            }
+            ExitCode::SUCCESS
+        }
+        ("margin", Some(node), Some(vdd), None) => {
+            let (node, vdd) = match (parse_node(node), parse_vdd(vdd)) {
+                (Ok(n), Ok(v)) => (n, v),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let tech = TechModel::new(node);
+            let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+            let sol = MarginStudy::new(&engine).solve(vdd, SAMPLES, SEED);
+            println!(
+                "{node} @{vdd} V: +{:.1} mV margin ({:.2}% power), target {:.3} ns",
+                sol.margin * 1000.0,
+                sol.power_overhead * 100.0,
+                sol.target_ns
+            );
+            ExitCode::SUCCESS
+        }
+        ("plan", Some(node), Some(vdd), None) => {
+            let (node, vdd) = match (parse_node(node), parse_vdd(vdd)) {
+                (Ok(n), Ok(v)) => (n, v),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let tech = TechModel::new(node);
+            let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+            let dse = DseStudy::new(&engine);
+            let choices = dse.explore(vdd, &[0, 1, 2, 4, 8, 16, 26], SAMPLES, SEED);
+            for c in &choices {
+                println!(
+                    "  {:>2} spares + {:>5.1} mV -> {:.2}% power",
+                    c.spares,
+                    c.margin * 1000.0,
+                    c.power_overhead * 100.0
+                );
+            }
+            let best = DseStudy::best(&choices);
+            println!(
+                "best: {} spares + {:.1} mV ({:.2}% power)",
+                best.spares,
+                best.margin * 1000.0,
+                best.power_overhead * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        ("yield", Some(node), Some(vdd), Some(t_clk)) => {
+            let (node, vdd) = match (parse_node(node), parse_vdd(vdd)) {
+                (Ok(n), Ok(v)) => (n, v),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let Ok(t_clk_ns) = t_clk.parse::<f64>() else {
+                eprintln!("invalid clock period `{t_clk}` (expected ns)");
+                return ExitCode::FAILURE;
+            };
+            let tech = TechModel::new(node);
+            let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+            let study = YieldStudy::new(&engine);
+            let y = study.timing_yield(vdd, t_clk_ns, SAMPLES, SEED);
+            let q99 = study.period_for_yield(vdd, 0.99, SAMPLES, SEED);
+            println!(
+                "{node} @{vdd} V: yield {:.2}% at {t_clk_ns} ns (99% yield needs {:.3} ns)",
+                y * 100.0,
+                q99
+            );
+            ExitCode::SUCCESS
+        }
+        ("sensitivity", Some(node), Some(vdd), None) => {
+            let (node, vdd) = match (parse_node(node), parse_vdd(vdd)) {
+                (Ok(n), Ok(v)) => (n, v),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let tech = TechModel::new(node);
+            let report =
+                sensitivity::decompose(&tech, DatapathConfig::paper_default(), vdd, SAMPLES, SEED);
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

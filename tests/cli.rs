@@ -1,0 +1,64 @@
+//! End-to-end tests of the `ntv` command-line interface.
+
+use std::process::Command;
+
+fn ntv(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ntv"))
+        .args(args)
+        .output()
+        .expect("ntv binary runs")
+}
+
+#[test]
+fn info_prints_device_summary() {
+    let out = ntv(&["info", "90nm"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("90nm GP"));
+    assert!(text.contains("FO4 delay"));
+    assert!(text.contains("SS:"));
+    assert!(text.contains("minimum energy"));
+}
+
+#[test]
+fn drop_reports_percentage() {
+    let out = ntv(&["drop", "22nm", "0.5"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("drop vs nominal"));
+    assert!(text.contains('%'));
+}
+
+#[test]
+fn margin_reports_millivolts() {
+    let out = ntv(&["margin", "32nm", "0.6"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("mV margin"));
+    assert!(text.contains("target"));
+}
+
+#[test]
+fn spares_handles_unsolvable_points() {
+    // 45nm at 0.5 V needs >128 spares (Table 1); the CLI must say so, not fail.
+    let out = ntv(&["spares", "45nm", "0.5"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("more than 128 spares"), "{text}");
+}
+
+#[test]
+fn usage_on_bad_input() {
+    for args in [&[][..], &["frobnicate"][..], &["drop", "65nm", "0.5"][..]] {
+        let out = ntv(args);
+        assert!(!out.status.success(), "args {args:?} should fail");
+        let err = String::from_utf8(out.stderr).expect("utf8");
+        assert!(!err.is_empty());
+    }
+    // Out-of-range voltage.
+    let out = ntv(&["drop", "90nm", "9.9"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .expect("utf8")
+        .contains("invalid supply voltage"));
+}

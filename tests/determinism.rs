@@ -1,0 +1,73 @@
+//! Reproducibility: every experiment is a pure function of (samples, seed).
+//!
+//! Bit-identical reruns are what make EXPERIMENTS.md auditable and the
+//! common-random-number solvers sound, so this is tested end-to-end at the
+//! experiment level, not just for raw RNG streams.
+
+use ntv_bench::experiments::{fig4, fig5, placement, table2, table3};
+use ntv_simd::device::TechNode;
+
+const SAMPLES: usize = 500;
+
+#[test]
+fn fig4_is_deterministic() {
+    let a = fig4::run(SAMPLES, 7);
+    let b = fig4::run(SAMPLES, 7);
+    for (ca, cb) in a.curves.iter().zip(&b.curves) {
+        assert_eq!(ca.node, cb.node);
+        for (pa, pb) in ca.points.iter().zip(&cb.points) {
+            assert_eq!(pa.q99_fo4.to_bits(), pb.q99_fo4.to_bits());
+            assert_eq!(pa.drop.to_bits(), pb.drop.to_bits());
+        }
+    }
+    // A different seed perturbs the Monte-Carlo estimates.
+    let c = fig4::run(SAMPLES, 8);
+    let same = a
+        .curves
+        .iter()
+        .zip(&c.curves)
+        .flat_map(|(x, y)| x.points.iter().zip(&y.points))
+        .all(|(p, q)| p.q99_fo4.to_bits() == q.q99_fo4.to_bits());
+    assert!(!same, "seed must matter");
+}
+
+#[test]
+fn fig5_matching_spares_is_deterministic() {
+    let a = fig5::run(SAMPLES, 3);
+    let b = fig5::run(SAMPLES, 3);
+    assert_eq!(a.matching_spares, b.matching_spares);
+    assert_eq!(a.baseline_q99_fo4.to_bits(), b.baseline_q99_fo4.to_bits());
+}
+
+#[test]
+fn table2_margins_are_deterministic() {
+    let a = table2::run(SAMPLES, 11);
+    let b = table2::run(SAMPLES, 11);
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.solution.margin.to_bits(), cb.solution.margin.to_bits());
+    }
+    // And a spot-check value exists for every node.
+    for node in TechNode::ALL {
+        assert!(a.cell(node, 0.6).is_some());
+    }
+}
+
+#[test]
+fn table3_best_choice_is_deterministic() {
+    let a = table3::run(SAMPLES, 13);
+    let b = table3::run(SAMPLES, 13);
+    assert_eq!(a.best.spares, b.best.spares);
+    assert_eq!(a.best.margin.to_bits(), b.best.margin.to_bits());
+}
+
+#[test]
+fn placement_demo_is_deterministic() {
+    let a = placement::run(17);
+    let b = placement::run(17);
+    assert_eq!(a.demo.faulty, b.demo.faulty);
+    assert_eq!(a.demo.repaired, b.demo.repaired);
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.local.to_bits(), rb.local.to_bits());
+        assert_eq!(ra.global.to_bits(), rb.global.to_bits());
+    }
+}
