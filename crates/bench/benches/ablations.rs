@@ -41,7 +41,7 @@ fn bench_tail_shape(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, _| {
             let mut rng = StreamRng::from_seed(1);
-            b.iter(|| std::hint::black_box(engine.sample_chip_delay_fo4(0.5, &mut rng)))
+            b.iter(|| std::hint::black_box(engine.sample_chip_delay_fo4(0.5, &mut rng)));
         });
     }
     group.finish();
@@ -65,7 +65,7 @@ fn bench_correlation_structure(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, _| {
             let mut rng = StreamRng::from_seed(3);
-            b.iter(|| std::hint::black_box(engine.sample_lane_delays_fo4(0.55, 134, &mut rng)))
+            b.iter(|| std::hint::black_box(engine.sample_lane_delays_fo4(0.55, 134, &mut rng)));
         });
     }
     group.finish();
@@ -97,7 +97,7 @@ fn bench_quadrature_order(c: &mut Criterion) {
                 std::hint::black_box(gh.expect_normal(0.0, params.sigma_vth_random, |dv| {
                     tech.gate_delay_ps_at(0.55, &chip, dv, 0.0)
                 }))
-            })
+            });
         });
     }
     group.finish();
@@ -126,11 +126,11 @@ fn bench_mc_vs_qmc(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_mc_vs_qmc");
     group.bench_function("mc_sample", |b| {
         let mut rng = StreamRng::from_seed(12);
-        b.iter(|| std::hint::black_box(order::sample_max_normal(&mut rng, 12_800, 0.0, 1.0)))
+        b.iter(|| std::hint::black_box(order::sample_max_normal(&mut rng, 12_800, 0.0, 1.0)));
     });
     group.bench_function("qmc_sample", |b| {
         let mut h = Halton::new(2);
-        b.iter(|| std::hint::black_box(h.next_max_normal(12_800)))
+        b.iter(|| std::hint::black_box(h.next_max_normal(12_800)));
     });
     group.finish();
 }

@@ -21,7 +21,7 @@ fn bench_chain_mc(c: &mut Criterion) {
         let chain = ChainMc::new(&tech, len);
         group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
             let mut rng = StreamRng::from_seed(1);
-            b.iter(|| std::hint::black_box(chain.sample_ps(0.55, &mut rng)))
+            b.iter(|| std::hint::black_box(chain.sample_ps(0.55, &mut rng)));
         });
     }
     group.finish();
@@ -32,7 +32,7 @@ fn bench_path_model(c: &mut Criterion) {
     let model = PathModel::new(&tech, 50);
     let chip = ChipSample::nominal();
     c.bench_function("path_model/conditional_moments", |b| {
-        b.iter(|| std::hint::black_box(model.conditional_moments(0.55, &chip)))
+        b.iter(|| std::hint::black_box(model.conditional_moments(0.55, &chip)));
     });
 }
 
@@ -44,17 +44,17 @@ fn bench_datapath_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("datapath_engine");
     group.bench_function("chip_delay_sample", |b| {
         let mut rng = StreamRng::from_seed(2);
-        b.iter(|| std::hint::black_box(engine.sample_chip_delay_fo4(0.55, &mut rng)))
+        b.iter(|| std::hint::black_box(engine.sample_chip_delay_fo4(0.55, &mut rng)));
     });
     group.bench_function("lane_delays_160", |b| {
         let mut rng = StreamRng::from_seed(3);
-        b.iter(|| std::hint::black_box(engine.sample_lane_delays_fo4(0.55, 160, &mut rng)))
+        b.iter(|| std::hint::black_box(engine.sample_lane_delays_fo4(0.55, 160, &mut rng)));
     });
     group.bench_function("path_distribution_build", |b| {
         b.iter(|| {
             let fresh = DatapathEngine::new(&tech, DatapathConfig::paper_default());
             std::hint::black_box(fresh.path_distribution(0.55))
-        })
+        });
     });
     group.finish();
 }
@@ -68,7 +68,7 @@ fn bench_sta(c: &mut Criterion) {
             let chip = tech.sample_chip(&mut rng);
             let delays = sta::sample_delays(&adder, &tech, 0.6, &chip, &mut rng);
             std::hint::black_box(sta::analyze(&adder, &delays).critical_delay_ps)
-        })
+        });
     });
 }
 
@@ -78,16 +78,18 @@ fn bench_soda(c: &mut Criterion) {
         let signal: Vec<i16> = (0..384).map(|i| ((i * 37) % 199) as i16 - 99).collect();
         b.iter(|| {
             let mut pe = ProcessingElement::new();
-            std::hint::black_box(kernels::fir(&mut pe, &signal, &[3, -1, 4, 1, -5], 2).unwrap())
-        })
+            std::hint::black_box(
+                kernels::fir(&mut pe, &signal, &[3, -1, 4, 1, -5], 2).expect("kernel runs"),
+            );
+        });
     });
     group.bench_function("fft128", |b| {
         let re: Vec<i16> = (0..128).map(|i| ((i * 53) % 8191) as i16 - 4096).collect();
         let im = vec![0i16; 128];
         b.iter(|| {
             let mut pe = ProcessingElement::new();
-            std::hint::black_box(kernels::fft128(&mut pe, &re, &im).unwrap())
-        })
+            std::hint::black_box(kernels::fft128(&mut pe, &re, &im).expect("kernel runs"));
+        });
     });
     group.finish();
 }

@@ -14,97 +14,97 @@ const SEED: u64 = 7;
 
 fn bench_fig1(c: &mut Criterion) {
     c.bench_function("fig1/inverter_and_chain_mc", |b| {
-        b.iter(|| std::hint::black_box(fig1::run(100, SEED)))
+        b.iter(|| std::hint::black_box(fig1::run(100, SEED)));
     });
 }
 
 fn bench_fig2(c: &mut Criterion) {
     c.bench_function("fig2/chain_sweep_4_nodes", |b| {
-        b.iter(|| std::hint::black_box(fig2::run(60, SEED)))
+        b.iter(|| std::hint::black_box(fig2::run(60, SEED)));
     });
 }
 
 fn bench_fig3(c: &mut Criterion) {
     c.bench_function("fig3/distribution_curves", |b| {
-        b.iter(|| std::hint::black_box(fig3::run(500, SEED)))
+        b.iter(|| std::hint::black_box(fig3::run(500, SEED)));
     });
 }
 
 fn bench_fig4(c: &mut Criterion) {
     c.bench_function("fig4/perf_drop_sweep", |b| {
-        b.iter(|| std::hint::black_box(fig4::run(500, SEED)))
+        b.iter(|| std::hint::black_box(fig4::run(500, SEED)));
     });
 }
 
 fn bench_fig5(c: &mut Criterion) {
     c.bench_function("fig5/duplicated_distributions", |b| {
-        b.iter(|| std::hint::black_box(fig5::run(400, SEED)))
+        b.iter(|| std::hint::black_box(fig5::run(400, SEED)));
     });
 }
 
 fn bench_fig6(c: &mut Criterion) {
     c.bench_function("fig6/margin_distributions", |b| {
-        b.iter(|| std::hint::black_box(fig6::run(400, SEED)))
+        b.iter(|| std::hint::black_box(fig6::run(400, SEED)));
     });
 }
 
 fn bench_fig7(c: &mut Criterion) {
     c.bench_function("fig7/technique_comparison", |b| {
-        b.iter(|| std::hint::black_box(fig7::run(150, SEED)))
+        b.iter(|| std::hint::black_box(fig7::run(150, SEED)));
     });
 }
 
 fn bench_fig8(c: &mut Criterion) {
     c.bench_function("fig8/margin_spare_grid", |b| {
-        b.iter(|| std::hint::black_box(fig8::run(100, SEED)))
+        b.iter(|| std::hint::black_box(fig8::run(100, SEED)));
     });
 }
 
 fn bench_fig9(c: &mut Criterion) {
     c.bench_function("fig9/energy_sweep", |b| {
-        b.iter(|| std::hint::black_box(fig9::run()))
+        b.iter(|| std::hint::black_box(fig9::run()));
     });
 }
 
 fn bench_fig11(c: &mut Criterion) {
     c.bench_function("fig11/chain_length_sweep", |b| {
-        b.iter(|| std::hint::black_box(fig11::run(60, SEED)))
+        b.iter(|| std::hint::black_box(fig11::run(60, SEED)));
     });
 }
 
 fn bench_table1(c: &mut Criterion) {
     c.bench_function("table1/spare_solver_4_nodes", |b| {
-        b.iter(|| std::hint::black_box(table1::run(150, SEED)))
+        b.iter(|| std::hint::black_box(table1::run(150, SEED)));
     });
 }
 
 fn bench_table2(c: &mut Criterion) {
     c.bench_function("table2/margin_solver_4_nodes", |b| {
-        b.iter(|| std::hint::black_box(table2::run(100, SEED)))
+        b.iter(|| std::hint::black_box(table2::run(100, SEED)));
     });
 }
 
 fn bench_table3(c: &mut Criterion) {
     c.bench_function("table3/combined_dse", |b| {
-        b.iter(|| std::hint::black_box(table3::run(100, SEED)))
+        b.iter(|| std::hint::black_box(table3::run(100, SEED)));
     });
 }
 
 fn bench_table4(c: &mut Criterion) {
     c.bench_function("table4/frequency_margining", |b| {
-        b.iter(|| std::hint::black_box(table4::run(400, SEED)))
+        b.iter(|| std::hint::black_box(table4::run(400, SEED)));
     });
 }
 
 fn bench_placement(c: &mut Criterion) {
     c.bench_function("placement/global_vs_local", |b| {
-        b.iter(|| std::hint::black_box(placement::run(SEED)))
+        b.iter(|| std::hint::black_box(placement::run(SEED)));
     });
 }
 
 fn bench_policies(c: &mut Criterion) {
     c.bench_function("policies/pe_fault_injection", |b| {
-        b.iter(|| std::hint::black_box(policies::run(3, SEED)))
+        b.iter(|| std::hint::black_box(policies::run(3, SEED)));
     });
 }
 

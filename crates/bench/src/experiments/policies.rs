@@ -195,7 +195,12 @@ mod tests {
 
     #[test]
     fn conservative_clock_quiets_everything() {
-        let r = run(8, 51);
+        // At q0.999 a chip still has ~12.7 % odds of one faulty lane
+        // (1 - 0.999^136), so a handful of chips cannot support a 0.7
+        // correct-fraction bound — 8 chips fail it with ~5 % probability
+        // per seed. 48 chips put the expected clean fraction (~0.87)
+        // more than four sigma above the bound.
+        let r = run(48, 51);
         for policy in [
             ErrorPolicy::Corrupt,
             ErrorPolicy::StallRetry,

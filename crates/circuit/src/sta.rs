@@ -89,7 +89,7 @@ pub fn analyze(netlist: &Netlist, delays: &[f64]) -> StaResult {
             .fanin()
             .iter()
             .map(|&f| (f, arrival[f.index()]))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite arrivals"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("logic gates have at least one fan-in");
         arrival[id.index()] = worst_arrival + delays[id.index()];
         critical_fanin[id.index()] = Some(worst_in);
@@ -98,7 +98,7 @@ pub fn analyze(netlist: &Netlist, delays: &[f64]) -> StaResult {
     let (end, &critical_delay_ps) = arrival
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite arrivals"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("non-empty netlist");
 
     let mut path = Vec::new();

@@ -65,7 +65,7 @@ impl<'a> DseStudy<'a> {
                 ntv_mc::order::kth_smallest(&row, lanes - 1)
             })
             .collect();
-        worst_used.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        worst_used.sort_by(f64::total_cmp);
         let q = ntv_mc::Quantiles::from_samples(worst_used);
         q.q99() * fo4_ps / 1000.0
     }
@@ -142,11 +142,7 @@ impl<'a> DseStudy<'a> {
     pub fn best(choices: &[DesignChoice]) -> DesignChoice {
         *choices
             .iter()
-            .min_by(|a, b| {
-                a.power_overhead
-                    .partial_cmp(&b.power_overhead)
-                    .expect("finite overheads")
-            })
+            .min_by(|a, b| a.power_overhead.total_cmp(&b.power_overhead))
             .expect("at least one design choice")
     }
 }

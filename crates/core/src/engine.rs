@@ -31,7 +31,7 @@
 //! simulated chain delay divided by the chain length (e.g. 22.05 ns / 50 =
 //! 441 ps at 0.5 V in 90 nm), i.e. the distribution *mean* per stage.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use ntv_circuit::path_model::{PathModel, PathMoments};
@@ -296,7 +296,9 @@ pub struct DatapathEngine<'a> {
     config: DatapathConfig,
     mode: VariationMode,
     path_model: PathModel<'a>,
-    cache: Mutex<HashMap<u64, Arc<PathDistribution>>>,
+    // BTreeMap, not HashMap: iteration order never leaks into results and
+    // the per-vdd key count is tiny, so ordered lookups are effectively free.
+    cache: Mutex<BTreeMap<u64, Arc<PathDistribution>>>,
 }
 
 impl<'a> DatapathEngine<'a> {
@@ -315,7 +317,7 @@ impl<'a> DatapathEngine<'a> {
             config,
             mode,
             path_model: PathModel::new(tech, config.path_length),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -556,7 +558,7 @@ mod tests {
         let mean = dist.mean_ps();
         let mut prev = 1.0;
         for i in 0..100 {
-            let x = mean * (0.5 + 1.5 * i as f64 / 100.0);
+            let x = mean * (0.5 + 1.5 * f64::from(i) / 100.0);
             let s = dist.survival(x);
             assert!((0.0..=1.0).contains(&s));
             assert!(s <= prev + 1e-12);

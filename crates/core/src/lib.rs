@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Tests assert exact golden values; strict float equality is the point there.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 //! Architecture-level variation analysis for near-threshold wide SIMD
 //! datapaths — the primary contribution of Seo et al. (DAC 2012).

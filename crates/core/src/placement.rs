@@ -69,10 +69,11 @@ pub fn binomial_cdf(n: u32, p: f64, k: u32) -> f64 {
     if k >= n {
         return 1.0;
     }
-    if p == 0.0 {
+    // Degenerate endpoints (p is already confined to [0, 1] above).
+    if p <= 0.0 {
         return 1.0;
     }
-    if p == 1.0 {
+    if p >= 1.0 {
         return 0.0; // k < n and all trials fail.
     }
     let q = 1.0 - p;

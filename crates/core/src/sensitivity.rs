@@ -126,7 +126,7 @@ pub fn decompose(
             }
         })
         .collect();
-    contributions.sort_by(|a, b| b.share.partial_cmp(&a.share).expect("finite shares"));
+    contributions.sort_by(|a, b| b.share.total_cmp(&a.share));
 
     SensitivityReport {
         vdd,

@@ -121,7 +121,7 @@ mod tests {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = YieldStudy::new(&engine);
         let fo4_ns = engine.fo4_unit_ps(0.55) / 1000.0;
-        let grid: Vec<f64> = (50..60).map(|k| k as f64 * fo4_ns).collect();
+        let grid: Vec<f64> = (50..60).map(|k| f64::from(k) * fo4_ns).collect();
         let curve = study.yield_curve(0.55, &grid, SAMPLES, 1);
         for w in curve.windows(2) {
             assert!(w[1].timing_yield >= w[0].timing_yield);

@@ -77,7 +77,7 @@ pub fn bootstrap_ci(
         }
         stats.push(statistic(&scratch));
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    stats.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((stats.len() as f64 - 1.0) * alpha).round() as usize;
     let hi_idx = ((stats.len() as f64 - 1.0) * (1.0 - alpha)).round() as usize;

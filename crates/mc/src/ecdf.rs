@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::SampleError;
+
 /// An empirical CDF over a sorted sample.
 ///
 /// # Example
@@ -24,20 +26,28 @@ pub struct Ecdf {
 }
 
 impl Ecdf {
+    /// Build from an unsorted sample, rejecting empty or non-finite input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SampleError::Empty`] for an empty sample and
+    /// [`SampleError::NonFinite`] (with the offending index) if any value
+    /// is NaN or infinite.
+    pub fn try_from_samples(mut samples: Vec<f64>) -> Result<Self, SampleError> {
+        crate::error::validate(&samples)?;
+        samples.sort_by(f64::total_cmp);
+        Ok(Self { sorted: samples })
+    }
+
     /// Build from an unsorted sample.
     ///
     /// # Panics
     ///
-    /// Panics if the sample is empty or contains non-finite values.
+    /// Panics if the sample is empty or contains non-finite values; use
+    /// [`Ecdf::try_from_samples`] to handle those as errors.
     #[must_use]
-    pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "ecdf requires at least one sample");
-        assert!(
-            samples.iter().all(|x| x.is_finite()),
-            "ecdf requires finite samples"
-        );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-        Self { sorted: samples }
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        Self::try_from_samples(samples).expect("ecdf requires a non-empty finite sample")
     }
 
     /// Number of samples.
@@ -127,6 +137,15 @@ mod tests {
         let d = e.ks_distance_to(normal::cdf);
         // KS critical value at alpha=0.001 for n=20000 is ~1.95/sqrt(n)=0.0138.
         assert!(d < 0.0138, "ks distance {d}");
+    }
+
+    #[test]
+    fn nan_input_is_an_error_not_a_panic() {
+        use crate::error::SampleError;
+        let r = Ecdf::try_from_samples(vec![0.5, f64::NAN]);
+        assert_eq!(r, Err(SampleError::NonFinite { index: 1 }));
+        assert_eq!(Ecdf::try_from_samples(vec![]), Err(SampleError::Empty));
+        assert!(Ecdf::try_from_samples(vec![0.5, 1.5]).is_ok());
     }
 
     #[test]

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Tests assert exact golden values; strict float equality is the point there.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 //! Monte-Carlo and statistics toolkit used throughout the `ntv-simd` workspace.
 //!
@@ -17,6 +19,8 @@
 //! * [`quantile`] — empirical quantiles of a sample,
 //! * [`histogram`] — fixed-bin histograms for distribution plots,
 //! * [`ecdf`] — empirical CDFs and Kolmogorov–Smirnov distance,
+//! * [`error`] — the [`SampleError`] type returned by the fallible
+//!   sample-based constructors,
 //! * [`order`] — order-statistics helpers (sampling the maximum of *n*
 //!   i.i.d. normals in O(1), Blom scores),
 //! * [`qmc`] — a Halton low-discrepancy stream for variance-reduced
@@ -37,6 +41,7 @@
 
 pub mod bootstrap;
 pub mod ecdf;
+pub mod error;
 pub mod histogram;
 pub mod normal;
 pub mod order;
@@ -47,6 +52,7 @@ pub mod rng;
 pub mod stats;
 
 pub use ecdf::Ecdf;
+pub use error::SampleError;
 pub use histogram::Histogram;
 pub use quadrature::GaussHermite;
 pub use quantile::Quantiles;

@@ -55,7 +55,7 @@ pub fn sample_max_normal(rng: &mut StreamRng, n: usize, mean: f64, std_dev: f64)
 pub fn kth_smallest(samples: &[f64], k: usize) -> f64 {
     assert!(k < samples.len(), "order statistic index out of range");
     let mut v = samples.to_vec();
-    let (_, kth, _) = v.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("finite"));
+    let (_, kth, _) = v.select_nth_unstable_by(k, |a, b| a.total_cmp(b));
     *kth
 }
 

@@ -8,6 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::SampleError;
+
 /// A sorted sample supporting interpolated quantile queries.
 ///
 /// Uses the common linear-interpolation definition (type 7 in the
@@ -29,20 +31,28 @@ pub struct Quantiles {
 }
 
 impl Quantiles {
+    /// Build from an unsorted sample, rejecting empty or non-finite input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SampleError::Empty`] for an empty sample and
+    /// [`SampleError::NonFinite`] (with the offending index) if any value
+    /// is NaN or infinite.
+    pub fn try_from_samples(mut samples: Vec<f64>) -> Result<Self, SampleError> {
+        crate::error::validate(&samples)?;
+        samples.sort_by(f64::total_cmp);
+        Ok(Self { sorted: samples })
+    }
+
     /// Build from an unsorted sample.
     ///
     /// # Panics
     ///
-    /// Panics if the sample is empty or contains non-finite values.
+    /// Panics if the sample is empty or contains non-finite values; use
+    /// [`Quantiles::try_from_samples`] to handle those as errors.
     #[must_use]
-    pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        assert!(!samples.is_empty(), "quantiles require at least one sample");
-        assert!(
-            samples.iter().all(|x| x.is_finite()),
-            "quantiles require finite samples"
-        );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-        Self { sorted: samples }
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        Self::try_from_samples(samples).expect("quantiles require a non-empty finite sample")
     }
 
     /// Number of samples.
@@ -150,10 +160,10 @@ mod tests {
 
     #[test]
     fn quantile_is_monotone_in_p() {
-        let q: Quantiles = (0..100).map(|i| ((i * 61) % 100) as f64).collect();
+        let q: Quantiles = (0..100).map(|i| f64::from((i * 61) % 100)).collect();
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=50 {
-            let v = q.quantile(i as f64 / 50.0);
+            let v = q.quantile(f64::from(i) / 50.0);
             assert!(v >= prev);
             prev = v;
         }
@@ -169,9 +179,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one sample")]
+    #[should_panic(expected = "non-empty finite sample")]
     fn empty_rejected() {
         let _ = Quantiles::from_samples(vec![]);
+    }
+
+    #[test]
+    fn nan_input_is_an_error_not_a_panic() {
+        use crate::error::SampleError;
+        let r = Quantiles::try_from_samples(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(r, Err(SampleError::NonFinite { index: 1 }));
+        let r = Quantiles::try_from_samples(vec![f64::INFINITY]);
+        assert_eq!(r, Err(SampleError::NonFinite { index: 0 }));
+        assert_eq!(Quantiles::try_from_samples(vec![]), Err(SampleError::Empty));
+    }
+
+    #[test]
+    fn try_from_samples_accepts_finite_input() {
+        let q = Quantiles::try_from_samples(vec![2.0, 1.0]).expect("finite");
+        assert_eq!(q.as_sorted_slice(), &[1.0, 2.0]);
     }
 
     #[test]

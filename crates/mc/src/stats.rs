@@ -250,7 +250,7 @@ mod tests {
     #[test]
     fn matches_two_pass_reference() {
         let data: Vec<f64> = (0..1000)
-            .map(|i| ((i * 37) % 101) as f64 * 0.13 + 5.0)
+            .map(|i| f64::from((i * 37) % 101) * 0.13 + 5.0)
             .collect();
         let s: Summary = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
@@ -261,7 +261,7 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let data: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 2.0 + 3.0).collect();
+        let data: Vec<f64> = (0..500).map(|i| f64::from(i).sin() * 2.0 + 3.0).collect();
         let whole: Summary = data.iter().copied().collect();
         let mut left: Summary = data[..200].iter().copied().collect();
         let right: Summary = data[200..].iter().copied().collect();
@@ -289,7 +289,7 @@ mod tests {
     fn skewness_sign() {
         // Right-skewed: lognormal-ish samples.
         let s: Summary = (0..10_000)
-            .map(|i| ((i % 97) as f64 / 97.0 * 3.0 - 1.5_f64).exp())
+            .map(|i| (f64::from(i % 97) / 97.0 * 3.0 - 1.5_f64).exp())
             .collect();
         assert!(s.skewness() > 0.5);
     }

@@ -866,7 +866,7 @@ mod tests {
         // A two-tone signal at bins 3 and 17, quarter scale.
         let re: Vec<i16> = (0..128)
             .map(|i| {
-                let t = i as f64 / 128.0;
+                let t = f64::from(i) / 128.0;
                 q15(0.20 * (2.0 * std::f64::consts::PI * 3.0 * t).cos()
                     + 0.10 * (2.0 * std::f64::consts::PI * 17.0 * t).sin())
             })

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+// Tests assert exact golden values; strict float equality is the point there.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 //! Functional simulator of the **Diet SODA** processing element — the
 //! near-threshold wide-SIMD architecture the paper's variation study

@@ -280,17 +280,25 @@ impl XramCrossbar {
         &self.lane_map
     }
 
+    /// Apply stored configuration `slot` to `data`, or `None` if the slot
+    /// holds no configuration.
+    #[must_use]
+    pub fn try_shuffle<T: Copy>(&self, slot: usize, data: &[T]) -> Option<Vec<T>> {
+        Some(self.configs.get(slot)?.apply(data))
+    }
+
     /// Apply stored configuration `slot` to `data`.
     ///
     /// # Panics
     ///
-    /// Panics if `slot` does not exist or `data` width mismatches.
+    /// Panics if `slot` does not exist or `data` width mismatches; use
+    /// [`XbarRam::try_shuffle`] to handle a missing slot without panicking.
     pub fn shuffle<T: Copy>(&self, slot: usize, data: &[T]) -> Vec<T> {
-        let config = self
-            .configs
-            .get(slot)
-            .unwrap_or_else(|| panic!("no stored shuffle configuration in slot {slot}"));
-        config.apply(data)
+        assert!(
+            slot < self.configs.len(),
+            "no stored shuffle configuration in slot {slot}"
+        );
+        self.configs[slot].apply(data)
     }
 }
 

@@ -1,0 +1,590 @@
+//! The lint engine: applies `rules::scan` hits to files according to the
+//! workspace policy (file classes, severities, allowlist overrides, inline
+//! waivers, `#[cfg(test)]` regions) and renders diagnostics.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Token};
+use crate::rules::{self, RuleId};
+
+/// What kind of code a file contains, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Result-producing library code (`crates/*/src`, root `src/lib.rs`):
+    /// every rule applies.
+    Library,
+    /// The bench/experiment crate: exempt from wall-clock, env, hash and
+    /// panic-hygiene rules (it times things and prints tables), but still
+    /// barred from OS entropy and NaN-unsafe orderings.
+    Bench,
+    /// Test / example / bin-target code: determinism of the underlying
+    /// libraries is what matters; panics are the idiomatic failure mode.
+    Harness,
+    /// The xtask tool itself: held to panic hygiene and determinism, but
+    /// allowed to read files and processes as it pleases.
+    Tool,
+    /// Not lint targets at all (vendored stubs, fixtures, generated output).
+    Skip,
+}
+
+impl FileClass {
+    /// Classify a path relative to the workspace root.
+    #[must_use]
+    pub fn classify(rel: &Path) -> FileClass {
+        let p = rel.to_string_lossy().replace('\\', "/");
+        // Lint fixtures opt into a class by directory name
+        // (`tests/fixtures/library/bad_unwrap.rs` lints as Library code), so
+        // `cargo xtask lint <fixture>` exercises the real policy; the
+        // workspace walker never descends into fixtures.
+        if let Some(idx) = p.find("tests/fixtures/") {
+            let rest = &p[idx + "tests/fixtures/".len()..];
+            return match rest.split('/').next() {
+                Some("library") => FileClass::Library,
+                Some("bench") => FileClass::Bench,
+                Some("harness") => FileClass::Harness,
+                Some("tool") => FileClass::Tool,
+                _ => FileClass::Skip,
+            };
+        }
+        if p.contains("vendor/")
+            || p.contains("target/")
+            || p.contains("fixtures/")
+            || p.contains(".git/")
+        {
+            return FileClass::Skip;
+        }
+        if p.starts_with("crates/bench/") {
+            return FileClass::Bench;
+        }
+        if p.starts_with("crates/xtask/") {
+            return FileClass::Tool;
+        }
+        let in_dir = |d: &str| p.starts_with(&format!("{d}/")) || p.contains(&format!("/{d}/"));
+        if in_dir("tests") || in_dir("benches") || in_dir("examples") || in_dir("bin") {
+            return FileClass::Harness;
+        }
+        FileClass::Library
+    }
+
+    /// Does `rule` apply to files of this class at all?
+    #[must_use]
+    pub fn rule_applies(self, rule: RuleId) -> bool {
+        use FileClass::{Library, Skip, Tool};
+        if self == Skip {
+            return false;
+        }
+        match rule {
+            // OS entropy and NaN-unsafe orderings poison experiments no
+            // matter where they live, tests and benches included.
+            RuleId::ThreadRng | RuleId::PartialCmpUnwrap | RuleId::BadWaiver => true,
+            RuleId::WallClock => matches!(self, Library | Tool),
+            RuleId::EnvRead => matches!(self, Library),
+            RuleId::HashContainer => matches!(self, Library | Tool),
+            RuleId::Unwrap | RuleId::Panic => matches!(self, Library | Tool),
+        }
+    }
+}
+
+/// Diagnostic severity after policy is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported and fails the run.
+    Deny,
+    /// Reported, does not fail the run.
+    Warn,
+    /// Suppressed.
+    Allow,
+}
+
+/// A path-scoped severity override — the allowlist mechanism.
+///
+/// `path_contains` matches against the `/`-normalized workspace-relative
+/// path; `rule: None` matches every rule.
+#[derive(Debug, Clone)]
+pub struct Override {
+    /// Substring of the workspace-relative path this override applies to.
+    pub path_contains: &'static str,
+    /// Rule to override, or `None` for all rules.
+    pub rule: Option<RuleId>,
+    /// Severity to apply when this override matches.
+    pub severity: Severity,
+}
+
+/// The lint policy: base severity per rule plus allowlist overrides.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    overrides: Vec<Override>,
+}
+
+/// Built-in allowlist. Keep this list short and justified — prefer inline
+/// `// ntv:allow(rule): reason` waivers, which sit next to the code they
+/// excuse and are re-validated on every run.
+const DEFAULT_OVERRIDES: &[Override] = &[
+    // The mc::stats Welford accumulator compares against cached extrema by
+    // identity; flagged sites there carry inline waivers instead. (Entry kept
+    // as the canonical example of the mechanism; it matches nothing today.)
+    Override {
+        path_contains: "crates/mc/src/does-not-exist.rs",
+        rule: None,
+        severity: Severity::Allow,
+    },
+];
+
+impl Default for Policy {
+    fn default() -> Self {
+        Self {
+            overrides: DEFAULT_OVERRIDES.to_vec(),
+        }
+    }
+}
+
+impl Policy {
+    /// A policy with extra overrides appended (used by tests and, later,
+    /// per-invocation flags).
+    #[must_use]
+    pub fn with_overrides(mut self, extra: Vec<Override>) -> Self {
+        self.overrides.extend(extra);
+        self
+    }
+
+    /// Effective severity of `rule` for the file at `rel`, before waivers.
+    #[must_use]
+    pub fn severity(&self, rule: RuleId, rel: &Path) -> Severity {
+        let p = rel.to_string_lossy().replace('\\', "/");
+        // Last matching override wins, so callers can append refinements.
+        let mut sev = Severity::Deny;
+        for o in &self.overrides {
+            if p.contains(o.path_contains) && o.rule.is_none_or(|r| r == rule) {
+                sev = o.severity;
+            }
+        }
+        sev
+    }
+}
+
+/// One rendered diagnostic.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Effective severity after policy and overrides.
+    pub severity: Severity,
+    /// Workspace-relative path of the offending file.
+    pub file: PathBuf,
+    /// 1-based source line of the violation.
+    pub line: u32,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let level = match self.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+            Severity::Allow => "allowed",
+        };
+        writeln!(f, "{level}[{}]: {}", self.rule.name(), self.message)?;
+        writeln!(f, "  --> {}:{}", self.file.display(), self.line)?;
+        write!(f, "  = help: {}", self.rule.help())
+    }
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` items.
+#[derive(Debug, Default)]
+struct TestRegions {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl TestRegions {
+    fn contains(&self, line: u32) -> bool {
+        self.ranges.iter().any(|&(a, b)| (a..=b).contains(&line))
+    }
+}
+
+/// Find `#[cfg(test)]`-guarded items and return their brace-span line
+/// ranges. Handles the common shapes: a guarded `mod … { … }` or `fn … { … }`
+/// (any trailing attributes in between are skipped by brace-scanning to the
+/// first `{`).
+fn test_regions(tokens: &[Token]) -> TestRegions {
+    let mut regions = TestRegions::default();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].ident() == Some("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].ident() == Some("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Scan forward to the first `{` (the guarded item's body) or a `;`
+        // at nesting depth 0 (a guarded `use`/`mod name;` — no body).
+        let mut j = i + 7;
+        let mut body = None;
+        while let Some(t) = tokens.get(j) {
+            if t.is_punct('{') {
+                body = Some(j);
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        if let Some(open) = body {
+            let start_line = tokens[i].line;
+            let mut depth = 0usize;
+            let mut k = open;
+            let mut end_line = tokens[open].line;
+            while let Some(t) = tokens.get(k) {
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = t.line;
+                        break;
+                    }
+                }
+                end_line = t.line;
+                k += 1;
+            }
+            regions.ranges.push((start_line, end_line));
+            i = open + 1;
+        } else {
+            i = j + 1;
+        }
+    }
+    regions
+}
+
+/// Lines waived per rule by `// ntv:allow(rule, ...): reason` comments.
+///
+/// A waiver covers its own line and the following line, so it can trail the
+/// offending expression or sit on the line above it.
+#[derive(Debug, Default)]
+struct Waivers {
+    /// (rule, covered line)
+    entries: Vec<(RuleId, u32)>,
+    /// Malformed waivers become diagnostics themselves.
+    bad: Vec<(u32, String)>,
+}
+
+fn parse_waivers(comments: &[lexer::Comment]) -> Waivers {
+    let mut w = Waivers::default();
+    for c in comments {
+        // The directive must *start* the comment (after the `//`/`//!`/`/*`
+        // sigils) — prose that merely mentions `ntv:allow(..)` mid-sentence,
+        // like this lint's own documentation, is not a waiver.
+        let trimmed = c.text.trim_start_matches(['/', '!', '*', ' ', '\t']);
+        if !trimmed.starts_with("ntv:allow") {
+            continue;
+        }
+        let rest = &trimmed["ntv:allow".len()..];
+        let Some(open) = rest.find('(') else {
+            w.bad.push((c.line, "missing `(rule)` list".to_string()));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            w.bad.push((c.line, "unclosed `(rule)` list".to_string()));
+            continue;
+        };
+        let names = &rest[open + 1..close];
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            w.bad.push((
+                c.line,
+                "waiver has no reason — write `ntv:allow(rule): <why>`".to_string(),
+            ));
+            continue;
+        }
+        let mut any = false;
+        for name in names.split(',') {
+            if let Some(rule) = RuleId::from_waiver_name(name) {
+                w.entries.push((rule, c.line));
+                w.entries.push((rule, c.line + 1));
+                any = true;
+            } else {
+                w.bad
+                    .push((c.line, format!("unknown rule `{}`", name.trim())));
+            }
+        }
+        if !any && names.trim().is_empty() {
+            w.bad.push((c.line, "empty rule list".to_string()));
+        }
+    }
+    w
+}
+
+impl Waivers {
+    fn covers(&self, rule: RuleId, line: u32) -> bool {
+        self.entries.iter().any(|&(r, l)| r == rule && l == line)
+    }
+}
+
+/// Lint one file's source text.
+///
+/// `rel` is the workspace-relative path used for classification, policy
+/// lookup and display. Returns only `Deny`/`Warn` diagnostics.
+#[must_use]
+pub fn lint_source(rel: &Path, source: &str, policy: &Policy) -> Vec<Diagnostic> {
+    let class = FileClass::classify(rel);
+    if class == FileClass::Skip {
+        return Vec::new();
+    }
+    let lexed = lexer::lex(source);
+    let regions = test_regions(&lexed.tokens);
+    let waivers = parse_waivers(&lexed.comments);
+
+    let mut out = Vec::new();
+    for hit in rules::scan(&lexed.tokens) {
+        if !class.rule_applies(hit.rule) {
+            continue;
+        }
+        // Test modules inside library crates follow harness rules for
+        // panic hygiene and hash containers (assertions are the point).
+        if regions.contains(hit.line)
+            && matches!(
+                hit.rule,
+                RuleId::Unwrap | RuleId::Panic | RuleId::HashContainer | RuleId::WallClock
+            )
+        {
+            continue;
+        }
+        if waivers.covers(hit.rule, hit.line) {
+            continue;
+        }
+        let severity = policy.severity(hit.rule, rel);
+        if severity == Severity::Allow {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: hit.rule,
+            severity,
+            file: rel.to_path_buf(),
+            line: hit.line,
+            message: hit.message,
+        });
+    }
+    if class.rule_applies(RuleId::BadWaiver) {
+        for (line, why) in waivers.bad {
+            let severity = policy.severity(RuleId::BadWaiver, rel);
+            if severity == Severity::Allow {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: RuleId::BadWaiver,
+                severity,
+                file: rel.to_path_buf(),
+                line,
+                message: why,
+            });
+        }
+    }
+    out.sort_by_key(|d| (d.line, d.rule));
+    out
+}
+
+/// Recursively collect every `.rs` file under `root`, skipping `target`,
+/// `vendor`, VCS metadata and lint fixtures. Sorted for deterministic output.
+pub fn collect_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(name.as_ref(), "target" | "vendor" | ".git" | "fixtures") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint every Rust file in the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path, policy: &Policy) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for path in collect_rust_files(root)? {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let source = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        report
+            .diagnostics
+            .extend(lint_source(&rel, &source, policy));
+    }
+    Ok(report)
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Every diagnostic produced, in file order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Number of deny-severity diagnostics.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-severity diagnostics.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_path() -> PathBuf {
+        PathBuf::from("crates/mc/src/order.rs")
+    }
+
+    #[test]
+    fn classifies_workspace_layout() {
+        let c = |p: &str| FileClass::classify(Path::new(p));
+        assert_eq!(c("crates/mc/src/rng.rs"), FileClass::Library);
+        assert_eq!(c("src/lib.rs"), FileClass::Library);
+        assert_eq!(c("src/bin/ntv.rs"), FileClass::Harness);
+        assert_eq!(c("tests/determinism.rs"), FileClass::Harness);
+        assert_eq!(c("crates/circuit/tests/calibration.rs"), FileClass::Harness);
+        assert_eq!(c("examples/quickstart.rs"), FileClass::Harness);
+        assert_eq!(c("crates/bench/src/experiments/fig1.rs"), FileClass::Bench);
+        assert_eq!(c("crates/xtask/src/engine.rs"), FileClass::Tool);
+        assert_eq!(c("vendor/rand/src/lib.rs"), FileClass::Skip);
+        assert_eq!(c("crates/xtask/tests/fixtures/bad.rs"), FileClass::Skip);
+    }
+
+    #[test]
+    fn library_violation_is_denied() {
+        let d = lint_source(
+            &lib_path(),
+            "pub fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+            &Policy::default(),
+        );
+        assert_eq!(d.len(), 2, "{d:?}"); // partial-cmp-unwrap + unwrap
+        assert!(d.iter().all(|x| x.severity == Severity::Deny));
+    }
+
+    #[test]
+    fn harness_files_may_unwrap_but_not_thread_rng() {
+        let p = PathBuf::from("tests/determinism.rs");
+        assert!(lint_source(&p, "let x = y.unwrap();", &Policy::default()).is_empty());
+        let d = lint_source(&p, "let r = rand::thread_rng();", &Policy::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::ThreadRng);
+    }
+
+    #[test]
+    fn cfg_test_modules_follow_harness_rules() {
+        let src = "
+pub fn lib_code() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = Some(1).unwrap();
+        let m = std::collections::HashMap::<u32, u32>::new();
+        assert!(m.is_empty());
+        let _ = x;
+    }
+}
+";
+        assert!(lint_source(&lib_path(), src, &Policy::default()).is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_test_module_still_fires() {
+        let src = "
+pub fn lib_code() -> u32 { Some(1).unwrap() }
+
+#[cfg(test)]
+mod tests {}
+";
+        let d = lint_source(&lib_path(), src, &Policy::default());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::Unwrap);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_same_and_next_line() {
+        let trailing = "let x = y.unwrap(); // ntv:allow(unwrap): y checked non-empty above";
+        assert!(lint_source(&lib_path(), trailing, &Policy::default()).is_empty());
+        let above = "// ntv:allow(unwrap): y checked non-empty above\nlet x = y.unwrap();";
+        assert!(lint_source(&lib_path(), above, &Policy::default()).is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_itself_a_violation() {
+        let src = "let x = y.unwrap(); // ntv:allow(unwrap)";
+        let d = lint_source(&lib_path(), src, &Policy::default());
+        // The unwrap still fires AND the waiver is flagged.
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|x| x.rule == RuleId::BadWaiver));
+        assert!(d.iter().any(|x| x.rule == RuleId::Unwrap));
+    }
+
+    #[test]
+    fn waiver_only_covers_named_rule() {
+        let src = "let t = Instant::now(); // ntv:allow(unwrap): wrong rule named";
+        let d = lint_source(&lib_path(), src, &Policy::default());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, RuleId::WallClock);
+    }
+
+    #[test]
+    fn policy_override_can_demote_to_warning() {
+        let policy = Policy::default().with_overrides(vec![Override {
+            path_contains: "crates/mc/",
+            rule: Some(RuleId::Unwrap),
+            severity: Severity::Warn,
+        }]);
+        let d = lint_source(&lib_path(), "let x = y.unwrap();", &policy);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn diagnostics_render_with_file_and_line() {
+        let d = lint_source(
+            &lib_path(),
+            "\n\nlet t = Instant::now();",
+            &Policy::default(),
+        );
+        let text = d[0].to_string();
+        assert!(text.contains("error[ntv::wall-clock]"), "{text}");
+        assert!(text.contains("crates/mc/src/order.rs:3"), "{text}");
+        assert!(text.contains("help:"), "{text}");
+    }
+}

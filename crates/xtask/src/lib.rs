@@ -1,0 +1,48 @@
+//! `xtask` — workspace automation for the ntv-simd repo.
+//!
+//! The only subcommand today is `lint`: a custom static-analysis pass that
+//! mechanically enforces the workspace's domain invariants (determinism,
+//! float totality, panic hygiene) as deny-by-default diagnostics with
+//! `file:line` spans, a severity/allowlist system, and inline waiver
+//! comments. Run it as `cargo xtask lint` (aliased in `.cargo/config.toml`);
+//! CI treats a non-zero exit as a failed build.
+//!
+//! Design notes:
+//!
+//! * The pass is built on a hand-rolled lexer ([`lexer`]) rather than a full
+//!   parser: the build environment is offline (no `syn`), and every rule is
+//!   a local token pattern, so a comment/string-aware token stream is
+//!   exactly the right level of abstraction — it cannot be fooled by
+//!   `"thread_rng"` in a message string, and it is total over in-progress
+//!   code that does not parse yet.
+//! * Rules ([`rules`]) are pure functions over tokens; the policy layer
+//!   ([`engine`]) decides where they apply (library vs bench vs harness vs
+//!   tool code), applies `#[cfg(test)]` carve-outs, severity overrides and
+//!   waivers, and renders diagnostics.
+//! * Fixtures under `tests/fixtures/` pin every rule's behaviour — each bad
+//!   fixture must keep tripping its diagnostic, and the clean fixture plus
+//!   the real workspace must stay quiet.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{
+    lint_source, lint_workspace, Diagnostic, FileClass, LintReport, Override, Policy, Severity,
+};
+pub use rules::RuleId;
+
+use std::path::PathBuf;
+
+/// The workspace root, resolved at compile time from this crate's location.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> root. Falls back to the manifest dir itself
+    // if the layout ever changes (the walk simply finds fewer files).
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .unwrap_or(&manifest)
+        .to_path_buf()
+}

@@ -1,0 +1,132 @@
+//! CLI for `cargo xtask` — see `lib.rs` for the architecture.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{engine, Policy, RuleId, Severity};
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [options] [paths...]   run the determinism / numerical-safety lint
+                              over the workspace (default) or specific files
+  help                        show this message
+
+lint options:
+  --list-rules     print every rule with its help text and exit
+  --warn-only      report violations but always exit 0
+  --rule <name>    only report the named rule (repeatable; short or
+                   ntv::-prefixed names)
+  --quiet          print only the summary line
+
+exit status: 0 clean, 1 deny-level diagnostics found, 2 usage or I/O error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("help" | "--help" | "-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut warn_only = false;
+    let mut quiet = false;
+    let mut only_rules: Vec<RuleId> = Vec::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!("{:<24} {}", rule.name(), rule.help());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--warn-only" => warn_only = true,
+            "--quiet" => quiet = true,
+            "--rule" => match it.next().and_then(|n| RuleId::from_waiver_name(n)) {
+                Some(rule) => only_rules.push(rule),
+                None => {
+                    eprintln!("xtask lint: --rule needs a known rule name (see --list-rules)");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with('-') => {
+                eprintln!("xtask lint: unknown flag `{flag}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let policy = Policy::default();
+    let root = xtask::workspace_root();
+    let report = if paths.is_empty() {
+        match engine::lint_workspace(&root, &policy) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xtask lint: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut report = engine::LintReport::default();
+        for path in &paths {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("xtask lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let rel = path.strip_prefix(&root).unwrap_or(path);
+            report.files_scanned += 1;
+            report
+                .diagnostics
+                .extend(engine::lint_source(rel, &source, &policy));
+        }
+        report
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for diag in &report.diagnostics {
+        if !only_rules.is_empty() && !only_rules.contains(&diag.rule) {
+            continue;
+        }
+        match diag.severity {
+            Severity::Deny => errors += 1,
+            Severity::Warn => warnings += 1,
+            Severity::Allow => continue,
+        }
+        if !quiet {
+            println!("{diag}\n");
+        }
+    }
+
+    println!(
+        "xtask lint: {errors} error{}, {warnings} warning{} across {} files",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+        report.files_scanned,
+    );
+    if errors > 0 && !warn_only {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,377 @@
+//! Lint rules: domain invariants of the Monte-Carlo workspace, expressed as
+//! token-stream patterns.
+//!
+//! Three families, mirroring the repo's correctness contract:
+//!
+//! * **Determinism** — every figure is a Monte-Carlo statistic, so all
+//!   randomness must flow through `ntv_mc::rng` labelled seed streams and no
+//!   result-producing path may depend on wall-clock time, OS entropy,
+//!   environment variables, or hash-map iteration order.
+//! * **Float totality** — order statistics must be NaN-safe:
+//!   `partial_cmp(..).unwrap()` is a latent panic on the exact inputs
+//!   (NaN-bearing samples) the pipeline must reject gracefully; use
+//!   `f64::total_cmp` or an explicit NaN-rejecting constructor.
+//! * **Panic hygiene** — library crates must not contain bare `unwrap()` or
+//!   `panic!`-family macros; propagate errors or use `expect` with a
+//!   documented invariant.
+
+use crate::lexer::Token;
+
+/// Identity of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// OS-entropy randomness: `thread_rng`, `from_entropy`.
+    ThreadRng,
+    /// Wall-clock reads: `Instant::now`, `SystemTime::now`.
+    WallClock,
+    /// Environment reads: `env::var` / `env::vars` / `env::var_os`.
+    EnvRead,
+    /// `HashMap` / `HashSet` in result-producing code (iteration order is
+    /// nondeterministic with the default RandomState hasher).
+    HashContainer,
+    /// `partial_cmp(..).unwrap()` / `.expect(..)` float orderings.
+    PartialCmpUnwrap,
+    /// Bare `.unwrap()` in library code.
+    Unwrap,
+    /// `panic!` / `todo!` / `unimplemented!` (and argument-less
+    /// `unreachable!()`) in library code.
+    Panic,
+    /// Malformed `ntv:allow(..)` waiver comment (missing rule or reason).
+    BadWaiver,
+}
+
+impl RuleId {
+    /// Every rule, in diagnostic-name order.
+    pub const ALL: &'static [RuleId] = &[
+        RuleId::ThreadRng,
+        RuleId::WallClock,
+        RuleId::EnvRead,
+        RuleId::HashContainer,
+        RuleId::PartialCmpUnwrap,
+        RuleId::Unwrap,
+        RuleId::Panic,
+        RuleId::BadWaiver,
+    ];
+
+    /// Full diagnostic name, e.g. `ntv::unwrap`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::ThreadRng => "ntv::thread-rng",
+            RuleId::WallClock => "ntv::wall-clock",
+            RuleId::EnvRead => "ntv::env-read",
+            RuleId::HashContainer => "ntv::hash-container",
+            RuleId::PartialCmpUnwrap => "ntv::partial-cmp-unwrap",
+            RuleId::Unwrap => "ntv::unwrap",
+            RuleId::Panic => "ntv::panic",
+            RuleId::BadWaiver => "ntv::bad-waiver",
+        }
+    }
+
+    /// Short name accepted inside `ntv:allow(..)` waivers.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            RuleId::ThreadRng => "thread-rng",
+            RuleId::WallClock => "wall-clock",
+            RuleId::EnvRead => "env-read",
+            RuleId::HashContainer => "hash-container",
+            RuleId::PartialCmpUnwrap => "partial-cmp-unwrap",
+            RuleId::Unwrap => "unwrap",
+            RuleId::Panic => "panic",
+            RuleId::BadWaiver => "bad-waiver",
+        }
+    }
+
+    /// Resolve a waiver name (`unwrap` or `ntv::unwrap`) to a rule.
+    #[must_use]
+    pub fn from_waiver_name(name: &str) -> Option<RuleId> {
+        let name = name.trim().trim_start_matches("ntv::");
+        RuleId::ALL.iter().copied().find(|r| r.short_name() == name)
+    }
+
+    /// One-line explanation shown with each diagnostic.
+    #[must_use]
+    pub fn help(self) -> &'static str {
+        match self {
+            RuleId::ThreadRng => {
+                "all randomness must flow through `ntv_mc::rng::StreamRng` \
+                 labelled seed streams; OS entropy breaks bit-reproducibility"
+            }
+            RuleId::WallClock => {
+                "wall-clock reads make results run-dependent; take time spans \
+                 as parameters or move the timing into `crates/bench`"
+            }
+            RuleId::EnvRead => {
+                "environment reads make library results host-dependent; pass \
+                 configuration explicitly through `DatapathConfig` or function \
+                 arguments"
+            }
+            RuleId::HashContainer => {
+                "HashMap/HashSet iteration order is randomized per process; \
+                 use BTreeMap/BTreeSet or sort before iterating into results"
+            }
+            RuleId::PartialCmpUnwrap => {
+                "panics on NaN; order floats with `f64::total_cmp`, or reject \
+                 NaN at the boundary and document it"
+            }
+            RuleId::Unwrap => {
+                "propagate with `?`, or use `expect(\"<why this cannot \
+                 fail>\")` to document the invariant"
+            }
+            RuleId::Panic => {
+                "library code must return `Result`; reserve panics for \
+                 documented invariants via `expect`/`assert!` with a message"
+            }
+            RuleId::BadWaiver => {
+                "waivers must name a rule and give a reason: \
+                 `// ntv:allow(<rule>): <reason>`"
+            }
+        }
+    }
+}
+
+/// A raw rule hit before policy (severity, waivers) is applied.
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// 1-based source line of the violation.
+    pub line: u32,
+    /// What was found, e.g. ``bare `unwrap()` ``.
+    pub message: String,
+}
+
+/// Scan a token stream for every rule violation, regardless of file class —
+/// filtering by class/policy/waiver happens in `engine`.
+#[must_use]
+pub fn scan(tokens: &[Token]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let Some(ident) = tok.ident() else { continue };
+        match ident {
+            "thread_rng" | "from_entropy" => hits.push(Hit {
+                rule: RuleId::ThreadRng,
+                line: tok.line,
+                message: format!("OS-entropy randomness via `{ident}`"),
+            }),
+            "Instant" | "SystemTime" if path_call(tokens, i, "now") => hits.push(Hit {
+                rule: RuleId::WallClock,
+                line: tok.line,
+                message: format!("wall-clock read via `{ident}::now`"),
+            }),
+            "env" if env_read(tokens, i).is_some() => {
+                let what = env_read(tokens, i).unwrap_or("var");
+                hits.push(Hit {
+                    rule: RuleId::EnvRead,
+                    line: tok.line,
+                    message: format!("environment read via `env::{what}`"),
+                });
+            }
+            "HashMap" | "HashSet" => hits.push(Hit {
+                rule: RuleId::HashContainer,
+                line: tok.line,
+                message: format!("`{ident}` has nondeterministic iteration order"),
+            }),
+            "partial_cmp" => {
+                if let Some(method) = partial_cmp_then_unwrap(tokens, i) {
+                    hits.push(Hit {
+                        rule: RuleId::PartialCmpUnwrap,
+                        line: tok.line,
+                        message: format!("`partial_cmp(..).{method}(..)` panics on NaN"),
+                    });
+                }
+            }
+            "unwrap" if is_method_call(tokens, i) => hits.push(Hit {
+                rule: RuleId::Unwrap,
+                line: tok.line,
+                message: "bare `unwrap()`".to_string(),
+            }),
+            "panic" | "todo" | "unimplemented" if is_macro_invocation(tokens, i) => {
+                hits.push(Hit {
+                    rule: RuleId::Panic,
+                    line: tok.line,
+                    message: format!("`{ident}!` in library code"),
+                });
+            }
+            "unreachable" if is_macro_invocation(tokens, i) && macro_args_empty(tokens, i) => {
+                hits.push(Hit {
+                    rule: RuleId::Panic,
+                    line: tok.line,
+                    message: "argument-less `unreachable!()` (document the invariant)".to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+    hits
+}
+
+/// Is token `i` followed by `::name`?
+fn path_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    matches!(
+        (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3)),
+        (Some(a), Some(b), Some(c))
+            if a.is_punct(':') && b.is_punct(':') && c.ident() == Some(name)
+    )
+}
+
+/// `env::{var, vars, var_os, vars_os}` starting at the `env` token.
+fn env_read(tokens: &[Token], i: usize) -> Option<&'static str> {
+    ["var", "vars", "var_os", "vars_os"]
+        .into_iter()
+        .find(|name| path_call(tokens, i, name))
+}
+
+/// `.unwrap()` — a method call, not an `fn unwrap` definition or a path.
+fn is_method_call(tokens: &[Token], i: usize) -> bool {
+    let preceded_by_dot = i > 0 && tokens[i - 1].is_punct('.');
+    let called = matches!(
+        (tokens.get(i + 1), tokens.get(i + 2)),
+        (Some(a), Some(b)) if a.is_punct('(') && b.is_punct(')')
+    );
+    preceded_by_dot && called
+}
+
+/// `name!(..)` / `name! {..}` — and not a `macro_rules!` definition head.
+fn is_macro_invocation(tokens: &[Token], i: usize) -> bool {
+    let banged = matches!(tokens.get(i + 1), Some(t) if t.is_punct('!'));
+    let defines = i > 0 && tokens[i - 1].ident().is_some_and(|s| s == "macro_rules");
+    banged && !defines
+}
+
+/// For a macro invocation at `i`: is the delimited argument list empty?
+fn macro_args_empty(tokens: &[Token], i: usize) -> bool {
+    matches!(
+        (tokens.get(i + 2), tokens.get(i + 3)),
+        (Some(a), Some(b))
+            if (a.is_punct('(') && b.is_punct(')'))
+                || (a.is_punct('[') && b.is_punct(']'))
+                || (a.is_punct('{') && b.is_punct('}'))
+    )
+}
+
+/// From `partial_cmp` at index `i`: skip the balanced call parentheses, then
+/// report `Some("unwrap" | "expect")` if that is the next method called.
+fn partial_cmp_then_unwrap(tokens: &[Token], i: usize) -> Option<&'static str> {
+    let open = i + 1;
+    if !tokens.get(open)?.is_punct('(') {
+        return None; // `f64::partial_cmp` passed as a function value
+    }
+    let mut depth = 0usize;
+    let mut j = open;
+    loop {
+        let t = tokens.get(j)?;
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    if !tokens.get(j + 1)?.is_punct('.') {
+        return None;
+    }
+    match tokens.get(j + 2)?.ident()? {
+        "unwrap" => Some("unwrap"),
+        "expect" => Some("expect"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn rules_hit(src: &str) -> Vec<RuleId> {
+        let mut v: Vec<RuleId> = scan(&lex(src).tokens).into_iter().map(|h| h.rule).collect();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn detects_thread_rng_and_entropy() {
+        assert_eq!(
+            rules_hit("let mut r = rand::thread_rng();"),
+            vec![RuleId::ThreadRng]
+        );
+        assert_eq!(
+            rules_hit("let r = SmallRng::from_entropy();"),
+            vec![RuleId::ThreadRng]
+        );
+    }
+
+    #[test]
+    fn detects_wall_clock_but_not_duration() {
+        assert_eq!(
+            rules_hit("let t0 = Instant::now();"),
+            vec![RuleId::WallClock]
+        );
+        assert_eq!(
+            rules_hit("let t = SystemTime::now();"),
+            vec![RuleId::WallClock]
+        );
+        assert!(rules_hit("let d = Duration::from_secs(1);").is_empty());
+        assert!(rules_hit("use std::time::Instant;").is_empty());
+    }
+
+    #[test]
+    fn detects_env_reads() {
+        assert_eq!(
+            rules_hit("let v = std::env::var(\"SEED\");"),
+            vec![RuleId::EnvRead]
+        );
+        assert!(rules_hit("let v = env!(\"CARGO_MANIFEST_DIR\");").is_empty());
+    }
+
+    #[test]
+    fn detects_hash_containers() {
+        assert_eq!(
+            rules_hit("use std::collections::HashMap;"),
+            vec![RuleId::HashContainer]
+        );
+        assert!(rules_hit("use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn detects_partial_cmp_unwrap_and_expect() {
+        assert_eq!(
+            rules_hit("v.sort_by(|a, b| a.partial_cmp(b).unwrap());"),
+            vec![RuleId::PartialCmpUnwrap, RuleId::Unwrap]
+        );
+        assert_eq!(
+            rules_hit("let o = x.partial_cmp(&y).expect(\"no NaN\");"),
+            vec![RuleId::PartialCmpUnwrap]
+        );
+        assert!(rules_hit("v.sort_by(f64::total_cmp);").is_empty());
+        assert!(rules_hit("let f = f64::partial_cmp;").is_empty());
+    }
+
+    #[test]
+    fn detects_bare_unwrap_only_as_method() {
+        assert_eq!(rules_hit("let x = y.unwrap();"), vec![RuleId::Unwrap]);
+        assert!(rules_hit("fn unwrap(self) -> T { self.0 }").is_empty());
+        assert!(rules_hit("let x = y.unwrap_or(0);").is_empty());
+        assert!(rules_hit("let x = y.expect(\"invariant\");").is_empty());
+    }
+
+    #[test]
+    fn detects_panic_family() {
+        assert_eq!(rules_hit("panic!(\"boom\");"), vec![RuleId::Panic]);
+        assert_eq!(rules_hit("todo!()"), vec![RuleId::Panic]);
+        assert_eq!(rules_hit("unimplemented!()"), vec![RuleId::Panic]);
+        assert_eq!(rules_hit("unreachable!()"), vec![RuleId::Panic]);
+        // Documented unreachable and assert! with a message are allowed.
+        assert!(rules_hit("unreachable!(\"k < n by loop bound\")").is_empty());
+        assert!(rules_hit("assert!(n > 0, \"empty\");").is_empty());
+    }
+
+    #[test]
+    fn macro_definitions_are_not_invocations() {
+        assert!(rules_hit("macro_rules! panic { () => {} }").is_empty());
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: OS entropy is denied even in the bench class → `ntv::thread-rng`.
+
+pub fn jittered_order() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

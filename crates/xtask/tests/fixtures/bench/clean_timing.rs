@@ -1,0 +1,14 @@
+//! Fixture: the bench class may read wall clocks and unwrap — but is still
+//! barred from OS entropy (see `bad_entropy.rs`).
+
+use std::time::Instant;
+
+pub fn measure<F: FnMut()>(mut f: F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn report(samples: Vec<f64>) -> f64 {
+    samples.into_iter().next().unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture: environment read in library code → `ntv::env-read`.
+
+pub fn seed_from_env() -> u64 {
+    std::env::var("NTV_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}

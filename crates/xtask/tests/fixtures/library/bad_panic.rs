@@ -1,0 +1,13 @@
+//! Fixture: `panic!`-family macros in library code → `ntv::panic`.
+
+pub fn pick(i: usize) -> u32 {
+    match i {
+        0 => 10,
+        1 => 20,
+        _ => panic!("bad index {i}"),
+    }
+}
+
+pub fn later() -> u32 {
+    todo!()
+}

@@ -1,0 +1,12 @@
+//! Fixture: NaN-unsafe float ordering → `ntv::partial-cmp-unwrap`.
+
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn max(v: &[f64]) -> f64 {
+    v.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite"))
+        .unwrap_or(f64::NAN)
+}

@@ -1,0 +1,6 @@
+//! Fixture: OS-entropy randomness in library code → `ntv::thread-rng`.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

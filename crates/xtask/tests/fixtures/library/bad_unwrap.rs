@@ -1,0 +1,5 @@
+//! Fixture: bare `unwrap()` in library code → `ntv::unwrap`.
+
+pub fn first_line(text: &str) -> &str {
+    text.lines().next().unwrap()
+}

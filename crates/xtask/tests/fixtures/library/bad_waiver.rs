@@ -1,0 +1,11 @@
+//! Fixture: malformed waiver comments → `ntv::bad-waiver`.
+
+// ntv:allow(unwrap)
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// ntv:allow(not-a-rule): the rule name does not exist
+pub fn unknown_rule() -> u32 {
+    7
+}

@@ -1,0 +1,7 @@
+//! Fixture: wall-clock read in library code → `ntv::wall-clock`.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

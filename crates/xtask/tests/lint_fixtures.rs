@@ -1,0 +1,130 @@
+//! Fixture-based integration tests for `cargo xtask lint`.
+//!
+//! Every `tests/fixtures/library/bad_*.rs` file must trigger exactly the
+//! diagnostic its name advertises; the clean fixtures and the real
+//! workspace must lint clean. The binary is also exercised end-to-end so
+//! the exit-code contract (0 clean / 1 violations) is pinned.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::{engine, Policy, RuleId};
+
+fn fixture(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel)
+}
+
+/// Lint one fixture through the library API, returning the rules that fired.
+fn lint_rules(rel: &str) -> Vec<RuleId> {
+    let path = fixture(rel);
+    let source = std::fs::read_to_string(&path).expect("fixture exists");
+    // Classify under the fixture's workspace-relative path.
+    let ws_rel = Path::new("crates/xtask/tests/fixtures").join(rel);
+    let mut rules: Vec<RuleId> = engine::lint_source(&ws_rel, &source, &Policy::default())
+        .into_iter()
+        .map(|d| d.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn each_bad_library_fixture_triggers_its_rule() {
+    let cases = [
+        ("library/bad_thread_rng.rs", RuleId::ThreadRng),
+        ("library/bad_wall_clock.rs", RuleId::WallClock),
+        ("library/bad_env_read.rs", RuleId::EnvRead),
+        ("library/bad_hash_map.rs", RuleId::HashContainer),
+        ("library/bad_partial_cmp.rs", RuleId::PartialCmpUnwrap),
+        ("library/bad_unwrap.rs", RuleId::Unwrap),
+        ("library/bad_panic.rs", RuleId::Panic),
+        ("library/bad_waiver.rs", RuleId::BadWaiver),
+    ];
+    for (rel, rule) in cases {
+        let rules = lint_rules(rel);
+        assert!(
+            rules.contains(&rule),
+            "{rel}: expected {} among {rules:?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn clean_library_fixture_passes() {
+    assert_eq!(lint_rules("library/clean.rs"), vec![], "library/clean.rs");
+}
+
+#[test]
+fn bench_class_allows_timing_but_not_entropy() {
+    assert_eq!(lint_rules("bench/clean_timing.rs"), vec![]);
+    assert_eq!(lint_rules("bench/bad_entropy.rs"), vec![RuleId::ThreadRng]);
+}
+
+#[test]
+fn real_workspace_lints_clean() {
+    let root = xtask::workspace_root();
+    let report = engine::lint_workspace(&root, &Policy::default()).expect("workspace scans");
+    let errors: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == engine::Severity::Deny)
+        .map(ToString::to_string)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "workspace not clean:\n{}",
+        errors.join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+/// The binary contract: exit 1 on a bad fixture, 0 on a clean one and on
+/// the whole workspace.
+#[test]
+fn binary_exit_codes_match_the_contract() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+
+    let bad = Command::new(bin)
+        .args(["lint", "--quiet"])
+        .arg(fixture("library/bad_unwrap.rs"))
+        .output()
+        .expect("xtask runs");
+    assert_eq!(bad.status.code(), Some(1), "bad fixture must exit 1");
+
+    let clean = Command::new(bin)
+        .args(["lint", "--quiet"])
+        .arg(fixture("library/clean.rs"))
+        .output()
+        .expect("xtask runs");
+    assert_eq!(clean.status.code(), Some(0), "clean fixture must exit 0");
+
+    let workspace = Command::new(bin)
+        .args(["lint", "--quiet"])
+        .current_dir(xtask::workspace_root())
+        .output()
+        .expect("xtask runs");
+    assert_eq!(
+        workspace.status.code(),
+        Some(0),
+        "workspace must lint clean:\n{}",
+        String::from_utf8_lossy(&workspace.stdout)
+    );
+
+    let warn_only = Command::new(bin)
+        .args(["lint", "--warn-only", "--quiet"])
+        .arg(fixture("library/bad_unwrap.rs"))
+        .output()
+        .expect("xtask runs");
+    assert_eq!(
+        warn_only.status.code(),
+        Some(0),
+        "--warn-only must always exit 0"
+    );
+}

@@ -54,7 +54,7 @@ fn main() {
     let signal: Vec<i16> = (0..384).map(|i| ((i * 37) % 199) as i16 - 99).collect();
     let taps = [3, -1, 4, 1, -5];
     let tone: Vec<i16> = (0..128)
-        .map(|i| (6000.0 * (2.0 * std::f64::consts::PI * 3.0 * i as f64 / 128.0).cos()) as i16)
+        .map(|i| (6000.0 * (2.0 * std::f64::consts::PI * 3.0 * f64::from(i) / 128.0).cos()) as i16)
         .collect();
     let zeros = vec![0i16; 128];
 

@@ -1,0 +1,238 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Benchmarks in `crates/bench/benches/` are written against the real
+//! criterion 0.5 API. This stub keeps them compiling and running without
+//! crates.io access: it implements the same names (`Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher`, `criterion_group!`,
+//! `criterion_main!`) with a deliberately simple measurement loop — a short
+//! warm-up, then `sample_size` timed batches, reporting the median batch
+//! time per iteration. That is enough for coarse regression spotting; swap
+//! in real criterion for publication-quality statistics.
+//!
+//! Wall-clock reads live only here, in a bench-only crate, which is exactly
+//! the boundary `cargo xtask lint` draws for the rest of the workspace.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark, mirroring criterion's type.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median seconds per iteration, filled in by `iter`.
+    result_s: f64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations so we can size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.config.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Aim each timed batch at measurement_time / sample_size seconds.
+        let samples = self.config.sample_size.max(2);
+        let batch_budget = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let batch_iters = ((batch_budget / per_iter.max(1e-12)) as u64).max(1);
+
+        let mut per_iter_times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            per_iter_times.push(t0.elapsed().as_secs_f64() / batch_iters as f64);
+        }
+        per_iter_times.sort_by(f64::total_cmp);
+        self.result_s = per_iter_times[per_iter_times.len() / 2];
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.config, &id.to_string(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.criterion.config, &label, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.criterion.config, &label, |b| f(b, input));
+        self
+    }
+
+    #[must_use]
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n;
+        self
+    }
+
+    #[must_use]
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.config.measurement_time = d;
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Config, label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        config,
+        result_s: f64::NAN,
+    };
+    f(&mut bencher);
+    let s = bencher.result_s;
+    let pretty = if s.is_nan() {
+        "no measurement".to_string()
+    } else if s < 1e-6 {
+        format!("{:9.2} ns/iter", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:9.2} µs/iter", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:9.2} ms/iter", s * 1e3)
+    } else {
+        format!("{s:9.3}  s/iter")
+    };
+    println!("bench {label:<48} {pretty}");
+}
+
+/// Mirrors `criterion_group!`: both the simple and the `config =` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        // Generated plumbing; exempt from the workspace's missing_docs lint.
+        #[doc(hidden)]
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

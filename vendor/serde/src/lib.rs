@@ -1,0 +1,19 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on result structs purely
+//! to mark them as stable, externally-visible data — no code path actually
+//! serializes anything (there is no format crate in the dependency tree).
+//! With crates.io unreachable in this build environment, this stub provides
+//! marker traits and no-op derive macros so those annotations keep compiling.
+//! If a real data format is ever needed, swap this out for the real crate by
+//! editing `[workspace.dependencies]` in the root `Cargo.toml`.
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}
+
+// Derive macros live in a separate proc-macro crate, like real serde. The
+// macro names intentionally shadow the trait names (separate namespaces).
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde stub.
+//!
+//! The workspace uses the derives as machine-checked documentation ("this
+//! struct is part of the stable result surface"), never for actual
+//! serialization, so expanding to an empty token stream is sufficient and
+//! keeps the heavyweight real `serde_derive` out of an offline build.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
