@@ -34,7 +34,8 @@ fn bench_tail_shape(c: &mut Criterion) {
     ] {
         let engine = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
         // Report the ablated quantity once.
-        let drop = perf::performance_drop(&engine, 0.5, 2_000, 1).drop;
+        let drop =
+            perf::performance_drop(&engine, 0.5, 2_000, 1, ntv_core::Executor::default()).drop;
         println!(
             "[ablation] 22nm perf drop @0.5V with {label}: {:.1}%",
             drop * 100.0
@@ -56,7 +57,7 @@ fn bench_correlation_structure(c: &mut Criterion) {
     ] {
         let engine = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
         let study = DuplicationStudy::new(&engine);
-        let baseline = perf::baseline_q99_fo4(&engine, 2_000, 2);
+        let baseline = perf::baseline_q99_fo4(&engine, 2_000, 2, ntv_core::Executor::default());
         let matrix = study.sample_matrix(0.55, 128, 2_000, 2);
         let spares = study.required_spares(&matrix, baseline);
         println!(

@@ -1,0 +1,92 @@
+//! Sequential vs. parallel Monte-Carlo throughput.
+//!
+//! Measures the same index-addressed chip-delay batch drawn three ways:
+//! the legacy sequential `StreamRng` loop, the counter-based serial
+//! executor (overhead of index addressing alone), and the thread-pool
+//! executor at 1/2/4/8 workers. Because every draw is a pure function of
+//! `(seed, label, index)`, all executor variants return bit-identical
+//! batches — the thread count is purely a speed knob, which is exactly
+//! what this bench quantifies. Results feed `BENCH_parallel_mc.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ntv_core::{DatapathConfig, DatapathEngine, Executor};
+use ntv_device::{TechModel, TechNode};
+use ntv_mc::{CounterRng, StreamRng};
+
+const VDD: f64 = 0.55;
+const SAMPLES: u64 = 2_000;
+
+fn bench_sequential_vs_parallel(c: &mut Criterion) {
+    let tech = TechModel::new(TechNode::Gp90);
+    let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+    // Warm the per-vdd path-distribution cache so every variant measures
+    // sampling alone, not the one-time distribution build.
+    let _ = engine.path_distribution(VDD);
+    let stream = CounterRng::new(2012, "bench-parallel");
+
+    let mut group = c.benchmark_group("parallel_mc/chip_delay_batch_2000");
+    group.bench_function("sequential_stream_rng", |b| {
+        b.iter(|| {
+            let mut rng = StreamRng::from_seed(2012);
+            let batch: Vec<f64> = (0..SAMPLES)
+                .map(|_| engine.sample_chip_delay_fo4(VDD, &mut rng))
+                .collect();
+            std::hint::black_box(batch)
+        });
+    });
+    group.bench_function("counter_serial", |b| {
+        b.iter(|| {
+            std::hint::black_box(engine.sample_batch(VDD, &stream, 0..SAMPLES, Executor::serial()))
+        });
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("counter_threads", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    std::hint::black_box(engine.sample_batch(
+                        VDD,
+                        &stream,
+                        0..SAMPLES,
+                        Executor::new(t),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_distribution_summary(c: &mut Criterion) {
+    let tech = TechModel::new(TechNode::Gp90);
+    let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+    let _ = engine.path_distribution(VDD);
+    let stream = CounterRng::new(2012, "bench-parallel-dist");
+
+    let mut group = c.benchmark_group("parallel_mc/chip_delay_distribution_2000");
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                std::hint::black_box(engine.chip_delay_distribution_par(
+                    VDD,
+                    SAMPLES as usize,
+                    &stream,
+                    Executor::new(t),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = parallel_mc;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_sequential_vs_parallel, bench_distribution_summary
+}
+criterion_main!(parallel_mc);

@@ -36,6 +36,7 @@ fn main() {
                 0.55,
                 samples,
                 DEFAULT_SEED,
+                ntv_core::Executor::default(),
             )
         );
     }

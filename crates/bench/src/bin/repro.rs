@@ -2,11 +2,18 @@
 //! the data behind EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run --release -p ntv-bench --bin repro
+//! cargo run --release -p ntv-bench --bin repro [-- OPTIONS]
 //! ```
 //!
-//! Pass `--quick` to use reduced sample counts (useful in CI).
+//! Options:
+//!
+//! * `--quick` — reduced sample counts (useful in CI);
+//! * `--threads N` — worker threads (default: all hardware threads;
+//!   results are bit-identical for any value);
+//! * `--samples-arch N` — architecture-level sample count (default 10 000);
+//! * `--samples-circuit N` — circuit-level sample count (default 1 000).
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use ntv_bench::experiments::{
@@ -14,15 +21,68 @@ use ntv_bench::experiments::{
     table4,
 };
 use ntv_bench::{ARCH_SAMPLES, CIRCUIT_SAMPLES, DEFAULT_SEED};
+use ntv_core::Executor;
 use ntv_device::TechNode;
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (arch, circuit) = if quick {
+struct Options {
+    arch: usize,
+    circuit: usize,
+    threads: usize,
+}
+
+fn usage(bad: &str) -> ExitCode {
+    eprintln!(
+        "unrecognised argument `{bad}`\n\
+         usage: repro [--quick] [--threads N] [--samples-arch N] [--samples-circuit N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_options() -> Result<Options, ExitCode> {
+    let mut quick = false;
+    let mut threads = 0usize;
+    let mut arch: Option<usize> = None;
+    let mut circuit: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut number = |name: &str| -> Result<usize, ExitCode> {
+            match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => Ok(n),
+                _ => {
+                    eprintln!("{name} expects a positive integer");
+                    Err(ExitCode::FAILURE)
+                }
+            }
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--threads" => threads = number("--threads")?,
+            "--samples-arch" => arch = Some(number("--samples-arch")?),
+            "--samples-circuit" => circuit = Some(number("--samples-circuit")?),
+            other => return Err(usage(other)),
+        }
+    }
+
+    let (arch_default, circuit_default) = if quick {
         (1_000, 300)
     } else {
         (ARCH_SAMPLES, CIRCUIT_SAMPLES)
     };
+    Ok(Options {
+        arch: arch.unwrap_or(arch_default),
+        circuit: circuit.unwrap_or(circuit_default),
+        threads,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let (arch, circuit) = (opts.arch, opts.circuit);
+    let exec = Executor::new(opts.threads);
     let seed = DEFAULT_SEED;
     let t0 = Instant::now();
 
@@ -33,28 +93,28 @@ fn main() {
     };
 
     section("Fig 1 — circuit-level delay variation (90nm)");
-    println!("{}", fig1::run(circuit, seed));
+    println!("{}", fig1::run_with(circuit, seed, exec));
 
     section("Fig 2 — chain-of-50 variation vs Vdd (4 nodes)");
-    println!("{}", fig2::run(circuit, seed));
+    println!("{}", fig2::run_with(circuit, seed, exec));
 
     section("Fig 3 — 128-wide delay distributions (90nm)");
-    println!("{}", fig3::run(arch, seed));
+    println!("{}", fig3::run_with(arch, seed, exec));
 
     section("Fig 4 — performance drop (4 nodes)");
-    println!("{}", fig4::run(arch, seed));
+    println!("{}", fig4::run_with(arch, seed, exec));
 
     section("Fig 5 — duplicated systems @0.55V (90nm)");
-    println!("{}", fig5::run(arch, seed));
+    println!("{}", fig5::run_with(arch, seed, exec));
 
     section("Fig 6 — voltage margining distributions (45nm @600mV)");
-    println!("{}", fig6::run(arch, seed));
+    println!("{}", fig6::run_with(arch, seed, exec));
 
     section("Fig 7 — duplication vs margining power (4 nodes)");
-    println!("{}", fig7::run(arch, seed));
+    println!("{}", fig7::run_with(arch, seed, exec));
 
     section("Fig 8 — chip delay vs margin and spares (45nm @600mV)");
-    println!("{}", fig8::run(arch, seed));
+    println!("{}", fig8::run_with(arch, seed, exec));
 
     section("Fig 9 — energy/delay regions");
     for node in TechNode::ALL {
@@ -62,25 +122,28 @@ fn main() {
     }
 
     section("Fig 11 — variation vs chain length @0.55V");
-    println!("{}", fig11::run(circuit, seed));
+    println!("{}", fig11::run_with(circuit, seed, exec));
 
     section("Table 1 — structural duplication");
-    println!("{}", table1::run(arch, seed));
+    println!("{}", table1::run_with(arch, seed, exec));
 
     section("Table 2 — voltage margining");
-    println!("{}", table2::run(arch, seed));
+    println!("{}", table2::run_with(arch, seed, exec));
 
     section("Table 3 — combined design choices (45nm @600mV)");
-    println!("{}", table3::run(arch, seed));
+    println!("{}", table3::run_with(arch, seed, exec));
 
     section("Table 4 — frequency margining");
-    println!("{}", table4::run(arch, seed));
+    println!("{}", table4::run_with(arch, seed, exec));
 
     section("Appendix D — spare placement & XRAM bypass");
     println!("{}", placement::run(seed));
 
     println!(
-        "\nall experiments regenerated in {:.1}s (samples: arch {arch}, circuit {circuit}, seed {seed})",
-        t0.elapsed().as_secs_f64()
+        "\nall experiments regenerated in {:.1}s (samples: arch {arch}, circuit {circuit}, \
+         seed {seed}, threads {})",
+        t0.elapsed().as_secs_f64(),
+        exec.threads()
     );
+    ExitCode::SUCCESS
 }

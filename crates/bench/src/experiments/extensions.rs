@@ -13,7 +13,7 @@ use ntv_core::duplication::DuplicationStudy;
 use ntv_core::margining::MarginStudy;
 use ntv_core::perf;
 use ntv_core::yield_model::{YieldPoint, YieldStudy};
-use ntv_core::{DatapathConfig, DatapathEngine};
+use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
 use serde::{Deserialize, Serialize};
 
@@ -44,13 +44,25 @@ pub struct WidthSweepResult {
 /// Sweep the performance drop against datapath width (16 → 1024 lanes).
 #[must_use]
 pub fn width_sweep(node: TechNode, vdd: f64, samples: usize, seed: u64) -> WidthSweepResult {
+    width_sweep_with(node, vdd, samples, seed, Executor::default())
+}
+
+/// [`width_sweep`] on an explicit executor.
+#[must_use]
+pub fn width_sweep_with(
+    node: TechNode,
+    vdd: f64,
+    samples: usize,
+    seed: u64,
+    exec: Executor,
+) -> WidthSweepResult {
     let tech = TechModel::new(node);
     let points = [16usize, 32, 64, 128, 256, 512, 1024]
         .iter()
         .map(|&lanes| {
             let config = DatapathConfig::new(lanes, 100, 50);
             let engine = DatapathEngine::new(&tech, config);
-            let point = perf::performance_drop(&engine, vdd, samples, seed);
+            let point = perf::performance_drop(&engine, vdd, samples, seed, exec);
             WidthPoint {
                 lanes,
                 drop: point.drop,
@@ -101,10 +113,26 @@ pub struct AbbComparison {
 /// Compare adaptive body bias against voltage margining.
 #[must_use]
 pub fn abb_comparison(node: TechNode, vdd: f64, samples: usize, seed: u64) -> AbbComparison {
+    abb_comparison_with(node, vdd, samples, seed, Executor::default())
+}
+
+/// [`abb_comparison`] on an explicit executor.
+#[must_use]
+pub fn abb_comparison_with(
+    node: TechNode,
+    vdd: f64,
+    samples: usize,
+    seed: u64,
+    exec: Executor,
+) -> AbbComparison {
     let tech = TechModel::new(node);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-    let abb = BodyBiasStudy::new(&engine).solve(vdd, samples, seed);
-    let margin = MarginStudy::new(&engine).solve(vdd, samples, seed);
+    let abb = BodyBiasStudy::new(&engine)
+        .with_executor(exec)
+        .solve(vdd, samples, seed);
+    let margin = MarginStudy::new(&engine)
+        .with_executor(exec)
+        .solve(vdd, samples, seed);
     AbbComparison {
         node,
         vdd,
@@ -151,10 +179,22 @@ pub struct YieldCurvesResult {
 /// Timing-yield curves for 0, 4 and 12 spares.
 #[must_use]
 pub fn yield_curves(node: TechNode, vdd: f64, samples: usize, seed: u64) -> YieldCurvesResult {
+    yield_curves_with(node, vdd, samples, seed, Executor::default())
+}
+
+/// [`yield_curves`] on an explicit executor.
+#[must_use]
+pub fn yield_curves_with(
+    node: TechNode,
+    vdd: f64,
+    samples: usize,
+    seed: u64,
+    exec: Executor,
+) -> YieldCurvesResult {
     let tech = TechModel::new(node);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-    let study = YieldStudy::new(&engine);
-    let dup = DuplicationStudy::new(&engine);
+    let study = YieldStudy::new(&engine).with_executor(exec);
+    let dup = DuplicationStudy::new(&engine).with_executor(exec);
     let matrix = dup.sample_matrix(vdd, 12, samples, seed);
     let fo4_ns = engine.fo4_unit_ps(vdd) / 1000.0;
     let grid: Vec<f64> = (0..12)

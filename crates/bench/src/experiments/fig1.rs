@@ -2,9 +2,10 @@
 //! inverters at 0.5–1.0 V, 90 nm GP, 1000 samples each.
 
 use ntv_circuit::chain::ChainMc;
+use ntv_core::Executor;
 use ntv_device::calib;
 use ntv_device::{TechModel, TechNode};
-use ntv_mc::{Histogram, StreamRng, Summary};
+use ntv_mc::{CounterRng, Histogram, Summary};
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -37,21 +38,38 @@ pub struct Fig1Result {
     pub chain_hist_05v: Histogram,
 }
 
-/// Regenerate Fig 1.
+/// Regenerate Fig 1 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Fig1Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Fig 1 on an explicit executor.
+///
+/// Chip `i` is addressed as `(seed, label, i)`, so every voltage row reuses
+/// the same chips (common random numbers) and the result is bit-identical
+/// for any thread count.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig1Result {
     let tech = TechModel::new(TechNode::Gp90);
     let single = ChainMc::new(&tech, 1);
     let chain = ChainMc::new(&tech, 50);
+    let base = CounterRng::new(seed, "fig1");
+    let single_stream = base.stream("single");
+    let chain_stream = base.stream("chain");
 
     let mut rows = Vec::new();
     for (i, &(vdd, single_paper)) in calib::FIG1_SINGLE_INVERTER_90NM.iter().enumerate() {
         let chain_paper = calib::FIG1_CHAIN50_90NM[i].1;
-        let mut rng = StreamRng::from_seed_and_label(seed, "fig1");
-        let s_single: Summary = (0..samples)
-            .map(|_| single.sample_ps(vdd, &mut rng))
+        let s_single: Summary = exec
+            .map_indexed(samples as u64, |j| {
+                single.sample_ps(vdd, &mut single_stream.at(j))
+            })
+            .into_iter()
             .collect();
-        let chain_samples: Vec<f64> = chain.distribution_ps(vdd, samples, &mut rng);
+        let chain_samples = exec.map_indexed(samples as u64, |j| {
+            chain.sample_ps(vdd, &mut chain_stream.at(j))
+        });
         let s_chain: Summary = chain_samples.iter().copied().collect();
         rows.push(Fig1Row {
             vdd,
@@ -63,11 +81,14 @@ pub fn run(samples: usize, seed: u64) -> Fig1Result {
         });
     }
 
-    let mut rng = StreamRng::from_seed_and_label(seed, "fig1-hist");
-    let single_05: Vec<f64> = (0..samples)
-        .map(|_| single.sample_ps(0.5, &mut rng))
-        .collect();
-    let chain_05: Vec<f64> = chain.distribution_ps(0.5, samples, &mut rng);
+    let hist = base.stream("hist");
+    let (hist_single, hist_chain) = (hist.stream("single"), hist.stream("chain"));
+    let single_05 = exec.map_indexed(samples as u64, |j| {
+        single.sample_ps(0.5, &mut hist_single.at(j))
+    });
+    let chain_05 = exec.map_indexed(samples as u64, |j| {
+        chain.sample_ps(0.5, &mut hist_chain.at(j))
+    });
 
     Fig1Result {
         rows,

@@ -3,8 +3,9 @@
 //! returns of "just make the logic chains longer".
 
 use ntv_circuit::chain::ChainMc;
+use ntv_core::Executor;
 use ntv_device::{TechModel, TechNode};
-use ntv_mc::StreamRng;
+use ntv_mc::{CounterRng, Summary};
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -31,9 +32,16 @@ pub struct Fig11Result {
     pub curves: Vec<Fig11Curve>,
 }
 
-/// Regenerate Fig 11.
+/// Regenerate Fig 11 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Fig11Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Fig 11 on an explicit executor.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig11Result {
+    let stream = CounterRng::new(seed, "fig11");
     let curves = TechNode::ALL
         .iter()
         .map(|&node| {
@@ -42,10 +50,13 @@ pub fn run(samples: usize, seed: u64) -> Fig11Result {
                 .iter()
                 .map(|&n| {
                     let chain = ChainMc::new(&tech, n);
-                    let mut rng = StreamRng::from_seed_and_label(seed, "fig11");
                     // Budget the gate evaluations evenly across lengths.
                     let s = (samples * 50 / n).clamp(200, samples * 4);
-                    (n, chain.three_sigma_over_mu(VDD, s, &mut rng))
+                    let summary: Summary = exec
+                        .map_indexed(s as u64, |i| chain.sample_ps(VDD, &mut stream.at(i)))
+                        .into_iter()
+                        .collect();
+                    (n, summary.three_sigma_over_mu())
                 })
                 .collect();
             Fig11Curve { node, points }

@@ -2,8 +2,9 @@
 //! voltage, for all four technology nodes (each up to its nominal voltage).
 
 use ntv_circuit::chain::ChainMc;
+use ntv_core::Executor;
 use ntv_device::{TechModel, TechNode};
-use ntv_mc::StreamRng;
+use ntv_mc::{CounterRng, Summary};
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::voltage_grid;
@@ -39,9 +40,19 @@ impl Fig2Result {
     }
 }
 
-/// Regenerate Fig 2.
+/// Regenerate Fig 2 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Fig2Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Fig 2 on an explicit executor.
+///
+/// The stream is index-addressed, so every `(node, vdd)` point sees the
+/// same chips (common random numbers) and the curves are smooth in `vdd`.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig2Result {
+    let stream = CounterRng::new(seed, "fig2");
     let curves = TechNode::ALL
         .iter()
         .map(|&node| {
@@ -50,8 +61,11 @@ pub fn run(samples: usize, seed: u64) -> Fig2Result {
             let points = voltage_grid(node)
                 .into_iter()
                 .map(|vdd| {
-                    let mut rng = StreamRng::from_seed_and_label(seed, "fig2");
-                    (vdd, chain.three_sigma_over_mu(vdd, samples, &mut rng))
+                    let s: Summary = exec
+                        .map_indexed(samples as u64, |i| chain.sample_ps(vdd, &mut stream.at(i)))
+                        .into_iter()
+                        .collect();
+                    (vdd, s.three_sigma_over_mu())
                 })
                 .collect();
             Fig2Curve { node, points }

@@ -2,9 +2,9 @@
 //! 1 V, a 1-wide SIMD lane at 1 V, and the 128-wide datapath at 1.0, 0.6,
 //! 0.55 and 0.5 V — 90 nm GP, 10 000 samples per curve.
 
-use ntv_core::{ChipDelayDistribution, DatapathConfig, DatapathEngine};
+use ntv_core::{ChipDelayDistribution, DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
-use ntv_mc::StreamRng;
+use ntv_mc::CounterRng;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -25,28 +25,43 @@ pub struct Fig3Result {
     pub curves: Vec<Fig3Curve>,
 }
 
-/// Regenerate Fig 3.
+/// Regenerate Fig 3 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Fig3Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Fig 3 on an explicit executor.
+///
+/// Each curve owns a labelled counter stream; the four 128-wide curves
+/// share one stream so the same chips are re-evaluated at every voltage
+/// (common random numbers).
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig3Result {
     let tech = TechModel::new(TechNode::Gp90);
     let full = DatapathEngine::new(&tech, DatapathConfig::paper_default());
     let one_lane = DatapathEngine::new(&tech, DatapathConfig::new(1, 100, 50));
+    let base = CounterRng::new(seed, "fig3");
 
     let mut curves = Vec::new();
-    let mut rng = StreamRng::from_seed_and_label(seed, "fig3");
-
     curves.push(Fig3Curve {
         label: "critical path @1V".to_owned(),
-        distribution: full.path_delay_distribution(1.0, samples, &mut rng),
+        distribution: full.path_delay_distribution_par(1.0, samples, &base.stream("path"), exec),
     });
     curves.push(Fig3Curve {
         label: "1-wide @1V".to_owned(),
-        distribution: one_lane.chip_delay_distribution(1.0, samples, &mut rng),
+        distribution: one_lane.chip_delay_distribution_par(
+            1.0,
+            samples,
+            &base.stream("1wide"),
+            exec,
+        ),
     });
+    let wide = base.stream("128wide");
     for vdd in [1.0, 0.6, 0.55, 0.5] {
         curves.push(Fig3Curve {
             label: format!("128-wide @{vdd:.2}V"),
-            distribution: full.chip_delay_distribution(vdd, samples, &mut rng),
+            distribution: full.chip_delay_distribution_par(vdd, samples, &wide, exec),
         });
     }
     Fig3Result { curves }

@@ -2,7 +2,7 @@
 //! datapath vs supply voltage, for all four technology nodes.
 
 use ntv_core::perf::{performance_drop_sweep, PerfDropPoint};
-use ntv_core::{DatapathConfig, DatapathEngine};
+use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
 use serde::{Deserialize, Serialize};
 
@@ -39,9 +39,15 @@ impl Fig4Result {
     }
 }
 
-/// Regenerate Fig 4.
+/// Regenerate Fig 4 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Fig4Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Fig 4 on an explicit executor.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig4Result {
     let curves = TechNode::ALL
         .iter()
         .map(|&node| {
@@ -50,7 +56,7 @@ pub fn run(samples: usize, seed: u64) -> Fig4Result {
             let grid = voltage_grid(node);
             Fig4Curve {
                 node,
-                points: performance_drop_sweep(&engine, &grid, samples, seed),
+                points: performance_drop_sweep(&engine, &grid, samples, seed, exec),
             }
         })
         .collect();

@@ -3,9 +3,9 @@
 //! baseline whose 99 % point the duplication must match.
 
 use ntv_core::duplication::DuplicationStudy;
-use ntv_core::{ChipDelayDistribution, DatapathConfig, DatapathEngine};
+use ntv_core::{ChipDelayDistribution, DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
-use ntv_mc::StreamRng;
+use ntv_mc::CounterRng;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -33,17 +33,23 @@ pub struct Fig5Result {
     pub matching_spares: Option<u32>,
 }
 
-/// Regenerate Fig 5.
+/// Regenerate Fig 5 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Fig5Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Fig 5 on an explicit executor.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig5Result {
     let vdd = 0.55;
     let tech = TechModel::new(TechNode::Gp90);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-    let study = DuplicationStudy::new(&engine);
+    let study = DuplicationStudy::new(&engine).with_executor(exec);
 
-    let mut rng = StreamRng::from_seed_and_label(seed, "fig5-baseline");
+    let stream = CounterRng::new(seed, "fig5-baseline");
     let baseline = engine
-        .chip_delay_distribution(tech.nominal_vdd(), samples, &mut rng)
+        .chip_delay_distribution_par(tech.nominal_vdd(), samples, &stream, exec)
         .q99_fo4();
 
     let matrix = study.sample_matrix(vdd, 32, samples, seed);

@@ -7,9 +7,9 @@
 
 use ntv_core::duplication::DuplicationStudy;
 use ntv_core::margining::MarginStudy;
-use ntv_core::{ChipDelayDistribution, DatapathConfig, DatapathEngine};
+use ntv_core::{ChipDelayDistribution, DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
-use ntv_mc::StreamRng;
+use ntv_mc::CounterRng;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -38,20 +38,30 @@ pub struct Fig6Result {
     pub spare_curves: Vec<Fig6Curve>,
 }
 
-/// Regenerate Fig 6.
+/// Regenerate Fig 6 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Fig6Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Fig 6 on an explicit executor.
+///
+/// All five voltage-margin curves share one index-addressed stream, so
+/// they walk the *same* chips up the voltage ladder (common random
+/// numbers) — exactly the paper's framing of margining.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig6Result {
     let vdd = 0.60;
     let tech = TechModel::new(TechNode::Gp45);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-    let margin_study = MarginStudy::new(&engine);
+    let margin_study = MarginStudy::new(&engine).with_executor(exec);
     let target_ns = margin_study.target_delay_ns(vdd, samples, seed);
 
+    let stream = CounterRng::new(seed, "fig6-v");
     let mut voltage_curves = Vec::new();
     for step in 0..5 {
         let v = vdd + f64::from(step) * 0.005;
-        let mut rng = StreamRng::from_seed_and_label(seed, "fig6-v");
-        let distribution = engine.chip_delay_distribution(v, samples, &mut rng);
+        let distribution = engine.chip_delay_distribution_par(v, samples, &stream, exec);
         voltage_curves.push(Fig6Curve {
             label: format!("128-wide @{:.0} mV", v * 1000.0),
             q99_ns: distribution.q99_ns(),
@@ -59,7 +69,7 @@ pub fn run(samples: usize, seed: u64) -> Fig6Result {
         });
     }
 
-    let dup_study = DuplicationStudy::new(&engine);
+    let dup_study = DuplicationStudy::new(&engine).with_executor(exec);
     let matrix = dup_study.sample_matrix(vdd, 32, samples, seed);
     let spare_curves = [0u32, 4, 8, 16, 32]
         .iter()

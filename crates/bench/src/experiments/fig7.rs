@@ -2,7 +2,7 @@
 //! voltage margining across the NTV band, for all four technology nodes.
 
 use ntv_core::compare::{compare_sweep, ComparisonPoint, Technique};
-use ntv_core::{DatapathConfig, DatapathEngine};
+use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
 use serde::{Deserialize, Serialize};
 
@@ -33,9 +33,15 @@ pub struct Fig7Result {
     pub panels: Vec<Fig7Panel>,
 }
 
-/// Regenerate Fig 7.
+/// Regenerate Fig 7 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Fig7Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Fig 7 on an explicit executor.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig7Result {
     let panels = TechNode::ALL
         .iter()
         .map(|&node| {
@@ -43,7 +49,7 @@ pub fn run(samples: usize, seed: u64) -> Fig7Result {
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
             Fig7Panel {
                 node,
-                points: compare_sweep(&engine, &TABLE_VOLTAGES, 128, samples, seed),
+                points: compare_sweep(&engine, &TABLE_VOLTAGES, 128, samples, seed, exec),
             }
         })
         .collect();

@@ -1,10 +1,12 @@
 //! One module per paper table/figure.
 //!
 //! Each module exposes `run(samples, seed) -> …Result` returning structured
-//! data, and the result type implements `Display` to print the paper-style
-//! rows. Paper reference values (where the paper prints them) are carried
-//! alongside the measured values so the output doubles as the
-//! EXPERIMENTS.md evidence.
+//! data, plus `run_with(samples, seed, exec)` taking an
+//! [`ntv_core::Executor`] so the same experiment parallelises with
+//! bit-identical output (`run` delegates to the serial default). The result
+//! type implements `Display` to print the paper-style rows. Paper reference
+//! values (where the paper prints them) are carried alongside the measured
+//! values so the output doubles as the EXPERIMENTS.md evidence.
 
 pub mod extensions;
 pub mod fig1;

@@ -2,7 +2,7 @@
 //! duplication for the four nodes at 0.50–0.70 V.
 
 use ntv_core::duplication::DuplicationStudy;
-use ntv_core::{DatapathConfig, DatapathEngine};
+use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
 use serde::{Deserialize, Serialize};
 
@@ -41,14 +41,20 @@ impl Table1Result {
     }
 }
 
-/// Regenerate Table 1.
+/// Regenerate Table 1 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Table1Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Table 1 on an explicit executor.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Table1Result {
     let mut cells = Vec::new();
     for &node in &TechNode::ALL {
         let tech = TechModel::new(node);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let study = DuplicationStudy::new(&engine);
+        let study = DuplicationStudy::new(&engine).with_executor(exec);
         for &vdd in &TABLE_VOLTAGES {
             let cell = match study.solve(vdd, 128, samples, seed) {
                 Ok(sol) => Table1Cell {

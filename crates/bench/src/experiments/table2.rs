@@ -2,7 +2,7 @@
 //! at 0.50–0.70 V.
 
 use ntv_core::margining::{MarginSolution, MarginStudy};
-use ntv_core::{DatapathConfig, DatapathEngine};
+use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::calib;
 use ntv_device::{TechModel, TechNode};
 use serde::{Deserialize, Serialize};
@@ -38,14 +38,20 @@ impl Table2Result {
     }
 }
 
-/// Regenerate Table 2.
+/// Regenerate Table 2 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Table2Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Table 2 on an explicit executor.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Table2Result {
     let mut cells = Vec::new();
     for &node in &TechNode::ALL {
         let tech = TechModel::new(node);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let study = MarginStudy::new(&engine);
+        let study = MarginStudy::new(&engine).with_executor(exec);
         for (row, &vdd) in TABLE_VOLTAGES.iter().enumerate() {
             let solution = study.solve(vdd, samples, seed);
             let paper_margin = calib::TABLE2_MARGIN_MV[row].1[calib::node_index(node)] / 1000.0;

@@ -2,7 +2,7 @@
 //! 128-wide system at 600 mV in 45 nm, and the minimum-power combination.
 
 use ntv_core::dse::{DesignChoice, DseStudy};
-use ntv_core::{DatapathConfig, DatapathEngine};
+use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
 use serde::{Deserialize, Serialize};
 
@@ -22,13 +22,19 @@ pub struct Table3Result {
     pub best: DesignChoice,
 }
 
-/// Regenerate Table 3.
+/// Regenerate Table 3 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Table3Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Table 3 on an explicit executor.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Table3Result {
     let vdd = 0.60;
     let tech = TechModel::new(TechNode::Gp45);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-    let dse = DseStudy::new(&engine);
+    let dse = DseStudy::new(&engine).with_executor(exec);
     let choices = dse.explore(vdd, &SPARE_CANDIDATES, samples, seed);
     let best = DseStudy::best(&choices);
     Table3Result { vdd, choices, best }

@@ -3,7 +3,7 @@
 //! four nodes at 0.50–0.70 V.
 
 use ntv_core::frequency::{frequency_margining, FrequencyRow};
-use ntv_core::{DatapathConfig, DatapathEngine};
+use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
 use serde::{Deserialize, Serialize};
 
@@ -36,9 +36,15 @@ impl Table4Result {
     }
 }
 
-/// Regenerate Table 4.
+/// Regenerate Table 4 (all available cores).
 #[must_use]
 pub fn run(samples: usize, seed: u64) -> Table4Result {
+    run_with(samples, seed, Executor::default())
+}
+
+/// Regenerate Table 4 on an explicit executor.
+#[must_use]
+pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Table4Result {
     let mut cells = Vec::new();
     for &node in &TechNode::ALL {
         let tech = TechModel::new(node);
@@ -46,7 +52,7 @@ pub fn run(samples: usize, seed: u64) -> Table4Result {
         for &vdd in &TABLE_VOLTAGES {
             cells.push(Table4Cell {
                 node,
-                row: frequency_margining(&engine, vdd, samples, seed),
+                row: frequency_margining(&engine, vdd, samples, seed, exec),
             });
         }
     }

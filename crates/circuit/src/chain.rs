@@ -8,7 +8,9 @@
 //! `N` inverters.
 
 use ntv_device::{ChipSample, TechModel};
-use ntv_mc::{StreamRng, Summary};
+#[cfg(test)]
+use ntv_mc::StreamRng;
+use ntv_mc::{SampleStream, Summary};
 
 /// Gate-level Monte-Carlo engine for an `N`-stage FO4 inverter chain.
 ///
@@ -65,7 +67,12 @@ impl<'a> ChainMc<'a> {
     }
 
     /// Sample the chain delay (ps) on an already-drawn chip.
-    pub fn sample_on_chip_ps(&self, vdd: f64, chip: &ChipSample, rng: &mut StreamRng) -> f64 {
+    pub fn sample_on_chip_ps<R: SampleStream + ?Sized>(
+        &self,
+        vdd: f64,
+        chip: &ChipSample,
+        rng: &mut R,
+    ) -> f64 {
         (0..self.length)
             .map(|_| {
                 let gate = self.tech.sample_gate(rng);
@@ -76,26 +83,41 @@ impl<'a> ChainMc<'a> {
 
     /// Sample the chain delay (ps), drawing a fresh chip (cross-chip
     /// Monte Carlo, as in Fig 1).
-    pub fn sample_ps(&self, vdd: f64, rng: &mut StreamRng) -> f64 {
+    pub fn sample_ps<R: SampleStream + ?Sized>(&self, vdd: f64, rng: &mut R) -> f64 {
         let chip = self.tech.sample_chip(rng);
         self.sample_on_chip_ps(vdd, &chip, rng)
     }
 
     /// Draw `samples` cross-chip delays (ps).
     #[must_use]
-    pub fn distribution_ps(&self, vdd: f64, samples: usize, rng: &mut StreamRng) -> Vec<f64> {
+    pub fn distribution_ps<R: SampleStream + ?Sized>(
+        &self,
+        vdd: f64,
+        samples: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
         (0..samples).map(|_| self.sample_ps(vdd, rng)).collect()
     }
 
     /// Summary statistics of `samples` cross-chip delays.
     #[must_use]
-    pub fn summary(&self, vdd: f64, samples: usize, rng: &mut StreamRng) -> Summary {
+    pub fn summary<R: SampleStream + ?Sized>(
+        &self,
+        vdd: f64,
+        samples: usize,
+        rng: &mut R,
+    ) -> Summary {
         (0..samples).map(|_| self.sample_ps(vdd, rng)).collect()
     }
 
     /// The paper's variation metric 3σ/μ for this chain at `vdd`.
     #[must_use]
-    pub fn three_sigma_over_mu(&self, vdd: f64, samples: usize, rng: &mut StreamRng) -> f64 {
+    pub fn three_sigma_over_mu<R: SampleStream + ?Sized>(
+        &self,
+        vdd: f64,
+        samples: usize,
+        rng: &mut R,
+    ) -> f64 {
         self.summary(vdd, samples, rng).three_sigma_over_mu()
     }
 }

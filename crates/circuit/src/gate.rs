@@ -7,7 +7,7 @@
 //! letting netlists mix cell types.
 
 use ntv_device::{ChipSample, GateSample, TechModel};
-use ntv_mc::StreamRng;
+use ntv_mc::SampleStream;
 use serde::{Deserialize, Serialize};
 
 /// Combinational cell types available to netlists.
@@ -70,12 +70,12 @@ impl GateKind {
     ///
     /// Inputs are delay-free sources; every other cell scales a freshly
     /// varied FO4 delay by its logical-effort factor.
-    pub fn sample_delay_ps(
+    pub fn sample_delay_ps<R: SampleStream + ?Sized>(
         self,
         tech: &TechModel,
         vdd: f64,
         chip: &ChipSample,
-        rng: &mut StreamRng,
+        rng: &mut R,
     ) -> f64 {
         if self == GateKind::Input {
             return 0.0;
@@ -106,6 +106,7 @@ impl std::fmt::Display for GateKind {
 mod tests {
     use super::*;
     use ntv_device::TechNode;
+    use ntv_mc::StreamRng;
 
     #[test]
     fn inverter_is_the_reference() {

@@ -14,7 +14,7 @@
 //! paths per SIMD lane).
 
 use ntv_device::{ChipSample, TechModel};
-use ntv_mc::StreamRng;
+use ntv_mc::SampleStream;
 
 use crate::gate::GateKind;
 use crate::netlist::{GateId, Netlist};
@@ -35,12 +35,12 @@ pub struct StaResult {
 /// The returned vector is indexed by [`GateId::index`]; primary inputs get
 /// delay 0.
 #[must_use]
-pub fn sample_delays(
+pub fn sample_delays<R: SampleStream + ?Sized>(
     netlist: &Netlist,
     tech: &TechModel,
     vdd: f64,
     chip: &ChipSample,
-    rng: &mut StreamRng,
+    rng: &mut R,
 ) -> Vec<f64> {
     netlist
         .nodes()
@@ -119,12 +119,12 @@ pub fn analyze(netlist: &Netlist, delays: &[f64]) -> StaResult {
 /// Monte-Carlo critical-path delays (ps) for a netlist: each sample draws a
 /// fresh chip and fresh per-gate delays.
 #[must_use]
-pub fn mc_critical_delays(
+pub fn mc_critical_delays<R: SampleStream + ?Sized>(
     netlist: &Netlist,
     tech: &TechModel,
     vdd: f64,
     samples: usize,
-    rng: &mut StreamRng,
+    rng: &mut R,
 ) -> Vec<f64> {
     (0..samples)
         .map(|_| {
@@ -139,6 +139,7 @@ pub fn mc_critical_delays(
 mod tests {
     use super::*;
     use ntv_device::TechNode;
+    use ntv_mc::StreamRng;
 
     fn chain_netlist(len: usize) -> Netlist {
         let mut n = Netlist::new("chain");

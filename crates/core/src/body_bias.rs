@@ -13,10 +13,11 @@
 //! target, then price it.
 
 use ntv_device::{DeviceParams, TechModel};
-use ntv_mc::{order, Quantiles, StreamRng};
+use ntv_mc::{order, CounterRng, Quantiles};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
+use crate::exec::Executor;
 use crate::overhead::DietSodaBudget;
 use crate::perf;
 
@@ -54,6 +55,7 @@ pub struct BodyBiasSolution {
 pub struct BodyBiasStudy<'a> {
     engine: &'a DatapathEngine<'a>,
     budget: DietSodaBudget,
+    exec: Executor,
     /// Fraction of NTV-domain power that is leakage at zero bias (sets the
     /// cost of exp-growing it). Diet SODA-class near-threshold logic runs
     /// around 15 % leakage share.
@@ -70,8 +72,17 @@ impl<'a> BodyBiasStudy<'a> {
         Self {
             engine,
             budget: DietSodaBudget::paper(),
+            exec: Executor::default(),
             leakage_share: 0.15,
         }
+    }
+
+    /// Use an explicit executor (thread count) for the Monte-Carlo batches.
+    /// Results are bit-identical for any choice.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Override the zero-bias leakage share of NTV-domain power.
@@ -97,11 +108,12 @@ impl<'a> BodyBiasStudy<'a> {
         // Unconditional normal fit of the biased path distribution, as in
         // VariationMode::PaperNormal (quadrature over systematic draws).
         let dist = crate::engine::PathDistribution::build(&biased, vdd, config.path_length);
-        let mut rng = StreamRng::from_seed_and_label(seed, "abb-eval");
+        let stream = CounterRng::new(seed, "abb-eval");
         let n = config.critical_path_count();
-        let samples_ns: Vec<f64> = (0..samples)
-            .map(|_| order::sample_max_normal(&mut rng, n, dist.mean_ps(), dist.std_ps()) / 1000.0)
-            .collect();
+        let samples_ns: Vec<f64> = self.exec.map_indexed(samples as u64, |i| {
+            let mut draws = stream.at(i);
+            order::sample_max_normal(&mut draws, n, dist.mean_ps(), dist.std_ps()) / 1000.0
+        });
         Quantiles::from_samples(samples_ns).q99()
     }
 
@@ -126,7 +138,7 @@ impl<'a> BodyBiasStudy<'a> {
     pub fn solve(&self, vdd: f64, samples: usize, seed: u64) -> BodyBiasSolution {
         const TOLERANCE: f64 = 0.1e-3;
         let target_ns = {
-            let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed);
+            let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed, self.exec);
             base_fo4 * self.engine.fo4_unit_ps(vdd) / 1000.0
         };
         if self.q99_ns_with_bias(vdd, 0.0, samples, seed) <= target_ns {

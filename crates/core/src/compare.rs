@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::duplication::DuplicationStudy;
 use crate::engine::DatapathEngine;
+use crate::exec::Executor;
 use crate::margining::MarginStudy;
 
 /// Which mitigation technique a comparison favours.
@@ -66,9 +67,14 @@ pub fn compare_at(
     max_spares: u32,
     samples: usize,
     seed: u64,
+    exec: Executor,
 ) -> ComparisonPoint {
-    let dup = DuplicationStudy::new(engine).solve(vdd, max_spares, samples, seed);
-    let margin = MarginStudy::new(engine).solve(vdd, samples, seed);
+    let dup = DuplicationStudy::new(engine)
+        .with_executor(exec)
+        .solve(vdd, max_spares, samples, seed);
+    let margin = MarginStudy::new(engine)
+        .with_executor(exec)
+        .solve(vdd, samples, seed);
     ComparisonPoint {
         vdd,
         spares: dup.as_ref().ok().map(|s| s.spares),
@@ -86,10 +92,11 @@ pub fn compare_sweep(
     max_spares: u32,
     samples: usize,
     seed: u64,
+    exec: Executor,
 ) -> Vec<ComparisonPoint> {
     voltages
         .iter()
-        .map(|&v| compare_at(engine, v, max_spares, samples, seed))
+        .map(|&v| compare_at(engine, v, max_spares, samples, seed, exec))
         .collect()
 }
 
@@ -107,7 +114,7 @@ mod tests {
         // than any voltage margin.
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let p = compare_at(&engine, 0.65, 128, SAMPLES, 1);
+        let p = compare_at(&engine, 0.65, 128, SAMPLES, 1, Executor::default());
         assert_eq!(p.preferred(), Technique::Duplication, "{p:?}");
     }
 
@@ -116,7 +123,7 @@ mod tests {
         // Fig 7(b)/§4.4: in 45 nm at 0.5-0.6 V margining is cheaper.
         let tech = TechModel::new(TechNode::Gp45);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let p = compare_at(&engine, 0.55, 128, SAMPLES, 2);
+        let p = compare_at(&engine, 0.55, 128, SAMPLES, 2, Executor::default());
         assert_eq!(p.preferred(), Technique::VoltageMargining, "{p:?}");
     }
 
@@ -124,7 +131,7 @@ mod tests {
     fn unsolvable_duplication_defers_to_margining() {
         let tech = TechModel::new(TechNode::PtmHp22);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let p = compare_at(&engine, 0.50, 128, 1000, 3);
+        let p = compare_at(&engine, 0.50, 128, 1000, 3, Executor::default());
         assert!(p.duplication_power.is_none(), "{p:?}");
         assert_eq!(p.preferred(), Technique::VoltageMargining);
     }
@@ -133,7 +140,7 @@ mod tests {
     fn sweep_produces_one_point_per_voltage() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let pts = compare_sweep(&engine, &[0.6, 0.65, 0.7], 64, 800, 4);
+        let pts = compare_sweep(&engine, &[0.6, 0.65, 0.7], 64, 800, 4, Executor::default());
         assert_eq!(pts.len(), 3);
         for (p, v) in pts.iter().zip([0.6, 0.65, 0.7]) {
             assert_eq!(p.vdd, v);

@@ -8,10 +8,11 @@
 //! the optimum at (2 spares, 10 mV) ≈ 1.7 %, beating duplication-only
 //! (26 spares, 4.3 %) and margining-only (17 mV, 2.4 %).
 
-use ntv_mc::StreamRng;
+use ntv_mc::CounterRng;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
+use crate::exec::Executor;
 use crate::overhead::DietSodaBudget;
 use crate::perf;
 
@@ -31,6 +32,7 @@ pub struct DesignChoice {
 pub struct DseStudy<'a> {
     engine: &'a DatapathEngine<'a>,
     budget: DietSodaBudget,
+    exec: Executor,
 }
 
 impl<'a> DseStudy<'a> {
@@ -40,7 +42,16 @@ impl<'a> DseStudy<'a> {
         Self {
             engine,
             budget: DietSodaBudget::paper(),
+            exec: Executor::default(),
         }
+    }
+
+    /// Use an explicit executor (thread count) for the Monte-Carlo batches.
+    /// Results are bit-identical for any choice.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// q99 chip delay (ns) at an effective voltage with α spares, chip
@@ -56,15 +67,17 @@ impl<'a> DseStudy<'a> {
         let lanes = self.engine.config().lanes;
         let physical = lanes + spares as usize;
         let fo4_ps = self.engine.tech().fo4_delay_ps(vdd_effective);
-        let mut rng = StreamRng::from_seed_and_label(seed, "dse-eval");
-        let mut worst_used: Vec<f64> = (0..samples)
-            .map(|_| {
-                let row = self
-                    .engine
-                    .sample_lane_delays_fo4(vdd_effective, physical, &mut rng);
-                ntv_mc::order::kth_smallest(&row, lanes - 1)
-            })
-            .collect();
+        // Chip `i` is `(seed, "dse-eval", i)`-addressed: common random
+        // numbers across effective voltages, bit-identical for any thread
+        // count. Warm the per-vdd cache before forking.
+        let _ = self.engine.path_distribution(vdd_effective);
+        let stream = CounterRng::new(seed, "dse-eval");
+        let mut worst_used: Vec<f64> = self.exec.map_indexed(samples as u64, |i| {
+            let row = self
+                .engine
+                .sample_lane_delays_fo4_at(vdd_effective, physical, &stream, i);
+            ntv_mc::order::kth_smallest(&row, lanes - 1)
+        });
         worst_used.sort_by(f64::total_cmp);
         let q = ntv_mc::Quantiles::from_samples(worst_used);
         q.q99() * fo4_ps / 1000.0
@@ -117,7 +130,7 @@ impl<'a> DseStudy<'a> {
         seed: u64,
     ) -> Vec<DesignChoice> {
         let target_ns = {
-            let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed);
+            let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed, self.exec);
             base_fo4 * self.engine.tech().fo4_delay_ps(vdd) / 1000.0
         };
         spare_candidates
@@ -152,6 +165,7 @@ mod tests {
     use super::*;
     use crate::config::DatapathConfig;
     use ntv_device::{TechModel, TechNode};
+    use ntv_mc::StreamRng;
 
     const SAMPLES: usize = 1200;
 

@@ -13,10 +13,11 @@
 //! prefix — and adding a spare can only lower each sample, so the q99 is
 //! monotone in α and binary search is sound.
 
-use ntv_mc::{order, Quantiles, StreamRng};
+use ntv_mc::{order, CounterRng, Quantiles};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{ChipDelayDistribution, DatapathEngine};
+use crate::exec::Executor;
 use crate::overhead::DietSodaBudget;
 use crate::perf;
 
@@ -127,6 +128,7 @@ pub struct SpareSolution {
 pub struct DuplicationStudy<'a> {
     engine: &'a DatapathEngine<'a>,
     budget: DietSodaBudget,
+    exec: Executor,
 }
 
 impl<'a> DuplicationStudy<'a> {
@@ -136,13 +138,26 @@ impl<'a> DuplicationStudy<'a> {
         Self {
             engine,
             budget: DietSodaBudget::paper(),
+            exec: Executor::default(),
         }
     }
 
     /// Study with a custom overhead budget.
     #[must_use]
     pub fn with_budget(engine: &'a DatapathEngine<'a>, budget: DietSodaBudget) -> Self {
-        Self { engine, budget }
+        Self {
+            engine,
+            budget,
+            exec: Executor::default(),
+        }
+    }
+
+    /// Use an explicit executor (thread count) for the Monte-Carlo batches.
+    /// Results are bit-identical for any choice.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Sample a lane-delay matrix at `vdd` wide enough for `max_spares`.
@@ -156,10 +171,15 @@ impl<'a> DuplicationStudy<'a> {
     ) -> LaneDelayMatrix {
         let lanes = self.engine.config().lanes;
         let max_lanes = lanes + max_spares as usize;
-        let mut rng = StreamRng::from_seed_and_label(seed, "duplication-matrix");
-        let rows: Vec<Vec<f64>> = (0..samples)
-            .map(|_| self.engine.sample_lane_delays_fo4(vdd, max_lanes, &mut rng))
-            .collect();
+        // Chip `i`'s lane delays are addressed as `(seed, label, i)`, so the
+        // matrix is bit-identical for any thread count. Warm the per-vdd
+        // distribution cache before forking.
+        let _ = self.engine.path_distribution(vdd);
+        let stream = CounterRng::new(seed, "duplication-matrix");
+        let rows: Vec<Vec<f64>> = self.exec.map_indexed(samples as u64, |i| {
+            self.engine
+                .sample_lane_delays_fo4_at(vdd, max_lanes, &stream, i)
+        });
         LaneDelayMatrix {
             vdd,
             fo4_unit_ps: self.engine.tech().fo4_delay_ps(vdd),
@@ -222,7 +242,7 @@ impl<'a> DuplicationStudy<'a> {
         samples: usize,
         seed: u64,
     ) -> Result<SpareSolution, SparesExceeded> {
-        let target = perf::baseline_q99_fo4(self.engine, samples, seed);
+        let target = perf::baseline_q99_fo4(self.engine, samples, seed, self.exec);
         let matrix = self.sample_matrix(vdd, max_spares, samples, seed);
         let spares = self.required_spares(&matrix, target)?;
         let q99 = matrix

@@ -36,10 +36,13 @@ use std::sync::{Arc, Mutex};
 
 use ntv_circuit::path_model::{PathModel, PathMoments};
 use ntv_device::{ChipSample, TechModel};
-use ntv_mc::{normal, order, GaussHermite, Histogram, Quantiles, StreamRng};
+#[cfg(test)]
+use ntv_mc::StreamRng;
+use ntv_mc::{normal, order, CounterRng, GaussHermite, Histogram, Quantiles, SampleStream};
 use serde::{Deserialize, Serialize};
 
 use crate::config::DatapathConfig;
+use crate::exec::Executor;
 
 /// How process variation is correlated across the datapath, and what tail
 /// shape path delays have.
@@ -208,7 +211,7 @@ impl PathDistribution {
     }
 
     /// Sample one path delay (ps).
-    pub fn sample(&self, rng: &mut StreamRng) -> f64 {
+    pub fn sample<R: SampleStream + ?Sized>(&self, rng: &mut R) -> f64 {
         let u = rng.uniform_open();
         self.quantile_by_survival((1.0 - u).max(f64::MIN_POSITIVE))
     }
@@ -218,7 +221,7 @@ impl PathDistribution {
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    pub fn sample_max(&self, n: usize, rng: &mut StreamRng) -> f64 {
+    pub fn sample_max<R: SampleStream + ?Sized>(&self, n: usize, rng: &mut R) -> f64 {
         assert!(n > 0, "maximum of zero paths is undefined");
         let u = rng.uniform_open();
         // Survival target of the max: 1 − u^(1/n), computed stably.
@@ -368,11 +371,11 @@ impl<'a> DatapathEngine<'a> {
     ///
     /// Each lane delay is the maximum of `paths_per_lane` path delays.
     #[must_use]
-    pub fn sample_lane_delays_fo4(
+    pub fn sample_lane_delays_fo4<R: SampleStream + ?Sized>(
         &self,
         vdd: f64,
         n_lanes: usize,
-        rng: &mut StreamRng,
+        rng: &mut R,
     ) -> Vec<f64> {
         let dist = self.path_distribution(vdd);
         let fo4 = dist.mean_ps() / self.config.path_length as f64;
@@ -412,7 +415,7 @@ impl<'a> DatapathEngine<'a> {
     /// Sample one chip delay (FO4 units): the slowest lane of the
     /// datapath.
     #[must_use]
-    pub fn sample_chip_delay_fo4(&self, vdd: f64, rng: &mut StreamRng) -> f64 {
+    pub fn sample_chip_delay_fo4<R: SampleStream + ?Sized>(&self, vdd: f64, rng: &mut R) -> f64 {
         let dist = self.path_distribution(vdd);
         let fo4 = dist.mean_ps() / self.config.path_length as f64;
         match self.mode {
@@ -441,11 +444,11 @@ impl<'a> DatapathEngine<'a> {
     ///
     /// Panics if `samples == 0`.
     #[must_use]
-    pub fn chip_delay_distribution(
+    pub fn chip_delay_distribution<R: SampleStream + ?Sized>(
         &self,
         vdd: f64,
         samples: usize,
-        rng: &mut StreamRng,
+        rng: &mut R,
     ) -> ChipDelayDistribution {
         assert!(samples > 0, "need at least one Monte-Carlo sample");
         let data: Vec<f64> = (0..samples)
@@ -454,6 +457,109 @@ impl<'a> DatapathEngine<'a> {
         ChipDelayDistribution {
             vdd,
             fo4_unit_ps: self.fo4_unit_ps(vdd),
+            fo4_quantiles: Quantiles::from_samples(data),
+        }
+    }
+
+    /// Sample chip delay number `index` (FO4 units) from a counter-based
+    /// stream: a pure function of `(stream key, index)`, so any subset of
+    /// indexes can be evaluated on any thread without changing any value.
+    #[must_use]
+    pub fn sample_chip_delay_fo4_at(&self, vdd: f64, stream: &CounterRng, index: u64) -> f64 {
+        let mut draws = stream.at(index);
+        self.sample_chip_delay_fo4(vdd, &mut draws)
+    }
+
+    /// Index-addressed counterpart of [`Self::sample_lane_delays_fo4`]:
+    /// lane delays of chip `index`, a pure function of `(stream key, index)`.
+    #[must_use]
+    pub fn sample_lane_delays_fo4_at(
+        &self,
+        vdd: f64,
+        n_lanes: usize,
+        stream: &CounterRng,
+        index: u64,
+    ) -> Vec<f64> {
+        let mut draws = stream.at(index);
+        self.sample_lane_delays_fo4(vdd, n_lanes, &mut draws)
+    }
+
+    /// Chip-delay samples (FO4 units) for a contiguous index range,
+    /// evaluated in parallel by `exec`. Output is in index order and
+    /// bit-identical for any thread count.
+    #[must_use]
+    pub fn sample_batch(
+        &self,
+        vdd: f64,
+        stream: &CounterRng,
+        range: std::ops::Range<u64>,
+        exec: Executor,
+    ) -> Vec<f64> {
+        // Warm the per-vdd distribution cache once, outside the fork, so
+        // workers never contend on (or double-build) it.
+        let _ = self.path_distribution(vdd);
+        let start = range.start;
+        exec.map_indexed(range.end - range.start, |i| {
+            self.sample_chip_delay_fo4_at(vdd, stream, start + i)
+        })
+    }
+
+    /// Monte-Carlo chip-delay distribution at `vdd` from a counter-based
+    /// stream, evaluated in parallel by `exec`.
+    ///
+    /// Sample `i` is `(stream key, i)`-addressed, so the distribution is
+    /// bit-identical for any thread count — the deterministic-parallel
+    /// contract DESIGN.md §7 documents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    #[must_use]
+    pub fn chip_delay_distribution_par(
+        &self,
+        vdd: f64,
+        samples: usize,
+        stream: &CounterRng,
+        exec: Executor,
+    ) -> ChipDelayDistribution {
+        assert!(samples > 0, "need at least one Monte-Carlo sample");
+        let data = self.sample_batch(vdd, stream, 0..samples as u64, exec);
+        ChipDelayDistribution {
+            vdd,
+            fo4_unit_ps: self.fo4_unit_ps(vdd),
+            fo4_quantiles: Quantiles::from_samples(data),
+        }
+    }
+
+    /// Index-addressed, parallel counterpart of
+    /// [`Self::path_delay_distribution`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    #[must_use]
+    pub fn path_delay_distribution_par(
+        &self,
+        vdd: f64,
+        samples: usize,
+        stream: &CounterRng,
+        exec: Executor,
+    ) -> ChipDelayDistribution {
+        assert!(samples > 0, "need at least one Monte-Carlo sample");
+        let dist = self.path_distribution(vdd);
+        let fo4 = dist.mean_ps() / self.config.path_length as f64;
+        let data = exec.map_indexed(samples as u64, |i| {
+            let mut draws = stream.at(i);
+            match self.mode {
+                VariationMode::SkewedIid | VariationMode::Hierarchical => {
+                    dist.sample(&mut draws) / fo4
+                }
+                VariationMode::PaperNormal => draws.normal(dist.mean_ps(), dist.std_ps()) / fo4,
+            }
+        });
+        ChipDelayDistribution {
+            vdd,
+            fo4_unit_ps: fo4,
             fo4_quantiles: Quantiles::from_samples(data),
         }
     }
@@ -469,11 +575,11 @@ impl<'a> DatapathEngine<'a> {
     /// Distribution of a *single critical path's* delay in FO4 units
     /// (the leftmost curve of Fig 3).
     #[must_use]
-    pub fn path_delay_distribution(
+    pub fn path_delay_distribution<R: SampleStream + ?Sized>(
         &self,
         vdd: f64,
         samples: usize,
-        rng: &mut StreamRng,
+        rng: &mut R,
     ) -> ChipDelayDistribution {
         assert!(samples > 0, "need at least one Monte-Carlo sample");
         let dist = self.path_distribution(vdd);
@@ -657,6 +763,66 @@ mod tests {
         let mut rng = StreamRng::from_seed(7);
         let d = engine.path_delay_distribution(1.0, 3000, &mut rng);
         assert!((d.fo4_quantiles.median() / 50.0 - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn counter_sampling_is_index_pure_and_thread_invariant() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = engine_default(&tech);
+        let stream = ntv_mc::CounterRng::new(2012, "engine-test");
+        // Pure function of (key, index): repeated evaluation is bitwise equal.
+        let a = engine.sample_chip_delay_fo4_at(0.55, &stream, 7);
+        let b = engine.sample_chip_delay_fo4_at(0.55, &stream, 7);
+        assert_eq!(a.to_bits(), b.to_bits());
+        // Batch output equals the per-index loop, for any thread count.
+        let serial = engine.sample_batch(0.55, &stream, 0..500, Executor::serial());
+        let par = engine.sample_batch(0.55, &stream, 0..500, Executor::new(8));
+        assert!(serial
+            .iter()
+            .zip(&par)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(serial[7].to_bits(), a.to_bits());
+    }
+
+    #[test]
+    fn counter_distribution_matches_stream_distribution_statistically() {
+        // The counter-based and sequential samplers draw from the same
+        // distribution; quantiles must agree to MC accuracy.
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = engine_default(&tech);
+        let stream = ntv_mc::CounterRng::new(11, "engine-test");
+        let ctr = engine.chip_delay_distribution_par(0.55, 4000, &stream, Executor::default());
+        let mut rng = StreamRng::from_seed(12);
+        let seq = engine.chip_delay_distribution(0.55, 4000, &mut rng);
+        for p in [0.1, 0.5, 0.9, 0.99] {
+            let (a, b) = (ctr.quantile_fo4(p), seq.quantile_fo4(p));
+            assert!((a / b - 1.0).abs() < 0.02, "p={p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_counter_sampling_is_thread_invariant() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::with_mode(
+            &tech,
+            DatapathConfig::paper_default(),
+            VariationMode::Hierarchical,
+        );
+        let stream = ntv_mc::CounterRng::new(3, "engine-test");
+        let serial = engine.chip_delay_distribution_par(0.6, 300, &stream, Executor::serial());
+        let par = engine.chip_delay_distribution_par(0.6, 300, &stream, Executor::new(8));
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn parallel_path_distribution_is_thread_invariant() {
+        let tech = TechModel::new(TechNode::Gp45);
+        let engine = engine_default(&tech);
+        let stream = ntv_mc::CounterRng::new(5, "engine-test");
+        let serial = engine.path_delay_distribution_par(0.6, 2000, &stream, Executor::serial());
+        let par = engine.path_delay_distribution_par(0.6, 2000, &stream, Executor::new(4));
+        assert_eq!(serial, par);
+        assert!((serial.fo4_quantiles.median() / 50.0 - 1.0).abs() < 0.05);
     }
 
     #[test]

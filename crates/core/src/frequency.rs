@@ -10,10 +10,11 @@
 //! margin approaches 20 %, and because the SIMD clock must stay an integer
 //! multiple of the memory clock, frequency margining alone is unattractive.
 
-use ntv_mc::StreamRng;
+use ntv_mc::CounterRng;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
+use crate::exec::Executor;
 use crate::perf;
 
 /// One row of Table 4.
@@ -36,12 +37,13 @@ pub fn frequency_margining(
     vdd: f64,
     samples: usize,
     seed: u64,
+    exec: Executor,
 ) -> FrequencyRow {
-    let base_fo4 = perf::baseline_q99_fo4(engine, samples, seed);
+    let base_fo4 = perf::baseline_q99_fo4(engine, samples, seed, exec);
     let t_clk_ns = base_fo4 * engine.tech().fo4_delay_ps(vdd) / 1000.0;
-    let mut rng = StreamRng::from_seed_and_label(seed, "freq-margin");
+    let stream = CounterRng::new(seed, "freq-margin");
     let t_va_clk_ns = engine
-        .chip_delay_distribution(vdd, samples, &mut rng)
+        .chip_delay_distribution_par(vdd, samples, &stream, exec)
         .q99_ns();
     FrequencyRow {
         vdd,
@@ -81,9 +83,9 @@ mod tests {
     fn margin_grows_as_voltage_drops() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let r05 = frequency_margining(&engine, 0.5, SAMPLES, 1);
-        let r06 = frequency_margining(&engine, 0.6, SAMPLES, 1);
-        let r07 = frequency_margining(&engine, 0.7, SAMPLES, 1);
+        let r05 = frequency_margining(&engine, 0.5, SAMPLES, 1, Executor::default());
+        let r06 = frequency_margining(&engine, 0.6, SAMPLES, 1, Executor::default());
+        let r07 = frequency_margining(&engine, 0.7, SAMPLES, 1, Executor::default());
         assert!(r05.perf_drop > r06.perf_drop && r06.perf_drop > r07.perf_drop);
         // Variation-aware clock is always the slower one.
         for r in [r05, r06, r07] {
@@ -96,7 +98,7 @@ mod tests {
         // Appendix E: "required delay margins reach almost 20%".
         let tech = TechModel::new(TechNode::PtmHp22);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let r = frequency_margining(&engine, 0.5, SAMPLES, 2);
+        let r = frequency_margining(&engine, 0.5, SAMPLES, 2, Executor::default());
         assert!(r.perf_drop > 0.12 && r.perf_drop < 0.30, "{}", r.perf_drop);
     }
 
@@ -104,7 +106,7 @@ mod tests {
     fn period_scale_is_tens_of_ns_at_half_volt() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let r = frequency_margining(&engine, 0.5, SAMPLES, 3);
+        let r = frequency_margining(&engine, 0.5, SAMPLES, 3, Executor::default());
         // ~50 FO4 x 441 ps = 22 ns design period.
         assert!(r.t_clk_ns > 18.0 && r.t_clk_ns < 28.0, "{}", r.t_clk_ns);
     }

@@ -51,6 +51,7 @@ pub mod config;
 pub mod dse;
 pub mod duplication;
 pub mod engine;
+pub mod exec;
 pub mod frequency;
 pub mod margining;
 pub mod overhead;
@@ -61,4 +62,5 @@ pub mod yield_model;
 
 pub use config::DatapathConfig;
 pub use engine::{ChipDelayDistribution, DatapathEngine};
+pub use exec::Executor;
 pub use overhead::DietSodaBudget;

@@ -18,10 +18,11 @@
 //! sample-by-sample and lets us bisect to 0.1 mV — the paper quotes margins
 //! like "5.78 mV" at exactly this granularity.
 
-use ntv_mc::StreamRng;
+use ntv_mc::CounterRng;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
+use crate::exec::Executor;
 use crate::overhead::DietSodaBudget;
 use crate::perf;
 
@@ -45,6 +46,7 @@ pub struct MarginSolution {
 pub struct MarginStudy<'a> {
     engine: &'a DatapathEngine<'a>,
     budget: DietSodaBudget,
+    exec: Executor,
 }
 
 impl<'a> MarginStudy<'a> {
@@ -57,30 +59,44 @@ impl<'a> MarginStudy<'a> {
         Self {
             engine,
             budget: DietSodaBudget::paper(),
+            exec: Executor::default(),
         }
     }
 
     /// Study with a custom overhead budget.
     #[must_use]
     pub fn with_budget(engine: &'a DatapathEngine<'a>, budget: DietSodaBudget) -> Self {
-        Self { engine, budget }
+        Self {
+            engine,
+            budget,
+            exec: Executor::default(),
+        }
+    }
+
+    /// Use an explicit executor (thread count) for the Monte-Carlo batches.
+    /// Results are bit-identical for any choice.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The target chip delay (ns) for NTV operation at `vdd`:
     /// `fo4chipd@FV × FO4(vdd)`.
     #[must_use]
     pub fn target_delay_ns(&self, vdd: f64, samples: usize, seed: u64) -> f64 {
-        let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed);
+        let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed, self.exec);
         base_fo4 * self.engine.tech().fo4_delay_ps(vdd) / 1000.0
     }
 
-    /// q99 chip delay (ns) at an effective supply voltage, with the chip
-    /// draws fixed by `seed` (common random numbers across voltages).
+    /// q99 chip delay (ns) at an effective supply voltage, with chip `i`
+    /// addressed as `(seed, "margin-eval", i)` — common random numbers
+    /// across voltages by construction.
     #[must_use]
     pub fn q99_ns_at(&self, vdd_effective: f64, samples: usize, seed: u64) -> f64 {
-        let mut rng = StreamRng::from_seed_and_label(seed, "margin-eval");
+        let stream = CounterRng::new(seed, "margin-eval");
         self.engine
-            .chip_delay_distribution(vdd_effective, samples, &mut rng)
+            .chip_delay_distribution_par(vdd_effective, samples, &stream, self.exec)
             .q99_ns()
     }
 

@@ -11,10 +11,11 @@
 //! units, the raw slowdown of low-voltage operation divides out and only
 //! the *variation-induced* degradation remains.
 
-use ntv_mc::StreamRng;
+use ntv_mc::CounterRng;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
+use crate::exec::Executor;
 
 /// One point of the Fig 4 sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,28 +30,35 @@ pub struct PerfDropPoint {
 
 /// The nominal-voltage baseline fo4chipd for `engine`.
 #[must_use]
-pub fn baseline_q99_fo4(engine: &DatapathEngine<'_>, samples: usize, seed: u64) -> f64 {
-    let mut rng = StreamRng::from_seed_and_label(seed, "perf-baseline");
+pub fn baseline_q99_fo4(
+    engine: &DatapathEngine<'_>,
+    samples: usize,
+    seed: u64,
+    exec: Executor,
+) -> f64 {
+    let stream = CounterRng::new(seed, "perf-baseline");
     engine
-        .chip_delay_distribution(engine.tech().nominal_vdd(), samples, &mut rng)
+        .chip_delay_distribution_par(engine.tech().nominal_vdd(), samples, &stream, exec)
         .q99_fo4()
 }
 
 /// Performance drop at a single voltage.
 ///
-/// Common random numbers: the baseline and the NTV run use seeds derived
-/// from the same `seed`, so repeated calls are reproducible.
+/// Common random numbers by construction: chip `i` of the NTV run is
+/// addressed as `(seed, "perf-ntv", i)` regardless of voltage or thread
+/// count, so repeated calls are bit-reproducible.
 #[must_use]
 pub fn performance_drop(
     engine: &DatapathEngine<'_>,
     vdd: f64,
     samples: usize,
     seed: u64,
+    exec: Executor,
 ) -> PerfDropPoint {
-    let base = baseline_q99_fo4(engine, samples, seed);
-    let mut rng = StreamRng::from_seed_and_label(seed, "perf-ntv");
+    let base = baseline_q99_fo4(engine, samples, seed, exec);
+    let stream = CounterRng::new(seed, "perf-ntv");
     let q99 = engine
-        .chip_delay_distribution(vdd, samples, &mut rng)
+        .chip_delay_distribution_par(vdd, samples, &stream, exec)
         .q99_fo4();
     PerfDropPoint {
         vdd,
@@ -61,22 +69,24 @@ pub fn performance_drop(
 
 /// Performance-drop sweep over several voltages (one Fig 4 curve).
 ///
-/// The baseline is computed once; every voltage reuses the same chip draws
-/// (common random numbers), making the curve smooth in `vdd`.
+/// The baseline is computed once; every voltage reuses the same
+/// index-addressed chip draws (common random numbers), making the curve
+/// smooth in `vdd`.
 #[must_use]
 pub fn performance_drop_sweep(
     engine: &DatapathEngine<'_>,
     voltages: &[f64],
     samples: usize,
     seed: u64,
+    exec: Executor,
 ) -> Vec<PerfDropPoint> {
-    let base = baseline_q99_fo4(engine, samples, seed);
+    let base = baseline_q99_fo4(engine, samples, seed, exec);
+    let stream = CounterRng::new(seed, "perf-ntv");
     voltages
         .iter()
         .map(|&vdd| {
-            let mut rng = StreamRng::from_seed_and_label(seed, "perf-ntv");
             let q99 = engine
-                .chip_delay_distribution(vdd, samples, &mut rng)
+                .chip_delay_distribution_par(vdd, samples, &stream, exec)
                 .q99_fo4();
             PerfDropPoint {
                 vdd,
@@ -99,10 +109,11 @@ mod tests {
     fn drop_matches_fig4_90nm() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let exec = Executor::default();
         // Paper: 5% @0.5V, 2.5% @0.55V, 1.5% @0.6V.
-        let d05 = performance_drop(&engine, 0.50, SAMPLES, 1).drop;
-        let d055 = performance_drop(&engine, 0.55, SAMPLES, 1).drop;
-        let d06 = performance_drop(&engine, 0.60, SAMPLES, 1).drop;
+        let d05 = performance_drop(&engine, 0.50, SAMPLES, 1, exec).drop;
+        let d055 = performance_drop(&engine, 0.55, SAMPLES, 1, exec).drop;
+        let d06 = performance_drop(&engine, 0.60, SAMPLES, 1, exec).drop;
         assert!((0.03..0.08).contains(&d05), "0.50V: {d05}");
         assert!((0.015..0.045).contains(&d055), "0.55V: {d055}");
         assert!((0.008..0.03).contains(&d06), "0.60V: {d06}");
@@ -113,7 +124,7 @@ mod tests {
     fn drop_matches_fig4_22nm() {
         let tech = TechModel::new(TechNode::PtmHp22);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let d05 = performance_drop(&engine, 0.50, SAMPLES, 2).drop;
+        let d05 = performance_drop(&engine, 0.50, SAMPLES, 2, Executor::default()).drop;
         // Paper: climbs to ~18-20% at 0.5 V.
         assert!((0.12..0.28).contains(&d05), "22nm 0.5V: {d05}");
     }
@@ -122,7 +133,7 @@ mod tests {
     fn drop_at_nominal_is_zero() {
         let tech = TechModel::new(TechNode::Gp45);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let d = performance_drop(&engine, 1.0, SAMPLES, 3).drop;
+        let d = performance_drop(&engine, 1.0, SAMPLES, 3, Executor::default()).drop;
         // Same voltage, different random streams: only MC noise remains.
         assert!(d.abs() < 0.01, "drop at nominal: {d}");
     }
@@ -131,7 +142,13 @@ mod tests {
     fn sweep_is_monotone_decreasing_in_v() {
         let tech = TechModel::new(TechNode::PtmHp32);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let pts = performance_drop_sweep(&engine, &[0.5, 0.55, 0.6, 0.65, 0.7], SAMPLES, 4);
+        let pts = performance_drop_sweep(
+            &engine,
+            &[0.5, 0.55, 0.6, 0.65, 0.7],
+            SAMPLES,
+            4,
+            Executor::default(),
+        );
         for w in pts.windows(2) {
             assert!(w[0].drop > w[1].drop, "{:?}", pts);
         }
@@ -145,7 +162,7 @@ mod tests {
             .map(|&n| {
                 let tech = TechModel::new(n);
                 let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-                performance_drop(&engine, 0.5, samples, 5).drop
+                performance_drop(&engine, 0.5, samples, 5, Executor::default()).drop
             })
             .collect();
         // 90nm smallest, 22nm largest (Fig 4).
@@ -153,5 +170,15 @@ mod tests {
             drops[0] < drops[1] && drops[0] < drops[2] && drops[3] > drops[2],
             "{drops:?}"
         );
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let serial = performance_drop(&engine, 0.55, 1000, 6, Executor::serial());
+        let par = performance_drop(&engine, 0.55, 1000, 6, Executor::new(8));
+        assert_eq!(serial.q99_fo4.to_bits(), par.q99_fo4.to_bits());
+        assert_eq!(serial.drop.to_bits(), par.drop.to_bits());
     }
 }

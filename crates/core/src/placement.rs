@@ -9,7 +9,7 @@
 //! probabilities are exact binomial expressions, computed here and checked
 //! by Monte Carlo.
 
-use ntv_mc::StreamRng;
+use ntv_mc::SampleStream;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
@@ -125,12 +125,12 @@ pub fn repair_probability(placement: SparePlacement, lanes: u32, p_fail: f64) ->
 
 /// Monte-Carlo estimate of [`repair_probability`] (validation helper).
 #[must_use]
-pub fn mc_repair_probability(
+pub fn mc_repair_probability<R: SampleStream + ?Sized>(
     placement: SparePlacement,
     lanes: u32,
     p_fail: f64,
     trials: usize,
-    rng: &mut StreamRng,
+    rng: &mut R,
 ) -> f64 {
     assert!((0.0..=1.0).contains(&p_fail), "probability out of range");
     let mut ok = 0usize;
@@ -163,12 +163,12 @@ pub fn mc_repair_probability(
 /// Per-lane timing-failure probability at `vdd` for a given clock period:
 /// the fraction of lanes whose delay exceeds `t_clk_ns`.
 #[must_use]
-pub fn lane_failure_probability(
+pub fn lane_failure_probability<R: SampleStream + ?Sized>(
     engine: &DatapathEngine<'_>,
     vdd: f64,
     t_clk_ns: f64,
     samples: usize,
-    rng: &mut StreamRng,
+    rng: &mut R,
 ) -> f64 {
     let fo4_ps = engine.tech().fo4_delay_ps(vdd);
     let t_clk_fo4 = t_clk_ns * 1000.0 / fo4_ps;
@@ -188,6 +188,7 @@ mod tests {
     use super::*;
     use crate::config::DatapathConfig;
     use ntv_device::{TechModel, TechNode};
+    use ntv_mc::StreamRng;
 
     #[test]
     fn binomial_cdf_known_values() {

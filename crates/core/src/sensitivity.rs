@@ -10,11 +10,12 @@
 //! everything.
 
 use ntv_device::{DeviceParams, TechModel};
-use ntv_mc::StreamRng;
+use ntv_mc::CounterRng;
 use serde::{Deserialize, Serialize};
 
 use crate::config::DatapathConfig;
 use crate::engine::{DatapathEngine, VariationMode};
+use crate::exec::Executor;
 
 /// One variation source of the device model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -98,14 +99,15 @@ pub fn decompose(
     vdd: f64,
     samples: usize,
     seed: u64,
+    exec: Executor,
 ) -> SensitivityReport {
     let ideal = config.path_length as f64;
     let q99_excess = |params: DeviceParams| -> f64 {
         let frozen_tech = TechModel::from_params(params);
         let engine = DatapathEngine::with_mode(&frozen_tech, config, VariationMode::PaperNormal);
-        let mut rng = StreamRng::from_seed_and_label(seed, "sensitivity");
+        let stream = CounterRng::new(seed, "sensitivity");
         engine
-            .chip_delay_distribution(vdd, samples, &mut rng)
+            .chip_delay_distribution_par(vdd, samples, &stream, exec)
             .q99_fo4()
             - ideal
     };
@@ -159,6 +161,7 @@ impl std::fmt::Display for SensitivityReport {
 mod tests {
     use super::*;
     use ntv_device::TechNode;
+    use ntv_mc::StreamRng;
 
     #[test]
     fn freezing_everything_removes_the_excess() {
@@ -185,7 +188,14 @@ mod tests {
         // components (systematic + RDF/LER) carry the bulk of the
         // chip-delay excess, far ahead of the current-factor components.
         let tech = TechModel::new(TechNode::PtmHp22);
-        let r = decompose(&tech, DatapathConfig::paper_default(), 0.5, 2_000, 2);
+        let r = decompose(
+            &tech,
+            DatapathConfig::paper_default(),
+            0.5,
+            2_000,
+            2,
+            Executor::default(),
+        );
         assert!(r.full_excess_fo4 > 2.0);
         let share = |src: VariationSource| {
             r.contributions
@@ -207,7 +217,14 @@ mod tests {
     #[test]
     fn shares_are_ordered_and_plausible() {
         let tech = TechModel::new(TechNode::Gp90);
-        let r = decompose(&tech, DatapathConfig::paper_default(), 0.55, 2_000, 3);
+        let r = decompose(
+            &tech,
+            DatapathConfig::paper_default(),
+            0.55,
+            2_000,
+            3,
+            Executor::default(),
+        );
         for w in r.contributions.windows(2) {
             assert!(w[0].share >= w[1].share);
         }
@@ -221,7 +238,15 @@ mod tests {
     #[test]
     fn display_lists_all_sources() {
         let tech = TechModel::new(TechNode::Gp45);
-        let text = decompose(&tech, DatapathConfig::paper_default(), 0.6, 800, 4).to_string();
+        let text = decompose(
+            &tech,
+            DatapathConfig::paper_default(),
+            0.6,
+            800,
+            4,
+            Executor::default(),
+        )
+        .to_string();
         for s in VariationSource::ALL {
             assert!(text.contains(&s.to_string()), "{text}");
         }

@@ -7,11 +7,12 @@
 //! shipping bin. Also provides the inverse query (the clock achieving a
 //! yield target) and yield under structural duplication.
 
-use ntv_mc::StreamRng;
+use ntv_mc::CounterRng;
 use serde::{Deserialize, Serialize};
 
 use crate::duplication::LaneDelayMatrix;
 use crate::engine::DatapathEngine;
+use crate::exec::Executor;
 
 /// One point of a yield curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,22 +27,45 @@ pub struct YieldPoint {
 #[derive(Debug, Clone)]
 pub struct YieldStudy<'a> {
     engine: &'a DatapathEngine<'a>,
+    exec: Executor,
 }
 
 impl<'a> YieldStudy<'a> {
     /// Study wrapping an engine.
     #[must_use]
     pub fn new(engine: &'a DatapathEngine<'a>) -> Self {
-        Self { engine }
+        Self {
+            engine,
+            exec: Executor::default(),
+        }
+    }
+
+    /// Use an explicit executor (thread count) for the Monte-Carlo batches.
+    /// Results are bit-identical for any choice.
+    #[must_use]
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Chip-delay samples (ns), `(seed, "yield", i)`-addressed.
+    fn chip_delays_ns(&self, vdd: f64, samples: usize, seed: u64) -> Vec<f64> {
+        let stream = CounterRng::new(seed, "yield");
+        let fo4 = self.engine.fo4_unit_ps(vdd);
+        self.engine
+            .sample_batch(vdd, &stream, 0..samples as u64, self.exec)
+            .into_iter()
+            .map(|d| d * fo4 / 1000.0)
+            .collect()
     }
 
     /// Timing yield at `vdd` for a clock period, from `samples` chips.
     #[must_use]
     pub fn timing_yield(&self, vdd: f64, t_clk_ns: f64, samples: usize, seed: u64) -> f64 {
-        let mut rng = StreamRng::from_seed_and_label(seed, "yield");
-        let t_clk_fo4 = t_clk_ns * 1000.0 / self.engine.fo4_unit_ps(vdd);
-        let ok = (0..samples)
-            .filter(|_| self.engine.sample_chip_delay_fo4(vdd, &mut rng) <= t_clk_fo4)
+        let ok = self
+            .chip_delays_ns(vdd, samples, seed)
+            .iter()
+            .filter(|&&d| d <= t_clk_ns)
             .count();
         ok as f64 / samples as f64
     }
@@ -57,11 +81,7 @@ impl<'a> YieldStudy<'a> {
     ) -> Vec<YieldPoint> {
         // One set of chip samples serves every grid point (common random
         // numbers make the curve monotone by construction).
-        let mut rng = StreamRng::from_seed_and_label(seed, "yield");
-        let fo4 = self.engine.fo4_unit_ps(vdd);
-        let delays_ns: Vec<f64> = (0..samples)
-            .map(|_| self.engine.sample_chip_delay_fo4(vdd, &mut rng) * fo4 / 1000.0)
-            .collect();
+        let delays_ns = self.chip_delays_ns(vdd, samples, seed);
         grid.iter()
             .map(|&t_clk_ns| YieldPoint {
                 t_clk_ns,
@@ -82,11 +102,7 @@ impl<'a> YieldStudy<'a> {
             target > 0.0 && target <= 1.0,
             "yield target must be in (0,1]"
         );
-        let mut rng = StreamRng::from_seed_and_label(seed, "yield");
-        let fo4 = self.engine.fo4_unit_ps(vdd);
-        let delays_ns: Vec<f64> = (0..samples)
-            .map(|_| self.engine.sample_chip_delay_fo4(vdd, &mut rng) * fo4 / 1000.0)
-            .collect();
+        let delays_ns = self.chip_delays_ns(vdd, samples, seed);
         ntv_mc::Quantiles::from_samples(delays_ns).quantile(target.min(1.0))
     }
 

@@ -1,6 +1,6 @@
 //! The technology model: transregional current and FO4 delay.
 
-use ntv_mc::StreamRng;
+use ntv_mc::SampleStream;
 use serde::{Deserialize, Serialize};
 
 use crate::node::TechNode;
@@ -194,23 +194,23 @@ impl TechModel {
 
     /// Draw one chip's total systematic variation (what a single-region
     /// circuit such as a chain or adder experiences).
-    pub fn sample_chip(&self, rng: &mut StreamRng) -> ChipSample {
+    pub fn sample_chip<R: SampleStream + ?Sized>(&self, rng: &mut R) -> ChipSample {
         variation::sample_chip(&self.params, rng)
     }
 
     /// Draw the chip-global share of systematic variation (see
     /// [`crate::variation::sample_chip_global`]).
-    pub fn sample_chip_global(&self, rng: &mut StreamRng) -> ChipSample {
+    pub fn sample_chip_global<R: SampleStream + ?Sized>(&self, rng: &mut R) -> ChipSample {
         variation::sample_chip_global(&self.params, rng)
     }
 
     /// Draw one lane's regional variation offset.
-    pub fn sample_region(&self, rng: &mut StreamRng) -> RegionSample {
+    pub fn sample_region<R: SampleStream + ?Sized>(&self, rng: &mut R) -> RegionSample {
         variation::sample_region(&self.params, rng)
     }
 
     /// Draw one device's random variation.
-    pub fn sample_gate(&self, rng: &mut StreamRng) -> GateSample {
+    pub fn sample_gate<R: SampleStream + ?Sized>(&self, rng: &mut R) -> GateSample {
         variation::sample_gate(&self.params, rng)
     }
 

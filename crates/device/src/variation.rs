@@ -16,7 +16,7 @@
 //! * **per-device random** ([`GateSample`]) — independent per gate; averages
 //!   out along a logic chain.
 
-use ntv_mc::StreamRng;
+use ntv_mc::SampleStream;
 use serde::{Deserialize, Serialize};
 
 use crate::params::DeviceParams;
@@ -79,7 +79,7 @@ impl GateSample {
 /// regional offset) — what a single-region circuit such as an inverter
 /// chain or an adder experiences. Cross-chip Monte Carlo over chains
 /// (Fig 1/2) uses this.
-pub fn sample_chip(params: &DeviceParams, rng: &mut StreamRng) -> ChipSample {
+pub fn sample_chip<R: SampleStream + ?Sized>(params: &DeviceParams, rng: &mut R) -> ChipSample {
     ChipSample {
         dvth: rng.normal(0.0, params.sigma_vth_systematic),
         ln_k: rng.normal(0.0, params.sigma_k_systematic),
@@ -89,7 +89,10 @@ pub fn sample_chip(params: &DeviceParams, rng: &mut StreamRng) -> ChipSample {
 /// Draw the chip-global share of systematic variation (variance fraction
 /// `1 − lane_fraction`). Combine with per-lane [`sample_region`] draws to
 /// model a multi-lane die.
-pub fn sample_chip_global(params: &DeviceParams, rng: &mut StreamRng) -> ChipSample {
+pub fn sample_chip_global<R: SampleStream + ?Sized>(
+    params: &DeviceParams,
+    rng: &mut R,
+) -> ChipSample {
     let f = (1.0 - params.lane_fraction).sqrt();
     ChipSample {
         dvth: rng.normal(0.0, params.sigma_vth_systematic * f),
@@ -99,7 +102,7 @@ pub fn sample_chip_global(params: &DeviceParams, rng: &mut StreamRng) -> ChipSam
 
 /// Draw one lane's regional offset (variance fraction `lane_fraction` of
 /// the systematic budget).
-pub fn sample_region(params: &DeviceParams, rng: &mut StreamRng) -> RegionSample {
+pub fn sample_region<R: SampleStream + ?Sized>(params: &DeviceParams, rng: &mut R) -> RegionSample {
     let f = params.lane_fraction.sqrt();
     RegionSample {
         dvth: rng.normal(0.0, params.sigma_vth_systematic * f),
@@ -108,7 +111,7 @@ pub fn sample_region(params: &DeviceParams, rng: &mut StreamRng) -> RegionSample
 }
 
 /// Draw one device's random variation.
-pub fn sample_gate(params: &DeviceParams, rng: &mut StreamRng) -> GateSample {
+pub fn sample_gate<R: SampleStream + ?Sized>(params: &DeviceParams, rng: &mut R) -> GateSample {
     GateSample {
         dvth: rng.normal(0.0, params.sigma_vth_random),
         ln_k: rng.normal(0.0, params.sigma_k_random),
@@ -119,7 +122,7 @@ pub fn sample_gate(params: &DeviceParams, rng: &mut StreamRng) -> GateSample {
 mod tests {
     use super::*;
     use crate::node::TechNode;
-    use ntv_mc::Summary;
+    use ntv_mc::{StreamRng, Summary};
 
     #[test]
     fn nominal_samples_are_zero() {

@@ -11,8 +11,9 @@
 //! lanes. This crate provides the numerical machinery for that, implemented
 //! from scratch on top of [`rand`]:
 //!
-//! * [`rng`] — deterministic seeding and stream splitting so every experiment
-//!   is reproducible,
+//! * [`rng`] — deterministic seeding, labelled stream splitting and the
+//!   counter-based [`CounterRng`] (index-addressed draws) so every experiment
+//!   is reproducible and parallelizable without changing results,
 //! * [`normal`] — the standard normal pdf/CDF/quantile function,
 //! * [`quadrature`] — Gauss–Hermite rules for expectations under a normal,
 //! * [`stats`] — streaming summary statistics (mean, σ, 3σ/μ, skewness),
@@ -56,5 +57,5 @@ pub use error::SampleError;
 pub use histogram::Histogram;
 pub use quadrature::GaussHermite;
 pub use quantile::Quantiles;
-pub use rng::StreamRng;
+pub use rng::{CounterDraws, CounterRng, SampleStream, StreamRng};
 pub use stats::Summary;

@@ -13,12 +13,16 @@
 //!   sanity checks and analytic comparisons).
 
 use crate::normal;
+use crate::rng::SampleStream;
+#[cfg(test)]
 use crate::rng::StreamRng;
 
 /// Sample the maximum of `n` i.i.d. `N(mean, std_dev²)` variables in O(1).
 ///
 /// Exact in distribution: if `U ~ Uniform(0,1)` then `Φ⁻¹(U^{1/n})` has the
-/// distribution of the maximum of `n` standard normals.
+/// distribution of the maximum of `n` standard normals. Generic over the
+/// draw source, so it works with both a sequential [`crate::rng::StreamRng`]
+/// and the per-index draws of a [`crate::rng::CounterRng`].
 ///
 /// # Panics
 ///
@@ -32,7 +36,12 @@ use crate::rng::StreamRng;
 /// let m = order::sample_max_normal(&mut rng, 100, 0.0, 1.0);
 /// assert!(m.is_finite());
 /// ```
-pub fn sample_max_normal(rng: &mut StreamRng, n: usize, mean: f64, std_dev: f64) -> f64 {
+pub fn sample_max_normal<R: SampleStream + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    mean: f64,
+    std_dev: f64,
+) -> f64 {
     assert!(n > 0, "maximum of zero variables is undefined");
     assert!(std_dev >= 0.0, "standard deviation must be non-negative");
     if std_dev == 0.0 {

@@ -1,0 +1,157 @@
+//! Statistical-quality gate for the counter-based generator.
+//!
+//! Every headline number of the reproduction flows through [`CounterRng`]
+//! after the deterministic-parallel refactor, so this file pins down three
+//! properties:
+//!
+//! 1. **sampler quality** — the normal sampler, driven in the actual usage
+//!    pattern (one fresh draw cursor per sample index), has the right
+//!    moments;
+//! 2. **decorrelation** — draws are uncorrelated across adjacent indexes,
+//!    across labelled streams, and across draw positions;
+//! 3. **sequence stability** — the raw word sequence is pinned to golden
+//!    values, so the generator can never silently change (which would
+//!    invalidate every recorded experiment table).
+
+use ntv_mc::rng::{CounterRng, SampleStream};
+use ntv_mc::Summary;
+
+/// Pearson correlation of two equal-length samples.
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[test]
+fn normal_sampler_moments_in_index_addressed_use() {
+    // One cursor per index — exactly how the engine consumes the generator.
+    let stream = CounterRng::new(2012, "quality-normal");
+    let s: Summary = (0..200_000u64)
+        .map(|i| stream.at(i).standard_normal())
+        .collect();
+    assert!(s.mean().abs() < 0.01, "mean {}", s.mean());
+    assert!((s.std_dev() - 1.0).abs() < 0.01, "std {}", s.std_dev());
+    assert!(s.skewness().abs() < 0.05, "skew {}", s.skewness());
+}
+
+#[test]
+fn scaled_normal_moments() {
+    let stream = CounterRng::new(7, "quality-scaled");
+    let s: Summary = (0..100_000u64)
+        .map(|i| stream.at(i).normal(10.0, 2.0))
+        .collect();
+    assert!((s.mean() - 10.0).abs() < 0.05);
+    assert!((s.std_dev() - 2.0).abs() < 0.05);
+}
+
+#[test]
+fn uniform_moments_and_range() {
+    let stream = CounterRng::new(5, "quality-uniform");
+    let xs: Vec<f64> = (0..100_000u64).map(|i| stream.at(i).uniform()).collect();
+    let s: Summary = xs.iter().copied().collect();
+    // U(0,1): mean 1/2, std 1/sqrt(12) ≈ 0.2887.
+    assert!((s.mean() - 0.5).abs() < 0.005, "mean {}", s.mean());
+    assert!(
+        (s.std_dev() - 0.288_675).abs() < 0.005,
+        "std {}",
+        s.std_dev()
+    );
+    assert!(xs.iter().all(|&u| (0.0..1.0).contains(&u)));
+}
+
+#[test]
+fn adjacent_indexes_are_uncorrelated() {
+    const N: usize = 100_000;
+    let stream = CounterRng::new(2012, "quality-lag");
+    let xs: Vec<f64> = (0..N as u64)
+        .map(|i| stream.at(i).standard_normal())
+        .collect();
+    let ys: Vec<f64> = (0..N as u64)
+        .map(|i| stream.at(i + 1).standard_normal())
+        .collect();
+    let r = correlation(&xs, &ys);
+    // 5σ bound for true independence is ~5/sqrt(N) ≈ 0.016.
+    assert!(r.abs() < 0.02, "lag-1 index correlation {r}");
+}
+
+#[test]
+fn labelled_streams_are_uncorrelated() {
+    const N: usize = 100_000;
+    let a = CounterRng::new(2012, "quality-stream-a");
+    let b = CounterRng::new(2012, "quality-stream-b");
+    let xs: Vec<f64> = (0..N as u64).map(|i| a.at(i).standard_normal()).collect();
+    let ys: Vec<f64> = (0..N as u64).map(|i| b.at(i).standard_normal()).collect();
+    let r = correlation(&xs, &ys);
+    assert!(r.abs() < 0.02, "inter-stream correlation {r}");
+}
+
+#[test]
+fn successive_draws_within_a_cell_are_uncorrelated() {
+    const N: usize = 100_000;
+    let stream = CounterRng::new(2012, "quality-within");
+    let mut xs = Vec::with_capacity(N);
+    let mut ys = Vec::with_capacity(N);
+    for i in 0..N as u64 {
+        let mut d = stream.at(i);
+        xs.push(d.uniform());
+        ys.push(d.uniform());
+    }
+    let r = correlation(&xs, &ys);
+    assert!(r.abs() < 0.02, "within-cell draw correlation {r}");
+}
+
+#[test]
+fn raw_word_sequence_is_pinned() {
+    // Golden values: changing the mixing constants, the finalizer, or
+    // `derive_seed` MUST fail this test — the whole experiment archive
+    // (EXPERIMENTS.md tables, BENCH_*.json) is keyed to this sequence.
+    let stream = CounterRng::new(2012, "pinned");
+    assert_eq!(stream.key(), 0xf0e5_fb36_e404_149f);
+
+    let take3 = |index: u64| -> [u64; 3] {
+        let mut d = stream.at(index);
+        [d.next_word(), d.next_word(), d.next_word()]
+    };
+    assert_eq!(
+        take3(0),
+        [
+            0x27d3_2197_d0bc_d836,
+            0xac34_4b6b_7f5a_f987,
+            0xcaaf_19d3_c0b8_716a
+        ]
+    );
+    assert_eq!(
+        take3(1),
+        [
+            0x44e7_c032_be5b_ee3d,
+            0x8579_3407_75f6_003b,
+            0x6588_da2f_aebb_1e9c
+        ]
+    );
+    assert_eq!(
+        take3(12_345),
+        [
+            0xa43d_8c28_5824_b7c4,
+            0x6807_108e_4a0c_e64d,
+            0x495b_572e_3ad5_1f20
+        ]
+    );
+}
+
+#[test]
+fn first_uniform_is_pinned() {
+    let stream = CounterRng::new(2012, "pinned");
+    let u = stream.at(0).uniform();
+    assert_eq!(u.to_bits(), 0.155_565_356_792_738_09_f64.to_bits());
+}

@@ -22,6 +22,10 @@ use crate::lexer::Token;
 pub enum RuleId {
     /// OS-entropy randomness: `thread_rng`, `from_entropy`.
     ThreadRng,
+    /// Direct stateful-generator use (`SmallRng`, `rand::rngs`) outside
+    /// `ntv_mc::rng` — library code must draw through the index-addressed
+    /// counter streams so sample *i* never depends on draw history.
+    StatefulRng,
     /// Wall-clock reads: `Instant::now`, `SystemTime::now`.
     WallClock,
     /// Environment reads: `env::var` / `env::vars` / `env::var_os`.
@@ -44,6 +48,7 @@ impl RuleId {
     /// Every rule, in diagnostic-name order.
     pub const ALL: &'static [RuleId] = &[
         RuleId::ThreadRng,
+        RuleId::StatefulRng,
         RuleId::WallClock,
         RuleId::EnvRead,
         RuleId::HashContainer,
@@ -58,6 +63,7 @@ impl RuleId {
     pub fn name(self) -> &'static str {
         match self {
             RuleId::ThreadRng => "ntv::thread-rng",
+            RuleId::StatefulRng => "ntv::stateful-rng",
             RuleId::WallClock => "ntv::wall-clock",
             RuleId::EnvRead => "ntv::env-read",
             RuleId::HashContainer => "ntv::hash-container",
@@ -73,6 +79,7 @@ impl RuleId {
     pub fn short_name(self) -> &'static str {
         match self {
             RuleId::ThreadRng => "thread-rng",
+            RuleId::StatefulRng => "stateful-rng",
             RuleId::WallClock => "wall-clock",
             RuleId::EnvRead => "env-read",
             RuleId::HashContainer => "hash-container",
@@ -97,6 +104,12 @@ impl RuleId {
             RuleId::ThreadRng => {
                 "all randomness must flow through `ntv_mc::rng::StreamRng` \
                  labelled seed streams; OS entropy breaks bit-reproducibility"
+            }
+            RuleId::StatefulRng => {
+                "draw through `ntv_mc::CounterRng` index-addressed streams \
+                 (or the `SampleStream` trait); only `ntv_mc::rng` may wrap \
+                 a stateful generator, because sequential draw history \
+                 breaks thread-count invariance"
             }
             RuleId::WallClock => {
                 "wall-clock reads make results run-dependent; take time spans \
@@ -154,6 +167,16 @@ pub fn scan(tokens: &[Token]) -> Vec<Hit> {
                 rule: RuleId::ThreadRng,
                 line: tok.line,
                 message: format!("OS-entropy randomness via `{ident}`"),
+            }),
+            "SmallRng" => hits.push(Hit {
+                rule: RuleId::StatefulRng,
+                line: tok.line,
+                message: "stateful generator `SmallRng` outside `ntv_mc::rng`".to_string(),
+            }),
+            "rand" if path_call(tokens, i, "rngs") => hits.push(Hit {
+                rule: RuleId::StatefulRng,
+                line: tok.line,
+                message: "stateful generator via `rand::rngs`".to_string(),
             }),
             "Instant" | "SystemTime" if path_call(tokens, i, "now") => hits.push(Hit {
                 rule: RuleId::WallClock,
@@ -301,8 +324,23 @@ mod tests {
         );
         assert_eq!(
             rules_hit("let r = SmallRng::from_entropy();"),
-            vec![RuleId::ThreadRng]
+            vec![RuleId::StatefulRng, RuleId::ThreadRng]
         );
+    }
+
+    #[test]
+    fn detects_stateful_generators() {
+        assert_eq!(
+            rules_hit("use rand::rngs::SmallRng;"),
+            vec![RuleId::StatefulRng]
+        );
+        assert_eq!(
+            rules_hit("let r = SmallRng::seed_from_u64(7);"),
+            vec![RuleId::StatefulRng]
+        );
+        // The sanctioned entry points don't mention the generator at all.
+        assert!(rules_hit("let s = CounterRng::new(seed, \"label\");").is_empty());
+        assert!(rules_hit("use rand::Rng;").is_empty());
     }
 
     #[test]

@@ -1,0 +1,10 @@
+// Fixture: direct stateful-generator use in library code must trigger
+// ntv::stateful-rng — the counter-based API is the only sanctioned entry
+// point outside `ntv_mc::rng`.
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn sample(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.next_u64()
+}

@@ -34,6 +34,7 @@ fn lint_rules(rel: &str) -> Vec<RuleId> {
 fn each_bad_library_fixture_triggers_its_rule() {
     let cases = [
         ("library/bad_thread_rng.rs", RuleId::ThreadRng),
+        ("library/bad_small_rng.rs", RuleId::StatefulRng),
         ("library/bad_wall_clock.rs", RuleId::WallClock),
         ("library/bad_env_read.rs", RuleId::EnvRead),
         ("library/bad_hash_map.rs", RuleId::HashContainer),

@@ -12,7 +12,7 @@ use ntv_simd::core::dse::DseStudy;
 use ntv_simd::core::duplication::DuplicationStudy;
 use ntv_simd::core::frequency::frequency_margining;
 use ntv_simd::core::margining::MarginStudy;
-use ntv_simd::core::{DatapathConfig, DatapathEngine};
+use ntv_simd::core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_simd::device::{TechModel, TechNode};
 
 fn main() {
@@ -33,7 +33,7 @@ fn main() {
     println!("mitigation plan for a 128-wide SIMD datapath, {node} @ {vdd} V\n");
 
     // Frequency backoff: the do-nothing option.
-    let freq = frequency_margining(&engine, vdd, samples, seed);
+    let freq = frequency_margining(&engine, vdd, samples, seed, Executor::default());
     println!(
         "0. frequency margining: stretch the clock from {:.2} ns to {:.2} ns\n   -> {:.1}% throughput loss, no power overhead (but the SIMD clock must\n      stay a multiple of the memory clock, §4.3)",
         freq.t_clk_ns,

@@ -7,7 +7,7 @@
 
 use ntv_simd::core::compare::compare_at;
 use ntv_simd::core::perf::performance_drop;
-use ntv_simd::core::{DatapathConfig, DatapathEngine};
+use ntv_simd::core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_simd::device::{TechModel, TechNode};
 use ntv_simd::mc::StreamRng;
 
@@ -38,14 +38,14 @@ fn main() {
         dist.q99_fo4(),
         dist.q99_ns()
     );
-    let drop = performance_drop(&engine, vdd, samples, seed);
+    let drop = performance_drop(&engine, vdd, samples, seed, Executor::default());
     println!(
         "  variation-induced performance drop vs nominal: {:.1}%",
         drop.drop * 100.0
     );
 
     // 3. The mitigation menu: spare lanes vs a few millivolts.
-    let point = compare_at(&engine, vdd, 128, samples, seed);
+    let point = compare_at(&engine, vdd, 128, samples, seed, Executor::default());
     match (point.spares, point.duplication_power) {
         (Some(spares), Some(power)) => println!(
             "  structural duplication: {spares} spare lanes ({:.1}% power overhead)",

@@ -8,7 +8,7 @@
 
 use ntv_simd::circuit::chain::ChainMc;
 use ntv_simd::core::perf::performance_drop;
-use ntv_simd::core::{DatapathConfig, DatapathEngine};
+use ntv_simd::core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_simd::device::{TechModel, TechNode};
 use ntv_simd::mc::StreamRng;
 
@@ -33,7 +33,7 @@ fn main() {
             // A prefix-adder critical path is ~8 levels of complex gates;
             // emulate with a 12-stage chain (cheap proxy for the STA run).
             let adder = ChainMc::new(&tech, 12).three_sigma_over_mu(vdd, circuit_samples, &mut rng);
-            let drop = performance_drop(&engine, vdd, arch_samples, seed).drop;
+            let drop = performance_drop(&engine, vdd, arch_samples, seed, Executor::default()).drop;
             println!(
                 "{:<12} {:>6.2}V {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
                 node.to_string(),

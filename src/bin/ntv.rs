@@ -12,6 +12,8 @@
 //! ```
 //!
 //! Nodes: `90nm`, `45nm`, `32nm`, `22nm`. Voltages in volts (e.g. `0.55`).
+//! `--threads N` anywhere on the command line sets the worker count
+//! (default: all hardware threads; results are identical for any value).
 
 use std::process::ExitCode;
 
@@ -21,7 +23,7 @@ use ntv_simd::core::margining::MarginStudy;
 use ntv_simd::core::perf;
 use ntv_simd::core::sensitivity;
 use ntv_simd::core::yield_model::YieldStudy;
-use ntv_simd::core::{DatapathConfig, DatapathEngine};
+use ntv_simd::core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_simd::device::energy::EnergyModel;
 use ntv_simd::device::{Corner, TechModel, TechNode};
 
@@ -30,7 +32,7 @@ const SEED: u64 = 2012;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ntv <command> <node> [args]\n\
+        "usage: ntv <command> <node> [args] [--threads N]\n\
          commands:\n  \
          drop <node> <vdd>          performance drop vs nominal\n  \
          spares <node> <vdd>        duplication solution (Table 1 cell)\n  \
@@ -42,6 +44,22 @@ fn usage() -> ExitCode {
          nodes: 90nm | 45nm | 32nm | 22nm"
     );
     ExitCode::FAILURE
+}
+
+/// Strip a `--threads N` pair out of `args`, returning the executor.
+fn take_executor(args: &mut Vec<String>) -> Result<Executor, ExitCode> {
+    let Some(flag) = args.iter().position(|a| a == "--threads") else {
+        return Ok(Executor::default());
+    };
+    let threads = args
+        .get(flag + 1)
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(|| {
+            eprintln!("--threads expects a positive integer");
+            ExitCode::FAILURE
+        })?;
+    args.drain(flag..=flag + 1);
+    Ok(Executor::new(threads))
 }
 
 fn parse_node(s: &str) -> Result<TechNode, ExitCode> {
@@ -62,7 +80,11 @@ fn parse_vdd(s: &str) -> Result<f64, ExitCode> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let exec = match take_executor(&mut args) {
+        Ok(e) => e,
+        Err(code) => return code,
+    };
     let Some(command) = args.first() else {
         return usage();
     };
@@ -109,7 +131,7 @@ fn main() -> ExitCode {
             };
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-            let p = perf::performance_drop(&engine, vdd, SAMPLES, SEED);
+            let p = perf::performance_drop(&engine, vdd, SAMPLES, SEED, exec);
             println!(
                 "{node} @{vdd} V: q99 = {:.2} FO4, drop vs nominal = {:.1}%",
                 p.q99_fo4,
@@ -124,7 +146,10 @@ fn main() -> ExitCode {
             };
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-            match DuplicationStudy::new(&engine).solve(vdd, 128, SAMPLES, SEED) {
+            match DuplicationStudy::new(&engine)
+                .with_executor(exec)
+                .solve(vdd, 128, SAMPLES, SEED)
+            {
                 Ok(sol) => println!(
                     "{node} @{vdd} V: {} spares ({:.1}% area, {:.2}% power)",
                     sol.spares,
@@ -142,7 +167,9 @@ fn main() -> ExitCode {
             };
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-            let sol = MarginStudy::new(&engine).solve(vdd, SAMPLES, SEED);
+            let sol = MarginStudy::new(&engine)
+                .with_executor(exec)
+                .solve(vdd, SAMPLES, SEED);
             println!(
                 "{node} @{vdd} V: +{:.1} mV margin ({:.2}% power), target {:.3} ns",
                 sol.margin * 1000.0,
@@ -158,7 +185,7 @@ fn main() -> ExitCode {
             };
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-            let dse = DseStudy::new(&engine);
+            let dse = DseStudy::new(&engine).with_executor(exec);
             let choices = dse.explore(vdd, &[0, 1, 2, 4, 8, 16, 26], SAMPLES, SEED);
             for c in &choices {
                 println!(
@@ -188,7 +215,7 @@ fn main() -> ExitCode {
             };
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-            let study = YieldStudy::new(&engine);
+            let study = YieldStudy::new(&engine).with_executor(exec);
             let y = study.timing_yield(vdd, t_clk_ns, SAMPLES, SEED);
             let q99 = study.period_for_yield(vdd, 0.99, SAMPLES, SEED);
             println!(
@@ -204,8 +231,14 @@ fn main() -> ExitCode {
                 (Err(e), _) | (_, Err(e)) => return e,
             };
             let tech = TechModel::new(node);
-            let report =
-                sensitivity::decompose(&tech, DatapathConfig::paper_default(), vdd, SAMPLES, SEED);
+            let report = sensitivity::decompose(
+                &tech,
+                DatapathConfig::paper_default(),
+                vdd,
+                SAMPLES,
+                SEED,
+                exec,
+            );
             print!("{report}");
             ExitCode::SUCCESS
         }

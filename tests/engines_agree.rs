@@ -143,7 +143,8 @@ fn hierarchical_mode_weakens_spares() {
     let spares_for = |mode: VariationMode| {
         let engine = DatapathEngine::with_mode(&tech, config, mode);
         let study = DuplicationStudy::new(&engine);
-        let baseline = perf::baseline_q99_fo4(&engine, samples, 7);
+        let baseline =
+            perf::baseline_q99_fo4(&engine, samples, 7, ntv_simd::core::Executor::default());
         let matrix = study.sample_matrix(0.55, 128, samples, 7);
         study.required_spares(&matrix, baseline)
     };
