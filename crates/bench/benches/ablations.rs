@@ -24,6 +24,7 @@ use ntv_core::perf;
 use ntv_core::{DatapathConfig, DatapathEngine};
 use ntv_device::{TechModel, TechNode};
 use ntv_mc::StreamRng;
+use ntv_units::Volts;
 
 fn bench_tail_shape(c: &mut Criterion) {
     let tech = TechModel::new(TechNode::PtmHp22);
@@ -35,14 +36,15 @@ fn bench_tail_shape(c: &mut Criterion) {
         let engine = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
         // Report the ablated quantity once.
         let drop =
-            perf::performance_drop(&engine, 0.5, 2_000, 1, ntv_core::Executor::default()).drop;
+            perf::performance_drop(&engine, Volts(0.5), 2_000, 1, ntv_core::Executor::default())
+                .drop;
         println!(
             "[ablation] 22nm perf drop @0.5V with {label}: {:.1}%",
             drop * 100.0
         );
         group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, _| {
             let mut rng = StreamRng::from_seed(1);
-            b.iter(|| std::hint::black_box(engine.sample_chip_delay_fo4(0.5, &mut rng)));
+            b.iter(|| std::hint::black_box(engine.sample_chip_delay_fo4(Volts(0.5), &mut rng)));
         });
     }
     group.finish();
@@ -58,7 +60,7 @@ fn bench_correlation_structure(c: &mut Criterion) {
         let engine = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
         let study = DuplicationStudy::new(&engine);
         let baseline = perf::baseline_q99_fo4(&engine, 2_000, 2, ntv_core::Executor::default());
-        let matrix = study.sample_matrix(0.55, 128, 2_000, 2);
+        let matrix = study.sample_matrix(Volts(0.55), 128, 2_000, 2);
         let spares = study.required_spares(&matrix, baseline);
         println!(
             "[ablation] 90nm spares needed @0.55V with {label}: {}",
@@ -66,7 +68,9 @@ fn bench_correlation_structure(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, _| {
             let mut rng = StreamRng::from_seed(3);
-            b.iter(|| std::hint::black_box(engine.sample_lane_delays_fo4(0.55, 134, &mut rng)));
+            b.iter(|| {
+                std::hint::black_box(engine.sample_lane_delays_fo4(Volts(0.55), 134, &mut rng))
+            });
         });
     }
     group.finish();
@@ -79,7 +83,7 @@ fn bench_quadrature_order(c: &mut Criterion) {
     let tech = TechModel::new(TechNode::Gp45);
     let chain = ChainMc::new(&tech, 50);
     let mut rng = StreamRng::from_seed(4);
-    let mc_mean = chain.summary(0.55, 4_000, &mut rng).mean();
+    let mc_mean = chain.summary(Volts(0.55), 4_000, &mut rng).mean();
 
     let mut group = c.benchmark_group("ablation_quadrature_order");
     for order in [4usize, 8, 16, 32] {
@@ -87,16 +91,16 @@ fn bench_quadrature_order(c: &mut Criterion) {
         let params = *tech.params();
         let chip = ntv_device::ChipSample::nominal();
         let mean =
-            50.0 * gh.expect_normal(0.0, params.sigma_vth_random, |dv| {
-                tech.gate_delay_ps_at(0.55, &chip, dv, 0.0)
+            50.0 * gh.expect_normal(0.0, params.sigma_vth_random.get(), |dv| {
+                tech.gate_delay_ps_at(Volts(0.55), &chip, Volts(dv), 0.0)
             }) * (0.5 * params.sigma_k_random * params.sigma_k_random).exp();
         println!(
             "[ablation] GH order {order}: conditional chain mean {mean:.1} ps (gate-level MC cross-chip mean {mc_mean:.1} ps)"
         );
         group.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, _| {
             b.iter(|| {
-                std::hint::black_box(gh.expect_normal(0.0, params.sigma_vth_random, |dv| {
-                    tech.gate_delay_ps_at(0.55, &chip, dv, 0.0)
+                std::hint::black_box(gh.expect_normal(0.0, params.sigma_vth_random.get(), |dv| {
+                    tech.gate_delay_ps_at(Volts(0.55), &chip, Volts(dv), 0.0)
                 }))
             });
         });

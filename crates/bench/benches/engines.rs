@@ -13,6 +13,7 @@ use ntv_device::{ChipSample, TechModel, TechNode};
 use ntv_mc::StreamRng;
 use ntv_soda::kernels;
 use ntv_soda::pe::ProcessingElement;
+use ntv_units::Volts;
 
 fn bench_chain_mc(c: &mut Criterion) {
     let tech = TechModel::new(TechNode::Gp90);
@@ -21,7 +22,7 @@ fn bench_chain_mc(c: &mut Criterion) {
         let chain = ChainMc::new(&tech, len);
         group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
             let mut rng = StreamRng::from_seed(1);
-            b.iter(|| std::hint::black_box(chain.sample_ps(0.55, &mut rng)));
+            b.iter(|| std::hint::black_box(chain.sample_ps(Volts(0.55), &mut rng)));
         });
     }
     group.finish();
@@ -32,7 +33,7 @@ fn bench_path_model(c: &mut Criterion) {
     let model = PathModel::new(&tech, 50);
     let chip = ChipSample::nominal();
     c.bench_function("path_model/conditional_moments", |b| {
-        b.iter(|| std::hint::black_box(model.conditional_moments(0.55, &chip)));
+        b.iter(|| std::hint::black_box(model.conditional_moments(Volts(0.55), &chip)));
     });
 }
 
@@ -40,20 +41,20 @@ fn bench_datapath_engine(c: &mut Criterion) {
     let tech = TechModel::new(TechNode::Gp90);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
     // Warm the path-distribution cache so the bench isolates sampling.
-    let _ = engine.path_distribution(0.55);
+    let _ = engine.path_distribution(Volts(0.55));
     let mut group = c.benchmark_group("datapath_engine");
     group.bench_function("chip_delay_sample", |b| {
         let mut rng = StreamRng::from_seed(2);
-        b.iter(|| std::hint::black_box(engine.sample_chip_delay_fo4(0.55, &mut rng)));
+        b.iter(|| std::hint::black_box(engine.sample_chip_delay_fo4(Volts(0.55), &mut rng)));
     });
     group.bench_function("lane_delays_160", |b| {
         let mut rng = StreamRng::from_seed(3);
-        b.iter(|| std::hint::black_box(engine.sample_lane_delays_fo4(0.55, 160, &mut rng)));
+        b.iter(|| std::hint::black_box(engine.sample_lane_delays_fo4(Volts(0.55), 160, &mut rng)));
     });
     group.bench_function("path_distribution_build", |b| {
         b.iter(|| {
             let fresh = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-            std::hint::black_box(fresh.path_distribution(0.55))
+            std::hint::black_box(fresh.path_distribution(Volts(0.55)))
         });
     });
     group.finish();
@@ -66,7 +67,7 @@ fn bench_sta(c: &mut Criterion) {
         let mut rng = StreamRng::from_seed(4);
         b.iter(|| {
             let chip = tech.sample_chip(&mut rng);
-            let delays = sta::sample_delays(&adder, &tech, 0.6, &chip, &mut rng);
+            let delays = sta::sample_delays(&adder, &tech, Volts(0.6), &chip, &mut rng);
             std::hint::black_box(sta::analyze(&adder, &delays).critical_delay_ps)
         });
     });

@@ -13,8 +13,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
 use ntv_mc::{CounterRng, StreamRng};
+use ntv_units::Volts;
 
-const VDD: f64 = 0.55;
+const VDD: Volts = Volts(0.55);
 const SAMPLES: u64 = 2_000;
 
 fn bench_sequential_vs_parallel(c: &mut Criterion) {

@@ -3,6 +3,7 @@
 
 use ntv_bench::{experiments::extensions, experiments::policies, DEFAULT_SEED};
 use ntv_device::TechNode;
+use ntv_units::Volts;
 
 fn main() {
     let samples = 5_000;
@@ -33,7 +34,7 @@ fn main() {
             ntv_core::sensitivity::decompose(
                 &tech,
                 ntv_core::DatapathConfig::paper_default(),
-                0.55,
+                Volts(0.55),
                 samples,
                 DEFAULT_SEED,
                 ntv_core::Executor::default(),

@@ -15,6 +15,7 @@ use ntv_core::perf;
 use ntv_core::yield_model::{YieldPoint, YieldStudy};
 use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -62,7 +63,7 @@ pub fn width_sweep_with(
         .map(|&lanes| {
             let config = DatapathConfig::new(lanes, 100, 50);
             let engine = DatapathEngine::new(&tech, config);
-            let point = perf::performance_drop(&engine, vdd, samples, seed, exec);
+            let point = perf::performance_drop(&engine, Volts(vdd), samples, seed, exec);
             WidthPoint {
                 lanes,
                 drop: point.drop,
@@ -129,16 +130,16 @@ pub fn abb_comparison_with(
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
     let abb = BodyBiasStudy::new(&engine)
         .with_executor(exec)
-        .solve(vdd, samples, seed);
+        .solve(Volts(vdd), samples, seed);
     let margin = MarginStudy::new(&engine)
         .with_executor(exec)
-        .solve(vdd, samples, seed);
+        .solve(Volts(vdd), samples, seed);
     AbbComparison {
         node,
         vdd,
-        vth_shift: abb.vth_shift,
+        vth_shift: abb.vth_shift.get(),
         abb_power: abb.power_overhead,
-        margin: margin.margin,
+        margin: margin.margin.get(),
         margin_power: margin.power_overhead,
     }
 }
@@ -195,8 +196,8 @@ pub fn yield_curves_with(
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
     let study = YieldStudy::new(&engine).with_executor(exec);
     let dup = DuplicationStudy::new(&engine).with_executor(exec);
-    let matrix = dup.sample_matrix(vdd, 12, samples, seed);
-    let fo4_ns = engine.fo4_unit_ps(vdd) / 1000.0;
+    let matrix = dup.sample_matrix(Volts(vdd), 12, samples, seed);
+    let fo4_ns = engine.fo4_unit_ps(Volts(vdd)) / 1000.0;
     let grid: Vec<f64> = (0..12)
         .map(|i| (51.0 + f64::from(i) * 0.5) * fo4_ns)
         .collect();

@@ -6,6 +6,7 @@ use ntv_core::Executor;
 use ntv_device::calib;
 use ntv_device::{TechModel, TechNode};
 use ntv_mc::{CounterRng, Histogram, Summary};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -63,12 +64,12 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig1Result {
         let chain_paper = calib::FIG1_CHAIN50_90NM[i].1;
         let s_single: Summary = exec
             .map_indexed(samples as u64, |j| {
-                single.sample_ps(vdd, &mut single_stream.at(j))
+                single.sample_ps(Volts(vdd), &mut single_stream.at(j))
             })
             .into_iter()
             .collect();
         let chain_samples = exec.map_indexed(samples as u64, |j| {
-            chain.sample_ps(vdd, &mut chain_stream.at(j))
+            chain.sample_ps(Volts(vdd), &mut chain_stream.at(j))
         });
         let s_chain: Summary = chain_samples.iter().copied().collect();
         rows.push(Fig1Row {
@@ -84,10 +85,10 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig1Result {
     let hist = base.stream("hist");
     let (hist_single, hist_chain) = (hist.stream("single"), hist.stream("chain"));
     let single_05 = exec.map_indexed(samples as u64, |j| {
-        single.sample_ps(0.5, &mut hist_single.at(j))
+        single.sample_ps(Volts(0.5), &mut hist_single.at(j))
     });
     let chain_05 = exec.map_indexed(samples as u64, |j| {
-        chain.sample_ps(0.5, &mut hist_chain.at(j))
+        chain.sample_ps(Volts(0.5), &mut hist_chain.at(j))
     });
 
     Fig1Result {

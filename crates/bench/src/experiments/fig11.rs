@@ -6,6 +6,7 @@ use ntv_circuit::chain::ChainMc;
 use ntv_core::Executor;
 use ntv_device::{TechModel, TechNode};
 use ntv_mc::{CounterRng, Summary};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -53,7 +54,7 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig11Result {
                     // Budget the gate evaluations evenly across lengths.
                     let s = (samples * 50 / n).clamp(200, samples * 4);
                     let summary: Summary = exec
-                        .map_indexed(s as u64, |i| chain.sample_ps(VDD, &mut stream.at(i)))
+                        .map_indexed(s as u64, |i| chain.sample_ps(Volts(VDD), &mut stream.at(i)))
                         .into_iter()
                         .collect();
                     (n, summary.three_sigma_over_mu())

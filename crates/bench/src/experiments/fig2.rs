@@ -5,6 +5,7 @@ use ntv_circuit::chain::ChainMc;
 use ntv_core::Executor;
 use ntv_device::{TechModel, TechNode};
 use ntv_mc::{CounterRng, Summary};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::voltage_grid;
@@ -62,7 +63,9 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig2Result {
                 .into_iter()
                 .map(|vdd| {
                     let s: Summary = exec
-                        .map_indexed(samples as u64, |i| chain.sample_ps(vdd, &mut stream.at(i)))
+                        .map_indexed(samples as u64, |i| {
+                            chain.sample_ps(Volts(vdd), &mut stream.at(i))
+                        })
                         .into_iter()
                         .collect();
                     (vdd, s.three_sigma_over_mu())

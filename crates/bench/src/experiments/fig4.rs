@@ -4,6 +4,7 @@
 use ntv_core::perf::{performance_drop_sweep, PerfDropPoint};
 use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::voltage_grid;
@@ -34,7 +35,7 @@ impl Fig4Result {
             .find(|c| c.node == node)?
             .points
             .iter()
-            .find(|p| (p.vdd - vdd).abs() < 1e-9)
+            .find(|p| (p.vdd.get() - vdd).abs() < 1e-9)
             .map(|p| p.drop)
     }
 }
@@ -53,7 +54,7 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig4Result {
         .map(|&node| {
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-            let grid = voltage_grid(node);
+            let grid: Vec<Volts> = voltage_grid(node).into_iter().map(Volts).collect();
             Fig4Curve {
                 node,
                 points: performance_drop_sweep(&engine, &grid, samples, seed, exec),
@@ -75,14 +76,14 @@ impl std::fmt::Display for Fig4Result {
             .collect();
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         let mut t = TextTable::new(&header_refs);
-        let grid: Vec<f64> = self.curves[0].points.iter().map(|p| p.vdd).collect();
+        let grid: Vec<f64> = self.curves[0].points.iter().map(|p| p.vdd.get()).collect();
         for &vdd in &grid {
             let mut cells = vec![format!("{vdd:.2}")];
             for c in &self.curves {
                 let cell = c
                     .points
                     .iter()
-                    .find(|p| (p.vdd - vdd).abs() < 1e-9)
+                    .find(|p| (p.vdd.get() - vdd).abs() < 1e-9)
                     .map_or_else(|| "-".to_owned(), |p| format!("{:.1}%", p.drop * 100.0));
                 cells.push(cell);
             }

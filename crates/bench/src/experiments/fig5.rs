@@ -6,6 +6,7 @@ use ntv_core::duplication::DuplicationStudy;
 use ntv_core::{ChipDelayDistribution, DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
 use ntv_mc::CounterRng;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -52,7 +53,7 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig5Result {
         .chip_delay_distribution_par(tech.nominal_vdd(), samples, &stream, exec)
         .q99_fo4();
 
-    let matrix = study.sample_matrix(vdd, 32, samples, seed);
+    let matrix = study.sample_matrix(Volts(vdd), 32, samples, seed);
     let spare_counts = [0u32, 2, 4, 6, 10, 16, 32];
     let curves: Vec<Fig5Curve> = spare_counts
         .iter()

@@ -10,6 +10,7 @@ use ntv_core::margining::MarginStudy;
 use ntv_core::{ChipDelayDistribution, DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
 use ntv_mc::CounterRng;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -55,13 +56,13 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig6Result {
     let tech = TechModel::new(TechNode::Gp45);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
     let margin_study = MarginStudy::new(&engine).with_executor(exec);
-    let target_ns = margin_study.target_delay_ns(vdd, samples, seed);
+    let target_ns = margin_study.target_delay_ns(Volts(vdd), samples, seed);
 
     let stream = CounterRng::new(seed, "fig6-v");
     let mut voltage_curves = Vec::new();
     for step in 0..5 {
         let v = vdd + f64::from(step) * 0.005;
-        let distribution = engine.chip_delay_distribution_par(v, samples, &stream, exec);
+        let distribution = engine.chip_delay_distribution_par(Volts(v), samples, &stream, exec);
         voltage_curves.push(Fig6Curve {
             label: format!("128-wide @{:.0} mV", v * 1000.0),
             q99_ns: distribution.q99_ns(),
@@ -70,7 +71,7 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig6Result {
     }
 
     let dup_study = DuplicationStudy::new(&engine).with_executor(exec);
-    let matrix = dup_study.sample_matrix(vdd, 32, samples, seed);
+    let matrix = dup_study.sample_matrix(Volts(vdd), 32, samples, seed);
     let spare_curves = [0u32, 4, 8, 16, 32]
         .iter()
         .map(|&spares| {

@@ -4,6 +4,7 @@
 use ntv_core::compare::{compare_sweep, ComparisonPoint, Technique};
 use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::TABLE_VOLTAGES;
@@ -22,7 +23,10 @@ impl Fig7Panel {
     /// Preferred technique at each swept voltage.
     #[must_use]
     pub fn preferences(&self) -> Vec<(f64, Technique)> {
-        self.points.iter().map(|p| (p.vdd, p.preferred())).collect()
+        self.points
+            .iter()
+            .map(|p| (p.vdd.get(), p.preferred()))
+            .collect()
     }
 }
 
@@ -49,7 +53,14 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig7Result {
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
             Fig7Panel {
                 node,
-                points: compare_sweep(&engine, &TABLE_VOLTAGES, 128, samples, seed, exec),
+                points: compare_sweep(
+                    &engine,
+                    &TABLE_VOLTAGES.map(Volts),
+                    128,
+                    samples,
+                    seed,
+                    exec,
+                ),
             }
         })
         .collect();
@@ -67,7 +78,7 @@ impl std::fmt::Display for Fig7Result {
             let mut t = TextTable::new(&["Vdd (V)", "dup power", "margin power", "winner"]);
             for p in &panel.points {
                 t.row(&[
-                    format!("{:.2}", p.vdd),
+                    format!("{:.2}", p.vdd.get()),
                     p.duplication_power.map_or_else(
                         || ">25% (>128 spares)".to_owned(),
                         |x| format!("{:.1}%", x * 100.0),
@@ -104,7 +115,7 @@ mod tests {
         // Scaled nodes at 0.5 V: duplication needs >128 spares, margining wins.
         for panel in &r.panels[1..] {
             let p05 = &panel.points[0];
-            assert_eq!(p05.vdd, 0.5);
+            assert_eq!(p05.vdd, Volts(0.5));
             assert_eq!(
                 p05.preferred(),
                 Technique::VoltageMargining,

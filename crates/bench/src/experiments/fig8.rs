@@ -8,6 +8,7 @@ use ntv_core::dse::DseStudy;
 use ntv_core::margining::MarginStudy;
 use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -48,14 +49,15 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig8Result {
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
     let target_ns = MarginStudy::new(&engine)
         .with_executor(exec)
-        .target_delay_ns(vdd, samples, seed);
+        .target_delay_ns(Volts(vdd), samples, seed);
     let dse = DseStudy::new(&engine).with_executor(exec);
 
     let mut grid = Vec::new();
     for &spares in &[0u32, 2, 8] {
         for step in 0..5 {
             let margin_mv = f64::from(step) * 5.0;
-            let q99 = dse.q99_ns_with_spares(vdd + margin_mv / 1000.0, spares, samples, seed);
+            let q99 =
+                dse.q99_ns_with_spares(Volts(vdd + margin_mv / 1000.0), spares, samples, seed);
             grid.push((margin_mv, spares, q99));
         }
     }

@@ -4,6 +4,7 @@
 
 use ntv_device::energy::{EnergyModel, EnergyPoint};
 use ntv_device::{TechModel, TechNode};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -35,9 +36,9 @@ pub const NTV_POINT: f64 = 0.5;
 pub fn run_for(node: TechNode) -> Fig9Result {
     let tech = TechModel::new(node);
     let energy = EnergyModel::new(&tech);
-    let sweep = energy.sweep(0.15, tech.nominal_vdd(), 35);
+    let sweep = energy.sweep(Volts(0.15), tech.nominal_vdd(), 35);
     let minimum = energy.minimum_energy_point();
-    let ntv = energy.point(NTV_POINT);
+    let ntv = energy.point(Volts(NTV_POINT));
     let nominal = energy.point(tech.nominal_vdd());
     Fig9Result {
         node,
@@ -70,7 +71,7 @@ impl std::fmt::Display for Fig9Result {
         ]);
         for p in &self.sweep {
             t.row(&[
-                format!("{:.2}", p.vdd),
+                format!("{:.2}", p.vdd.get()),
                 tech.region(p.vdd).to_string(),
                 format!("{:.1}", p.switching_fj),
                 format!("{:.2}", p.leakage_fj),
@@ -83,7 +84,7 @@ impl std::fmt::Display for Fig9Result {
             f,
             "minimum energy: {:.1} fJ at {:.2} V ({})",
             self.minimum.total_fj,
-            self.minimum.vdd,
+            self.minimum.vdd.get(),
             tech.region(self.minimum.vdd)
         )?;
         writeln!(

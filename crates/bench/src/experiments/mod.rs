@@ -37,7 +37,7 @@ pub const TABLE_VOLTAGES: [f64; 5] = [0.50, 0.55, 0.60, 0.65, 0.70];
 pub fn voltage_grid(node: TechNode) -> Vec<f64> {
     let mut v = 0.5;
     let mut out = Vec::new();
-    while v <= node.nominal_vdd() + 1e-9 {
+    while v <= node.nominal_vdd().get() + 1e-9 {
         out.push((v * 1000.0_f64).round() / 1000.0);
         v += 0.05;
     }

@@ -13,6 +13,7 @@ use ntv_mc::{Quantiles, StreamRng};
 use ntv_soda::kernels::{self, golden};
 use ntv_soda::pe::ProcessingElement;
 use ntv_soda::{ErrorPolicy, FaultModel};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -76,8 +77,9 @@ pub fn run(chips: usize, seed: u64) -> PolicyResult {
 
     // Clock grid from the lane-delay distribution.
     let mut rng = StreamRng::from_seed_and_label(seed, "policy-lanes");
-    let lane_q = Quantiles::from_samples(engine.sample_lane_delays_fo4(vdd, 4_000, &mut rng));
-    let fo4_ns = engine.fo4_unit_ps(vdd) / 1000.0;
+    let lane_q =
+        Quantiles::from_samples(engine.sample_lane_delays_fo4(Volts(vdd), 4_000, &mut rng));
+    let fo4_ns = engine.fo4_unit_ps(Volts(vdd)) / 1000.0;
 
     let mut cells = Vec::new();
     for &clock_quantile in &[0.95, 0.97, 0.999] {
@@ -93,8 +95,14 @@ pub fn run(chips: usize, seed: u64) -> PolicyResult {
             let mut unrepairable = 0usize;
             let mut fab_rng = StreamRng::from_seed_and_label(seed, "policy-chips");
             for chip in 0..chips {
-                let fault =
-                    FaultModel::from_engine(&engine, vdd, t_clk_ns, SPARES, 0.0, &mut fab_rng);
+                let fault = FaultModel::from_engine(
+                    &engine,
+                    Volts(vdd),
+                    t_clk_ns,
+                    SPARES,
+                    0.0,
+                    &mut fab_rng,
+                );
                 let mut pe = ProcessingElement::new();
                 pe.set_error_policy(policy);
                 pe.set_fault_model(

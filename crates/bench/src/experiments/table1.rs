@@ -4,6 +4,7 @@
 use ntv_core::duplication::DuplicationStudy;
 use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::TABLE_VOLTAGES;
@@ -56,7 +57,7 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Table1Result {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = DuplicationStudy::new(&engine).with_executor(exec);
         for &vdd in &TABLE_VOLTAGES {
-            let cell = match study.solve(vdd, 128, samples, seed) {
+            let cell = match study.solve(Volts(vdd), 128, samples, seed) {
                 Ok(sol) => Table1Cell {
                     node,
                     vdd,

@@ -5,6 +5,7 @@ use ntv_core::margining::{MarginSolution, MarginStudy};
 use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::calib;
 use ntv_device::{TechModel, TechNode};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::TABLE_VOLTAGES;
@@ -34,7 +35,7 @@ impl Table2Result {
     pub fn cell(&self, node: TechNode, vdd: f64) -> Option<&Table2Cell> {
         self.cells
             .iter()
-            .find(|c| c.node == node && (c.solution.vdd - vdd).abs() < 1e-9)
+            .find(|c| c.node == node && (c.solution.vdd.get() - vdd).abs() < 1e-9)
     }
 }
 
@@ -53,7 +54,7 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Table2Result {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = MarginStudy::new(&engine).with_executor(exec);
         for (row, &vdd) in TABLE_VOLTAGES.iter().enumerate() {
-            let solution = study.solve(vdd, samples, seed);
+            let solution = study.solve(Volts(vdd), samples, seed);
             let paper_margin = calib::TABLE2_MARGIN_MV[row].1[calib::node_index(node)] / 1000.0;
             cells.push(Table2Cell {
                 node,
@@ -81,8 +82,8 @@ impl std::fmt::Display for Table2Result {
         for c in &self.cells {
             t.row(&[
                 c.node.to_string(),
-                format!("{:.2}", c.solution.vdd),
-                format!("{:.1} mV", c.solution.margin * 1000.0),
+                format!("{:.2}", c.solution.vdd.get()),
+                format!("{:.1} mV", c.solution.margin.get() * 1000.0),
                 format!("{:.1} mV", c.paper_margin * 1000.0),
                 format!("{:.1}%", c.solution.power_overhead * 100.0),
             ]);
@@ -99,13 +100,13 @@ mod tests {
     fn margins_match_paper_scale() {
         let r = run(3000, 23);
         for c in &r.cells {
-            let got_mv = c.solution.margin * 1000.0;
+            let got_mv = c.solution.margin.get() * 1000.0;
             let paper_mv = c.paper_margin * 1000.0;
             assert!(
                 got_mv > 0.3 * paper_mv && got_mv < 2.5 * paper_mv,
                 "{} @{:.2} V: {got_mv:.1} mV vs paper {paper_mv} mV",
                 c.node,
-                c.solution.vdd
+                c.solution.vdd.get()
             );
         }
     }
@@ -116,7 +117,7 @@ mod tests {
         for node in TechNode::ALL {
             let series: Vec<f64> = TABLE_VOLTAGES
                 .iter()
-                .map(|&v| r.cell(node, v).expect("cell").solution.margin)
+                .map(|&v| r.cell(node, v).expect("cell").solution.margin.get())
                 .collect();
             assert!(
                 series[0] > series[4],

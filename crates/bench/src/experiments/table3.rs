@@ -4,6 +4,7 @@
 use ntv_core::dse::{DesignChoice, DseStudy};
 use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -35,7 +36,7 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Table3Result {
     let tech = TechModel::new(TechNode::Gp45);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
     let dse = DseStudy::new(&engine).with_executor(exec);
-    let choices = dse.explore(vdd, &SPARE_CANDIDATES, samples, seed);
+    let choices = dse.explore(Volts(vdd), &SPARE_CANDIDATES, samples, seed);
     let best = DseStudy::best(&choices);
     Table3Result { vdd, choices, best }
 }
@@ -55,7 +56,7 @@ impl std::fmt::Display for Table3Result {
         for c in &self.choices {
             t.row(&[
                 c.spares.to_string(),
-                format!("{:.1} mV", c.margin * 1000.0),
+                format!("{:.1} mV", c.margin.get() * 1000.0),
                 format!("{:.2}%", c.power_overhead * 100.0),
                 if c.spares == self.best.spares {
                     "<-"
@@ -79,7 +80,7 @@ mod tests {
         // The optimum is an interior combination: some spares plus a small
         // residual margin beats both extremes.
         assert!(r.best.spares > 0 && r.best.spares < 26, "{:?}", r.best);
-        assert!(r.best.margin > 0.0);
+        assert!(r.best.margin > Volts::ZERO);
         let margin_only = &r.choices[0];
         let dup_heavy = r.choices.last().expect("non-empty");
         assert!(r.best.power_overhead < margin_only.power_overhead);
@@ -97,7 +98,7 @@ mod tests {
     fn margins_fall_as_spares_rise() {
         let r = run(1500, 28);
         for w in r.choices.windows(2) {
-            assert!(w[1].margin <= w[0].margin + 2e-4, "{:?}", r.choices);
+            assert!(w[1].margin <= w[0].margin + Volts(2e-4), "{:?}", r.choices);
         }
     }
 

@@ -5,6 +5,7 @@
 use ntv_core::frequency::{frequency_margining, FrequencyRow};
 use ntv_core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_device::{TechModel, TechNode};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::TABLE_VOLTAGES;
@@ -32,7 +33,7 @@ impl Table4Result {
     pub fn cell(&self, node: TechNode, vdd: f64) -> Option<&Table4Cell> {
         self.cells
             .iter()
-            .find(|c| c.node == node && (c.row.vdd - vdd).abs() < 1e-9)
+            .find(|c| c.node == node && (c.row.vdd.get() - vdd).abs() < 1e-9)
     }
 }
 
@@ -52,7 +53,7 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Table4Result {
         for &vdd in &TABLE_VOLTAGES {
             cells.push(Table4Cell {
                 node,
-                row: frequency_margining(&engine, vdd, samples, seed, exec),
+                row: frequency_margining(&engine, Volts(vdd), samples, seed, exec),
             });
         }
     }
@@ -69,7 +70,7 @@ impl std::fmt::Display for Table4Result {
         for c in &self.cells {
             t.row(&[
                 c.node.to_string(),
-                format!("{:.2}", c.row.vdd),
+                format!("{:.2}", c.row.vdd.get()),
                 format!("{:.2}", c.row.t_clk_ns),
                 format!("{:.2}", c.row.t_va_clk_ns),
                 format!("{:.1}%", c.row.perf_drop * 100.0),

@@ -172,6 +172,7 @@ mod tests {
     use crate::sta;
     use ntv_device::{TechModel, TechNode};
     use ntv_mc::{StreamRng, Summary};
+    use ntv_units::Volts;
 
     #[test]
     fn kogge_stone_depth_is_logarithmic() {
@@ -209,8 +210,8 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let ks = kogge_stone(32);
         let rc = ripple_carry(32);
-        let dk = sta::analyze(&ks, &sta::nominal_delays(&ks, &tech, 1.0)).critical_delay_ps;
-        let dr = sta::analyze(&rc, &sta::nominal_delays(&rc, &tech, 1.0)).critical_delay_ps;
+        let dk = sta::analyze(&ks, &sta::nominal_delays(&ks, &tech, Volts(1.0))).critical_delay_ps;
+        let dr = sta::analyze(&rc, &sta::nominal_delays(&rc, &tech, Volts(1.0))).critical_delay_ps;
         assert!(dk < 0.5 * dr, "KS {dk} vs RC {dr}");
     }
 
@@ -237,7 +238,7 @@ mod tests {
     fn brent_kung_nominal_delay_between_ks_and_ripple() {
         let tech = TechModel::new(TechNode::Gp90);
         let d = |nl: &crate::netlist::Netlist| {
-            sta::analyze(nl, &sta::nominal_delays(nl, &tech, 1.0)).critical_delay_ps
+            sta::analyze(nl, &sta::nominal_delays(nl, &tech, Volts(1.0))).critical_delay_ps
         };
         let ks = d(&kogge_stone(32));
         let bk = d(&brent_kung(32));
@@ -256,7 +257,7 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let mut rng = StreamRng::from_seed(41);
         let mut cv = |nl: &crate::netlist::Netlist| {
-            let s: Summary = sta::mc_critical_delays(nl, &tech, 0.5, 120, &mut rng)
+            let s: Summary = sta::mc_critical_delays(nl, &tech, Volts(0.5), 120, &mut rng)
                 .into_iter()
                 .collect();
             s.three_sigma_over_mu()
@@ -278,7 +279,7 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let ks = kogge_stone(64);
         let mut rng = StreamRng::from_seed(12);
-        let s: Summary = sta::mc_critical_delays(&ks, &tech, 0.5, 150, &mut rng)
+        let s: Summary = sta::mc_critical_delays(&ks, &tech, Volts(0.5), 150, &mut rng)
             .into_iter()
             .collect();
         let v = s.three_sigma_over_mu();

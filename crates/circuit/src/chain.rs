@@ -11,6 +11,7 @@ use ntv_device::{ChipSample, TechModel};
 #[cfg(test)]
 use ntv_mc::StreamRng;
 use ntv_mc::{SampleStream, Summary};
+use ntv_units::Volts;
 
 /// Gate-level Monte-Carlo engine for an `N`-stage FO4 inverter chain.
 ///
@@ -20,13 +21,14 @@ use ntv_mc::{SampleStream, Summary};
 /// use ntv_circuit::chain::ChainMc;
 /// use ntv_device::{TechModel, TechNode};
 /// use ntv_mc::StreamRng;
+/// use ntv_units::Volts;
 ///
 /// let tech = TechModel::new(TechNode::Gp90);
 /// let single = ChainMc::new(&tech, 1);
 /// let chain = ChainMc::new(&tech, 50);
 /// let mut rng = StreamRng::from_seed(3);
-/// let s1 = single.summary(0.5, 400, &mut rng);
-/// let s50 = chain.summary(0.5, 400, &mut rng);
+/// let s1 = single.summary(Volts(0.5), 400, &mut rng);
+/// let s50 = chain.summary(Volts(0.5), 400, &mut rng);
 /// // Uncorrelated per-gate variation averages out along the chain (Fig 1).
 /// assert!(s50.three_sigma_over_mu() < 0.6 * s1.three_sigma_over_mu());
 /// ```
@@ -62,14 +64,14 @@ impl<'a> ChainMc<'a> {
 
     /// Variation-free chain delay (ps) at `vdd`.
     #[must_use]
-    pub fn nominal_delay_ps(&self, vdd: f64) -> f64 {
+    pub fn nominal_delay_ps(&self, vdd: Volts) -> f64 {
         self.length as f64 * self.tech.fo4_delay_ps(vdd)
     }
 
     /// Sample the chain delay (ps) on an already-drawn chip.
     pub fn sample_on_chip_ps<R: SampleStream + ?Sized>(
         &self,
-        vdd: f64,
+        vdd: Volts,
         chip: &ChipSample,
         rng: &mut R,
     ) -> f64 {
@@ -83,7 +85,7 @@ impl<'a> ChainMc<'a> {
 
     /// Sample the chain delay (ps), drawing a fresh chip (cross-chip
     /// Monte Carlo, as in Fig 1).
-    pub fn sample_ps<R: SampleStream + ?Sized>(&self, vdd: f64, rng: &mut R) -> f64 {
+    pub fn sample_ps<R: SampleStream + ?Sized>(&self, vdd: Volts, rng: &mut R) -> f64 {
         let chip = self.tech.sample_chip(rng);
         self.sample_on_chip_ps(vdd, &chip, rng)
     }
@@ -92,7 +94,7 @@ impl<'a> ChainMc<'a> {
     #[must_use]
     pub fn distribution_ps<R: SampleStream + ?Sized>(
         &self,
-        vdd: f64,
+        vdd: Volts,
         samples: usize,
         rng: &mut R,
     ) -> Vec<f64> {
@@ -103,7 +105,7 @@ impl<'a> ChainMc<'a> {
     #[must_use]
     pub fn summary<R: SampleStream + ?Sized>(
         &self,
-        vdd: f64,
+        vdd: Volts,
         samples: usize,
         rng: &mut R,
     ) -> Summary {
@@ -114,7 +116,7 @@ impl<'a> ChainMc<'a> {
     #[must_use]
     pub fn three_sigma_over_mu<R: SampleStream + ?Sized>(
         &self,
-        vdd: f64,
+        vdd: Volts,
         samples: usize,
         rng: &mut R,
     ) -> f64 {
@@ -132,7 +134,10 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp45);
         let c10 = ChainMc::new(&tech, 10);
         let c40 = ChainMc::new(&tech, 40);
-        assert!((c40.nominal_delay_ps(0.6) / c10.nominal_delay_ps(0.6) - 4.0).abs() < 1e-12);
+        assert!(
+            (c40.nominal_delay_ps(Volts(0.6)) / c10.nominal_delay_ps(Volts(0.6)) - 4.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -140,10 +145,10 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let chain = ChainMc::new(&tech, 50);
         let mut rng = StreamRng::from_seed(21);
-        let s = chain.summary(0.7, 2000, &mut rng);
+        let s = chain.summary(Volts(0.7), 2000, &mut rng);
         // The nonlinear Vth dependence introduces a small positive bias;
         // the mean must stay within a few percent of nominal.
-        let nominal = chain.nominal_delay_ps(0.7);
+        let nominal = chain.nominal_delay_ps(Volts(0.7));
         assert!(
             (s.mean() / nominal - 1.0).abs() < 0.05,
             "mean {} nominal {nominal}",
@@ -156,7 +161,7 @@ mod tests {
         // Fig 11: 3 sigma/mu falls with N (with diminishing returns).
         let tech = TechModel::new(TechNode::Gp90);
         let mut rng = StreamRng::from_seed(5);
-        let v = 0.55;
+        let v = Volts(0.55);
         let s1 = ChainMc::new(&tech, 1).three_sigma_over_mu(v, 3000, &mut rng);
         let s10 = ChainMc::new(&tech, 10).three_sigma_over_mu(v, 3000, &mut rng);
         let s100 = ChainMc::new(&tech, 100).three_sigma_over_mu(v, 1500, &mut rng);
@@ -172,8 +177,8 @@ mod tests {
         let tech = TechModel::new(TechNode::PtmHp22);
         let chain = ChainMc::new(&tech, 50);
         let mut rng = StreamRng::from_seed(6);
-        let hi = chain.three_sigma_over_mu(0.8, 2000, &mut rng);
-        let lo = chain.three_sigma_over_mu(0.5, 2000, &mut rng);
+        let hi = chain.three_sigma_over_mu(Volts(0.8), 2000, &mut rng);
+        let lo = chain.three_sigma_over_mu(Volts(0.5), 2000, &mut rng);
         assert!(lo > 1.5 * hi, "0.5V: {lo}, 0.8V: {hi}");
     }
 
@@ -183,7 +188,7 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let chain = ChainMc::new(&tech, 1);
         let mut rng = StreamRng::from_seed(9);
-        let s = chain.summary(0.5, 4000, &mut rng);
+        let s = chain.summary(Volts(0.5), 4000, &mut rng);
         assert!(s.skewness() > 0.2, "skewness {}", s.skewness());
     }
 
@@ -191,8 +196,8 @@ mod tests {
     fn deterministic_given_seed() {
         let tech = TechModel::new(TechNode::Gp90);
         let chain = ChainMc::new(&tech, 5);
-        let a = chain.distribution_ps(0.6, 10, &mut StreamRng::from_seed(1));
-        let b = chain.distribution_ps(0.6, 10, &mut StreamRng::from_seed(1));
+        let a = chain.distribution_ps(Volts(0.6), 10, &mut StreamRng::from_seed(1));
+        let b = chain.distribution_ps(Volts(0.6), 10, &mut StreamRng::from_seed(1));
         assert_eq!(a, b);
     }
 

@@ -8,6 +8,7 @@
 
 use ntv_device::{ChipSample, GateSample, TechModel};
 use ntv_mc::SampleStream;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 /// Combinational cell types available to netlists.
@@ -73,7 +74,7 @@ impl GateKind {
     pub fn sample_delay_ps<R: SampleStream + ?Sized>(
         self,
         tech: &TechModel,
-        vdd: f64,
+        vdd: Volts,
         chip: &ChipSample,
         rng: &mut R,
     ) -> f64 {
@@ -137,8 +138,8 @@ mod tests {
         let mut inv = 0.0;
         let mut nand = 0.0;
         for _ in 0..2000 {
-            inv += GateKind::Inv.sample_delay_ps(&tech, 0.7, &chip, &mut rng);
-            nand += GateKind::Nand2.sample_delay_ps(&tech, 0.7, &chip, &mut rng);
+            inv += GateKind::Inv.sample_delay_ps(&tech, Volts(0.7), &chip, &mut rng);
+            nand += GateKind::Nand2.sample_delay_ps(&tech, Volts(0.7), &chip, &mut rng);
         }
         let ratio = nand / inv;
         assert!((ratio - 1.25).abs() < 0.05, "ratio {ratio}");
@@ -151,7 +152,7 @@ mod tests {
         let mut a = StreamRng::from_seed(9);
         let mut b = StreamRng::from_seed(9);
         assert_eq!(
-            GateKind::Input.sample_delay_ps(&tech, 0.6, &chip, &mut a),
+            GateKind::Input.sample_delay_ps(&tech, Volts(0.6), &chip, &mut a),
             0.0
         );
         // `a` should still be in lockstep with `b`.

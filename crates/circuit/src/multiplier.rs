@@ -100,6 +100,7 @@ mod tests {
     use crate::sta;
     use ntv_device::{TechModel, TechNode};
     use ntv_mc::{StreamRng, Summary};
+    use ntv_units::Volts;
 
     #[test]
     fn product_width_and_io() {
@@ -127,11 +128,13 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let mul = array_multiplier(16);
         let add = kogge_stone(16);
-        let dm = sta::analyze(&mul, &sta::nominal_delays(&mul, &tech, 1.0)).critical_delay_ps;
-        let da = sta::analyze(&add, &sta::nominal_delays(&add, &tech, 1.0)).critical_delay_ps;
+        let dm =
+            sta::analyze(&mul, &sta::nominal_delays(&mul, &tech, Volts(1.0))).critical_delay_ps;
+        let da =
+            sta::analyze(&add, &sta::nominal_delays(&add, &tech, Volts(1.0))).critical_delay_ps;
         assert!(dm > 2.0 * da, "mul {dm} vs add {da}");
         // And its nominal depth is in the ballpark of the 50-FO4 proxy.
-        let fo4 = tech.fo4_delay_ps(1.0);
+        let fo4 = tech.fo4_delay_ps(Volts(1.0));
         let depth_fo4 = dm / fo4;
         assert!((25.0..120.0).contains(&depth_fo4), "depth {depth_fo4} FO4");
     }
@@ -141,7 +144,7 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let m = array_multiplier(16);
         let mut rng = StreamRng::from_seed(3);
-        let s: Summary = sta::mc_critical_delays(&m, &tech, 0.5, 100, &mut rng)
+        let s: Summary = sta::mc_critical_delays(&m, &tech, Volts(0.5), 100, &mut rng)
             .into_iter()
             .collect();
         let v = s.three_sigma_over_mu();

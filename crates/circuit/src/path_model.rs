@@ -22,6 +22,7 @@
 
 use ntv_device::{ChipSample, TechModel};
 use ntv_mc::GaussHermite;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 /// Conditional mean/σ of a critical-path delay given one chip's systematic
@@ -42,12 +43,13 @@ pub struct PathMoments {
 /// ```
 /// use ntv_circuit::path_model::PathModel;
 /// use ntv_device::{ChipSample, TechModel, TechNode};
+/// use ntv_units::Volts;
 ///
 /// let tech = TechModel::new(TechNode::Gp90);
 /// let model = PathModel::new(&tech, 50);
-/// let m = model.conditional_moments(0.55, &ChipSample::nominal());
+/// let m = model.conditional_moments(Volts(0.55), &ChipSample::nominal());
 /// // Mean is close to 50 nominal FO4 delays; variation adds a small bias.
-/// let nominal = 50.0 * tech.fo4_delay_ps(0.55);
+/// let nominal = 50.0 * tech.fo4_delay_ps(Volts(0.55));
 /// assert!((m.mean_ps / nominal - 1.0).abs() < 0.1);
 /// assert!(m.std_ps > 0.0);
 /// ```
@@ -92,13 +94,13 @@ impl<'a> PathModel<'a> {
 
     /// Conditional mean and σ of a *single gate's* delay (ps) given `chip`.
     #[must_use]
-    pub fn conditional_gate_moments(&self, vdd: f64, chip: &ChipSample) -> (f64, f64) {
+    pub fn conditional_gate_moments(&self, vdd: Volts, chip: &ChipSample) -> (f64, f64) {
         let p = self.tech.params();
         // Quadrature over the random Vth deviation with kappa factored out.
         let (q1, qvar) = self
             .quadrature
-            .moments_normal(0.0, p.sigma_vth_random, |dv| {
-                self.tech.gate_delay_ps_at(vdd, chip, dv, 0.0)
+            .moments_normal(0.0, p.sigma_vth_random.get(), |dv| {
+                self.tech.gate_delay_ps_at(vdd, chip, Volts(dv), 0.0)
             });
         let q2 = qvar + q1 * q1; // E[D0^2]
                                  // Log-normal moments of exp(-eps), eps ~ N(0, sigma_kr).
@@ -112,7 +114,7 @@ impl<'a> PathModel<'a> {
 
     /// Conditional path moments given `chip`: `Normal(L·μ_g, L·σ_g²)`.
     #[must_use]
-    pub fn conditional_moments(&self, vdd: f64, chip: &ChipSample) -> PathMoments {
+    pub fn conditional_moments(&self, vdd: Volts, chip: &ChipSample) -> PathMoments {
         let (mu, sigma) = self.conditional_gate_moments(vdd, chip);
         PathMoments {
             mean_ps: self.length as f64 * mu,
@@ -134,7 +136,7 @@ mod tests {
         let model = PathModel::new(&tech, 1);
         let mut rng = StreamRng::from_seed(17);
         let chip = tech.sample_chip(&mut rng);
-        for &vdd in &[0.5, 0.7, 1.0] {
+        for vdd in [Volts(0.5), Volts(0.7), Volts(1.0)] {
             let (mu, sigma) = model.conditional_gate_moments(vdd, &chip);
             let mc: Summary = (0..100_000)
                 .map(|_| {
@@ -144,12 +146,12 @@ mod tests {
                 .collect();
             assert!(
                 (mc.mean() / mu - 1.0).abs() < 0.01,
-                "vdd={vdd}: MC mean {} vs quadrature {mu}",
+                "{vdd}: MC mean {} vs quadrature {mu}",
                 mc.mean()
             );
             assert!(
                 (mc.std_dev() / sigma - 1.0).abs() < 0.03,
-                "vdd={vdd}: MC sigma {} vs quadrature {sigma}",
+                "{vdd}: MC sigma {} vs quadrature {sigma}",
                 mc.std_dev()
             );
         }
@@ -162,7 +164,7 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp45);
         let model = PathModel::new(&tech, 50);
         let chain = ChainMc::new(&tech, 50);
-        let vdd = 0.55;
+        let vdd = Volts(0.55);
         let n = 4000;
 
         let mut rng_fast = StreamRng::from_seed(100);
@@ -195,20 +197,22 @@ mod tests {
     fn systematically_slow_chip_has_larger_mean() {
         let tech = TechModel::new(TechNode::PtmHp22);
         let model = PathModel::new(&tech, 50);
-        let nominal = model.conditional_moments(0.55, &ChipSample::nominal());
+        let nominal = model.conditional_moments(Volts(0.55), &ChipSample::nominal());
         let slow_chip = ChipSample {
             dvth: 2.0 * tech.params().sigma_vth_systematic,
             ln_k: -2.0 * tech.params().sigma_k_systematic,
         };
-        let slow = model.conditional_moments(0.55, &slow_chip);
+        let slow = model.conditional_moments(Volts(0.55), &slow_chip);
         assert!(slow.mean_ps > nominal.mean_ps);
     }
 
     #[test]
     fn sigma_shrinks_relative_to_mean_with_length() {
         let tech = TechModel::new(TechNode::Gp90);
-        let short = PathModel::new(&tech, 10).conditional_moments(0.55, &ChipSample::nominal());
-        let long = PathModel::new(&tech, 100).conditional_moments(0.55, &ChipSample::nominal());
+        let short =
+            PathModel::new(&tech, 10).conditional_moments(Volts(0.55), &ChipSample::nominal());
+        let long =
+            PathModel::new(&tech, 100).conditional_moments(Volts(0.55), &ChipSample::nominal());
         assert!(long.std_ps / long.mean_ps < short.std_ps / short.mean_ps);
     }
 

@@ -111,6 +111,7 @@ mod tests {
     use crate::adder::kogge_stone;
     use crate::sta;
     use ntv_device::{TechModel, TechNode};
+    use ntv_units::Volts;
 
     #[test]
     fn stats_census_adds_up() {
@@ -150,7 +151,7 @@ mod tests {
     fn critical_path_highlighting_marks_red() {
         let tech = TechModel::new(TechNode::Gp90);
         let ks = kogge_stone(8);
-        let delays = sta::nominal_delays(&ks, &tech, 1.0);
+        let delays = sta::nominal_delays(&ks, &tech, Volts(1.0));
         let result = sta::analyze(&ks, &delays);
         let dot = to_dot(&ks, &result.critical_path);
         assert!(dot.contains("color=red"));

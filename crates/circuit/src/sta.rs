@@ -15,6 +15,7 @@
 
 use ntv_device::{ChipSample, TechModel};
 use ntv_mc::SampleStream;
+use ntv_units::Volts;
 
 use crate::gate::GateKind;
 use crate::netlist::{GateId, Netlist};
@@ -38,7 +39,7 @@ pub struct StaResult {
 pub fn sample_delays<R: SampleStream + ?Sized>(
     netlist: &Netlist,
     tech: &TechModel,
-    vdd: f64,
+    vdd: Volts,
     chip: &ChipSample,
     rng: &mut R,
 ) -> Vec<f64> {
@@ -51,7 +52,7 @@ pub fn sample_delays<R: SampleStream + ?Sized>(
 
 /// Variation-free delays (ps) per gate instance.
 #[must_use]
-pub fn nominal_delays(netlist: &Netlist, tech: &TechModel, vdd: f64) -> Vec<f64> {
+pub fn nominal_delays(netlist: &Netlist, tech: &TechModel, vdd: Volts) -> Vec<f64> {
     let fo4 = tech.fo4_delay_ps(vdd);
     netlist
         .nodes()
@@ -122,7 +123,7 @@ pub fn analyze(netlist: &Netlist, delays: &[f64]) -> StaResult {
 pub fn mc_critical_delays<R: SampleStream + ?Sized>(
     netlist: &Netlist,
     tech: &TechModel,
-    vdd: f64,
+    vdd: Volts,
     samples: usize,
     rng: &mut R,
 ) -> Vec<f64> {
@@ -179,9 +180,9 @@ mod tests {
     fn nominal_sta_matches_chain_formula() {
         let tech = TechModel::new(TechNode::Gp90);
         let n = chain_netlist(50);
-        let delays = nominal_delays(&n, &tech, 0.6);
+        let delays = nominal_delays(&n, &tech, Volts(0.6));
         let r = analyze(&n, &delays);
-        let expect = 50.0 * tech.fo4_delay_ps(0.6);
+        let expect = 50.0 * tech.fo4_delay_ps(Volts(0.6));
         assert!((r.critical_delay_ps - expect).abs() < 1e-9);
     }
 
@@ -190,10 +191,10 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let n = chain_netlist(20);
         let mut rng = StreamRng::from_seed(4);
-        let samples = mc_critical_delays(&n, &tech, 0.6, 200, &mut rng);
+        let samples = mc_critical_delays(&n, &tech, Volts(0.6), 200, &mut rng);
         assert_eq!(samples.len(), 200);
         assert!(samples.iter().all(|&d| d > 0.0));
-        let nominal = 20.0 * tech.fo4_delay_ps(0.6);
+        let nominal = 20.0 * tech.fo4_delay_ps(Volts(0.6));
         let mean = samples.iter().sum::<f64>() / 200.0;
         assert!((mean / nominal - 1.0).abs() < 0.1);
     }
@@ -204,7 +205,7 @@ mod tests {
         let n = crate::adder::kogge_stone(16);
         let mut rng = StreamRng::from_seed(77);
         let chip = tech.sample_chip(&mut rng);
-        let delays = sample_delays(&n, &tech, 0.6, &chip, &mut rng);
+        let delays = sample_delays(&n, &tech, Volts(0.6), &chip, &mut rng);
         let r = analyze(&n, &delays);
         for w in r.critical_path.windows(2) {
             assert!(n.node(w[1]).fanin().contains(&w[0]));

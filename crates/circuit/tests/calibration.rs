@@ -9,13 +9,14 @@ use ntv_circuit::chain::ChainMc;
 use ntv_device::calib;
 use ntv_device::{TechModel, TechNode};
 use ntv_mc::StreamRng;
+use ntv_units::Volts;
 
 const SAMPLES: usize = 4000;
 
 fn chain_3s(tech: &TechModel, len: usize, vdd: f64, seed: u64) -> f64 {
     let chain = ChainMc::new(tech, len);
     let mut rng = StreamRng::from_seed_and_label(seed, "calibration");
-    chain.three_sigma_over_mu(vdd, SAMPLES, &mut rng)
+    chain.three_sigma_over_mu(Volts(vdd), SAMPLES, &mut rng)
 }
 
 #[test]
@@ -100,8 +101,8 @@ fn scaling_ratio_22_vs_90_at_055v() {
 fn absolute_chain_delays_90nm() {
     let tech = TechModel::new(TechNode::Gp90);
     let chain = ChainMc::new(&tech, 50);
-    let d05 = chain.nominal_delay_ps(0.5) / 1000.0;
-    let d06 = chain.nominal_delay_ps(0.6) / 1000.0;
+    let d05 = chain.nominal_delay_ps(Volts(0.5)) / 1000.0;
+    let d06 = chain.nominal_delay_ps(Volts(0.6)) / 1000.0;
     println!("chain-50 delay: {d05:.2} ns @0.5 V (paper 22.05), {d06:.2} ns @0.6 V (paper 8.99)");
     assert!(calib::relative_error(d05, calib::CHAIN50_DELAY_NS_90NM_05V) < 0.15);
     assert!(calib::relative_error(d06, calib::CHAIN50_DELAY_NS_90NM_06V) < 0.15);

@@ -14,6 +14,7 @@
 
 use ntv_device::{DeviceParams, TechModel};
 use ntv_mc::{order, CounterRng, Quantiles};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
@@ -24,10 +25,10 @@ use crate::perf;
 /// A solved body-bias design point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BodyBiasSolution {
-    /// NTV operating voltage (V).
-    pub vdd: f64,
-    /// Required forward body bias expressed as a threshold reduction (V).
-    pub vth_shift: f64,
+    /// NTV operating voltage.
+    pub vdd: Volts,
+    /// Required forward body bias expressed as a threshold reduction.
+    pub vth_shift: Volts,
     /// Target chip delay (ns).
     pub target_ns: f64,
     /// Achieved q99 chip delay (ns).
@@ -44,12 +45,13 @@ pub struct BodyBiasSolution {
 /// use ntv_core::body_bias::BodyBiasStudy;
 /// use ntv_core::{DatapathConfig, DatapathEngine};
 /// use ntv_device::{TechModel, TechNode};
+/// use ntv_units::Volts;
 ///
 /// let tech = TechModel::new(TechNode::Gp90);
 /// let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-/// let sol = BodyBiasStudy::new(&engine).solve(0.6, 1_000, 1);
+/// let sol = BodyBiasStudy::new(&engine).solve(Volts(0.6), 1_000, 1);
 /// // A few millivolts of threshold reduction suffice at 90 nm.
-/// assert!(sol.vth_shift > 0.0 && sol.vth_shift < 0.05);
+/// assert!(sol.vth_shift > Volts::ZERO && sol.vth_shift < Volts(0.05));
 /// ```
 #[derive(Debug, Clone)]
 pub struct BodyBiasStudy<'a> {
@@ -63,8 +65,8 @@ pub struct BodyBiasStudy<'a> {
 }
 
 impl<'a> BodyBiasStudy<'a> {
-    /// Largest threshold shift considered (V).
-    pub const MAX_SHIFT: f64 = 0.1;
+    /// Largest threshold shift considered.
+    pub const MAX_SHIFT: Volts = Volts(0.1);
 
     /// Study with the paper budget and a 15 % NTV leakage share.
     #[must_use]
@@ -102,7 +104,7 @@ impl<'a> BodyBiasStudy<'a> {
     /// Evaluated on a biased copy of the device model with common random
     /// numbers, exactly like the margining solver.
     #[must_use]
-    pub fn q99_ns_with_bias(&self, vdd: f64, shift: f64, samples: usize, seed: u64) -> f64 {
+    pub fn q99_ns_with_bias(&self, vdd: Volts, shift: Volts, samples: usize, seed: u64) -> f64 {
         let biased = biased_tech(self.engine.tech(), shift);
         let config = *self.engine.config();
         // Unconditional normal fit of the biased path distribution, as in
@@ -122,7 +124,7 @@ impl<'a> BodyBiasStudy<'a> {
     /// NTV-domain leakage grows `exp(shift/(n·φt))`; weighted by the
     /// leakage share and the NTV-domain power fraction.
     #[must_use]
-    pub fn power_overhead(&self, shift: f64) -> f64 {
+    pub fn power_overhead(&self, shift: Volts) -> f64 {
         let p = self.engine.tech().params();
         let growth = (shift / (p.slope_n * ntv_device::params::THERMAL_VOLTAGE)).exp();
         self.budget.ntv_power_fraction * self.leakage_share * (growth - 1.0)
@@ -135,27 +137,27 @@ impl<'a> BodyBiasStudy<'a> {
     ///
     /// Panics if [`Self::MAX_SHIFT`] cannot reach the target.
     #[must_use]
-    pub fn solve(&self, vdd: f64, samples: usize, seed: u64) -> BodyBiasSolution {
-        const TOLERANCE: f64 = 0.1e-3;
+    pub fn solve(&self, vdd: Volts, samples: usize, seed: u64) -> BodyBiasSolution {
+        const TOLERANCE: Volts = Volts(0.1e-3);
         let target_ns = {
             let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed, self.exec);
             base_fo4 * self.engine.fo4_unit_ps(vdd) / 1000.0
         };
-        if self.q99_ns_with_bias(vdd, 0.0, samples, seed) <= target_ns {
+        if self.q99_ns_with_bias(vdd, Volts::ZERO, samples, seed) <= target_ns {
             return BodyBiasSolution {
                 vdd,
-                vth_shift: 0.0,
+                vth_shift: Volts::ZERO,
                 target_ns,
-                achieved_ns: self.q99_ns_with_bias(vdd, 0.0, samples, seed),
+                achieved_ns: self.q99_ns_with_bias(vdd, Volts::ZERO, samples, seed),
                 power_overhead: 0.0,
             };
         }
         assert!(
             self.q99_ns_with_bias(vdd, Self::MAX_SHIFT, samples, seed) <= target_ns,
-            "body bias beyond {} V required — outside the model's regime",
+            "body bias beyond {} required — outside the model's regime",
             Self::MAX_SHIFT
         );
-        let (mut lo, mut hi) = (0.0_f64, Self::MAX_SHIFT);
+        let (mut lo, mut hi) = (Volts::ZERO, Self::MAX_SHIFT);
         while hi - lo > TOLERANCE {
             let mid = 0.5 * (lo + hi);
             if self.q99_ns_with_bias(vdd, mid, samples, seed) <= target_ns {
@@ -176,7 +178,7 @@ impl<'a> BodyBiasStudy<'a> {
 
 /// A copy of the technology model with the threshold lowered by `shift`
 /// (forward body bias).
-fn biased_tech(tech: &TechModel, shift: f64) -> TechModel {
+fn biased_tech(tech: &TechModel, shift: Volts) -> TechModel {
     let params = DeviceParams {
         vth0: tech.params().vth0 - shift,
         ..*tech.params()
@@ -197,8 +199,8 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp45);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = BodyBiasStudy::new(&engine);
-        let d0 = study.q99_ns_with_bias(0.6, 0.0, SAMPLES, 1);
-        let d20 = study.q99_ns_with_bias(0.6, 0.020, SAMPLES, 1);
+        let d0 = study.q99_ns_with_bias(Volts(0.6), Volts::ZERO, SAMPLES, 1);
+        let d20 = study.q99_ns_with_bias(Volts(0.6), Volts(0.020), SAMPLES, 1);
         assert!(d20 < d0, "{d20} vs {d0}");
     }
 
@@ -207,15 +209,15 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = BodyBiasStudy::new(&engine);
-        let sol = study.solve(0.55, SAMPLES, 2);
+        let sol = study.solve(Volts(0.55), SAMPLES, 2);
         assert!(sol.achieved_ns <= sol.target_ns);
         assert!(
-            sol.vth_shift > 0.0 && sol.vth_shift < 0.03,
+            sol.vth_shift > Volts::ZERO && sol.vth_shift < Volts(0.03),
             "{}",
             sol.vth_shift
         );
         // Backing off misses the target.
-        let back = study.q99_ns_with_bias(0.55, sol.vth_shift - 0.3e-3, SAMPLES, 2);
+        let back = study.q99_ns_with_bias(Volts(0.55), sol.vth_shift - Volts(0.3e-3), SAMPLES, 2);
         assert!(back > sol.target_ns);
     }
 
@@ -225,9 +227,9 @@ mod tests {
         // millivolts; both solvers should land in the same few-mV regime.
         let tech = TechModel::new(TechNode::PtmHp32);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let bias = BodyBiasStudy::new(&engine).solve(0.6, SAMPLES, 3);
-        let margin = crate::margining::MarginStudy::new(&engine).solve(0.6, SAMPLES, 3);
-        assert!(bias.vth_shift < 3.0 * margin.margin + 5e-3);
+        let bias = BodyBiasStudy::new(&engine).solve(Volts(0.6), SAMPLES, 3);
+        let margin = crate::margining::MarginStudy::new(&engine).solve(Volts(0.6), SAMPLES, 3);
+        assert!(bias.vth_shift < 3.0 * margin.margin + Volts(5e-3));
         assert!(bias.vth_shift > 0.2 * margin.margin);
     }
 
@@ -236,10 +238,10 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = BodyBiasStudy::new(&engine);
-        let p10 = study.power_overhead(0.010);
-        let p40 = study.power_overhead(0.040);
+        let p10 = study.power_overhead(Volts(0.010));
+        let p40 = study.power_overhead(Volts(0.040));
         assert!(p40 > 3.0 * p10, "{p40} vs {p10}");
-        assert_eq!(study.power_overhead(0.0), 0.0);
+        assert_eq!(study.power_overhead(Volts::ZERO), 0.0);
     }
 
     #[test]
@@ -248,6 +250,6 @@ mod tests {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let cheap = BodyBiasStudy::new(&engine).with_leakage_share(0.05);
         let dear = BodyBiasStudy::new(&engine).with_leakage_share(0.40);
-        assert!(dear.power_overhead(0.02) > 5.0 * cheap.power_overhead(0.02));
+        assert!(dear.power_overhead(Volts(0.02)) > 5.0 * cheap.power_overhead(Volts(0.02)));
     }
 }

@@ -7,6 +7,7 @@
 //! drops — a small ΔV buys an exponential delay reduction, whereas the
 //! spare count explodes.
 
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::duplication::DuplicationStudy;
@@ -35,14 +36,14 @@ impl std::fmt::Display for Technique {
 /// One voltage point of a Fig 7 panel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ComparisonPoint {
-    /// Supply voltage (V).
-    pub vdd: f64,
+    /// Supply voltage.
+    pub vdd: Volts,
     /// Spares required, if within budget (`None` ⇒ Table 1's ">128").
     pub spares: Option<u32>,
     /// Duplication power overhead, if solvable.
     pub duplication_power: Option<f64>,
-    /// Required voltage margin (V).
-    pub margin: f64,
+    /// Required voltage margin.
+    pub margin: Volts,
     /// Margining power overhead.
     pub margining_power: f64,
 }
@@ -63,7 +64,7 @@ impl ComparisonPoint {
 #[must_use]
 pub fn compare_at(
     engine: &DatapathEngine<'_>,
-    vdd: f64,
+    vdd: Volts,
     max_spares: u32,
     samples: usize,
     seed: u64,
@@ -88,7 +89,7 @@ pub fn compare_at(
 #[must_use]
 pub fn compare_sweep(
     engine: &DatapathEngine<'_>,
-    voltages: &[f64],
+    voltages: &[Volts],
     max_spares: u32,
     samples: usize,
     seed: u64,
@@ -114,7 +115,7 @@ mod tests {
         // than any voltage margin.
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let p = compare_at(&engine, 0.65, 128, SAMPLES, 1, Executor::default());
+        let p = compare_at(&engine, Volts(0.65), 128, SAMPLES, 1, Executor::default());
         assert_eq!(p.preferred(), Technique::Duplication, "{p:?}");
     }
 
@@ -123,7 +124,7 @@ mod tests {
         // Fig 7(b)/§4.4: in 45 nm at 0.5-0.6 V margining is cheaper.
         let tech = TechModel::new(TechNode::Gp45);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let p = compare_at(&engine, 0.55, 128, SAMPLES, 2, Executor::default());
+        let p = compare_at(&engine, Volts(0.55), 128, SAMPLES, 2, Executor::default());
         assert_eq!(p.preferred(), Technique::VoltageMargining, "{p:?}");
     }
 
@@ -131,7 +132,7 @@ mod tests {
     fn unsolvable_duplication_defers_to_margining() {
         let tech = TechModel::new(TechNode::PtmHp22);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let p = compare_at(&engine, 0.50, 128, 1000, 3, Executor::default());
+        let p = compare_at(&engine, Volts(0.50), 128, 1000, 3, Executor::default());
         assert!(p.duplication_power.is_none(), "{p:?}");
         assert_eq!(p.preferred(), Technique::VoltageMargining);
     }
@@ -140,9 +141,16 @@ mod tests {
     fn sweep_produces_one_point_per_voltage() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let pts = compare_sweep(&engine, &[0.6, 0.65, 0.7], 64, 800, 4, Executor::default());
+        let pts = compare_sweep(
+            &engine,
+            &[Volts(0.6), Volts(0.65), Volts(0.7)],
+            64,
+            800,
+            4,
+            Executor::default(),
+        );
         assert_eq!(pts.len(), 3);
-        for (p, v) in pts.iter().zip([0.6, 0.65, 0.7]) {
+        for (p, v) in pts.iter().zip([Volts(0.6), Volts(0.65), Volts(0.7)]) {
             assert_eq!(p.vdd, v);
         }
     }

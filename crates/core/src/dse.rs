@@ -9,6 +9,7 @@
 //! (26 spares, 4.3 %) and margining-only (17 mV, 2.4 %).
 
 use ntv_mc::CounterRng;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
@@ -21,8 +22,8 @@ use crate::perf;
 pub struct DesignChoice {
     /// Spare lanes.
     pub spares: u32,
-    /// Residual voltage margin (V) required with that many spares.
-    pub margin: f64,
+    /// Residual voltage margin required with that many spares.
+    pub margin: Volts,
     /// Power overhead: duplication + margin (fraction of PE power).
     pub power_overhead: f64,
 }
@@ -59,7 +60,7 @@ impl<'a> DseStudy<'a> {
     #[must_use]
     pub fn q99_ns_with_spares(
         &self,
-        vdd_effective: f64,
+        vdd_effective: Volts,
         spares: u32,
         samples: usize,
         seed: u64,
@@ -92,22 +93,22 @@ impl<'a> DseStudy<'a> {
     #[must_use]
     pub fn margin_for_spares(
         &self,
-        vdd: f64,
+        vdd: Volts,
         spares: u32,
         target_ns: f64,
         samples: usize,
         seed: u64,
-    ) -> f64 {
-        const TOLERANCE: f64 = 0.1e-3;
-        const MAX_MARGIN: f64 = 0.2;
+    ) -> Volts {
+        const TOLERANCE: Volts = Volts(0.1e-3);
+        const MAX_MARGIN: Volts = Volts(0.2);
         if self.q99_ns_with_spares(vdd, spares, samples, seed) <= target_ns {
-            return 0.0;
+            return Volts::ZERO;
         }
         assert!(
             self.q99_ns_with_spares(vdd + MAX_MARGIN, spares, samples, seed) <= target_ns,
-            "margin above {MAX_MARGIN} V required — outside the model's regime"
+            "margin above {MAX_MARGIN} required — outside the model's regime"
         );
-        let (mut lo, mut hi) = (0.0_f64, MAX_MARGIN);
+        let (mut lo, mut hi) = (Volts::ZERO, MAX_MARGIN);
         while hi - lo > TOLERANCE {
             let mid = 0.5 * (lo + hi);
             if self.q99_ns_with_spares(vdd + mid, spares, samples, seed) <= target_ns {
@@ -124,7 +125,7 @@ impl<'a> DseStudy<'a> {
     #[must_use]
     pub fn explore(
         &self,
-        vdd: f64,
+        vdd: Volts,
         spare_candidates: &[u32],
         samples: usize,
         seed: u64,
@@ -175,15 +176,15 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp45);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let dse = DseStudy::new(&engine);
-        let rows = dse.explore(0.6, &[0, 2, 8, 26], SAMPLES, 1);
+        let rows = dse.explore(Volts(0.6), &[0, 2, 8, 26], SAMPLES, 1);
         for w in rows.windows(2) {
             assert!(
-                w[1].margin <= w[0].margin + 1e-4,
+                w[1].margin <= w[0].margin + Volts(1e-4),
                 "margin not decreasing: {rows:?}"
             );
         }
         // Margin-only row needs a real margin; many spares need (almost) none.
-        assert!(rows[0].margin > 5e-3);
+        assert!(rows[0].margin > Volts(5e-3));
         assert!(rows[3].margin < rows[0].margin * 0.5);
     }
 
@@ -194,7 +195,7 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp45);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let dse = DseStudy::new(&engine);
-        let rows = dse.explore(0.6, &[0, 1, 2, 4, 8, 16, 26], SAMPLES, 2);
+        let rows = dse.explore(Volts(0.6), &[0, 1, 2, 4, 8, 16, 26], SAMPLES, 2);
         let best = DseStudy::best(&rows);
         let margin_only = rows[0];
         let dup_only = rows.last().copied().expect("non-empty");
@@ -202,7 +203,7 @@ mod tests {
         assert!(best.power_overhead <= dup_only.power_overhead);
         // The optimum is an interior point: some spares, some margin.
         assert!(best.spares > 0 && best.spares < 26, "{best:?}");
-        assert!(best.margin > 0.0);
+        assert!(best.margin > Volts::ZERO);
     }
 
     #[test]
@@ -210,10 +211,10 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let dse = DseStudy::new(&engine);
-        let via_dse = dse.q99_ns_with_spares(0.55, 0, SAMPLES, 3);
+        let via_dse = dse.q99_ns_with_spares(Volts(0.55), 0, SAMPLES, 3);
         let mut rng = StreamRng::from_seed(99);
         let direct = engine
-            .chip_delay_distribution(0.55, SAMPLES, &mut rng)
+            .chip_delay_distribution(Volts(0.55), SAMPLES, &mut rng)
             .q99_ns();
         assert!(
             (via_dse / direct - 1.0).abs() < 0.03,
@@ -226,17 +227,17 @@ mod tests {
         let choices = [
             DesignChoice {
                 spares: 0,
-                margin: 0.017,
+                margin: Volts(0.017),
                 power_overhead: 0.024,
             },
             DesignChoice {
                 spares: 2,
-                margin: 0.010,
+                margin: Volts(0.010),
                 power_overhead: 0.017,
             },
             DesignChoice {
                 spares: 26,
-                margin: 0.0,
+                margin: Volts::ZERO,
                 power_overhead: 0.043,
             },
         ];

@@ -14,6 +14,7 @@
 //! monotone in α and binary search is sound.
 
 use ntv_mc::{order, CounterRng, Quantiles};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{ChipDelayDistribution, DatapathEngine};
@@ -27,7 +28,7 @@ use crate::perf;
 /// is a valid sample of a narrower physical array.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LaneDelayMatrix {
-    vdd: f64,
+    vdd: Volts,
     fo4_unit_ps: f64,
     max_lanes: usize,
     rows: Vec<Vec<f64>>,
@@ -36,7 +37,7 @@ pub struct LaneDelayMatrix {
 impl LaneDelayMatrix {
     /// Supply voltage the matrix was sampled at.
     #[must_use]
-    pub fn vdd(&self) -> f64 {
+    pub fn vdd(&self) -> Volts {
         self.vdd
     }
 
@@ -109,8 +110,8 @@ impl std::error::Error for SparesExceeded {}
 /// A solved duplication design point (one Table 1 cell).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SpareSolution {
-    /// Supply voltage (V).
-    pub vdd: f64,
+    /// Supply voltage.
+    pub vdd: Volts,
     /// Required number of spare lanes.
     pub spares: u32,
     /// Achieved 99 % chip delay (FO4 units).
@@ -164,7 +165,7 @@ impl<'a> DuplicationStudy<'a> {
     #[must_use]
     pub fn sample_matrix(
         &self,
-        vdd: f64,
+        vdd: Volts,
         max_spares: u32,
         samples: usize,
         seed: u64,
@@ -237,7 +238,7 @@ impl<'a> DuplicationStudy<'a> {
     /// ">128" entries of Table 1).
     pub fn solve(
         &self,
-        vdd: f64,
+        vdd: Volts,
         max_spares: u32,
         samples: usize,
         seed: u64,
@@ -277,7 +278,7 @@ mod tests {
         let tech = study_engine(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = DuplicationStudy::new(&engine);
-        let matrix = study.sample_matrix(0.55, 32, SAMPLES, 1);
+        let matrix = study.sample_matrix(Volts(0.55), 32, SAMPLES, 1);
         let d0 = matrix.chip_delay_with_spares(128, 0);
         let d6 = matrix.chip_delay_with_spares(128, 6);
         let d32 = matrix.chip_delay_with_spares(128, 32);
@@ -293,9 +294,18 @@ mod tests {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = DuplicationStudy::new(&engine);
         // Paper Table 1 (90 nm): 28 @0.50V, 6 @0.55V, 2 @0.60V, 1 @0.65/0.70V.
-        let s055 = study.solve(0.55, 128, SAMPLES, 2).expect("solvable").spares;
-        let s060 = study.solve(0.60, 128, SAMPLES, 2).expect("solvable").spares;
-        let s050 = study.solve(0.50, 128, SAMPLES, 2).expect("solvable").spares;
+        let s055 = study
+            .solve(Volts(0.55), 128, SAMPLES, 2)
+            .expect("solvable")
+            .spares;
+        let s060 = study
+            .solve(Volts(0.60), 128, SAMPLES, 2)
+            .expect("solvable")
+            .spares;
+        let s050 = study
+            .solve(Volts(0.50), 128, SAMPLES, 2)
+            .expect("solvable")
+            .spares;
         assert!((3..=14).contains(&s055), "0.55V: {s055} (paper 6)");
         assert!((1..=5).contains(&s060), "0.60V: {s060} (paper 2)");
         assert!((14..=56).contains(&s050), "0.50V: {s050} (paper 28)");
@@ -308,7 +318,9 @@ mod tests {
         let tech = study_engine(TechNode::Gp45);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = DuplicationStudy::new(&engine);
-        let err = study.solve(0.50, 128, 1500, 3).expect_err(">128 expected");
+        let err = study
+            .solve(Volts(0.50), 128, 1500, 3)
+            .expect_err(">128 expected");
         assert_eq!(err.max_spares, 128);
         assert!(err.achieved_q99_fo4 > err.target_q99_fo4);
         assert!(err.to_string().contains("more than 128 spares"));
@@ -319,7 +331,7 @@ mod tests {
         let tech = study_engine(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = DuplicationStudy::new(&engine);
-        let sol = study.solve(1.0, 16, 1500, 4).expect("solvable");
+        let sol = study.solve(Volts(1.0), 16, 1500, 4).expect("solvable");
         // Same voltage as the baseline: at most a spare or two of MC noise.
         assert!(sol.spares <= 2, "{}", sol.spares);
     }
@@ -329,7 +341,7 @@ mod tests {
         let tech = study_engine(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = DuplicationStudy::new(&engine);
-        let sol = study.solve(0.55, 64, 1500, 5).expect("solvable");
+        let sol = study.solve(Volts(0.55), 64, 1500, 5).expect("solvable");
         let b = DietSodaBudget::paper();
         assert_eq!(sol.area_overhead, b.duplication_area_overhead(sol.spares));
         assert_eq!(sol.power_overhead, b.duplication_power_overhead(sol.spares));
@@ -340,7 +352,7 @@ mod tests {
         let tech = study_engine(TechNode::PtmHp32);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = DuplicationStudy::new(&engine);
-        let matrix = study.sample_matrix(0.6, 24, 1200, 6);
+        let matrix = study.sample_matrix(Volts(0.6), 24, 1200, 6);
         let mut prev = f64::INFINITY;
         for alpha in [0u32, 1, 2, 4, 8, 16, 24] {
             let q = matrix.chip_delay_with_spares(128, alpha).q99_fo4();
@@ -355,7 +367,7 @@ mod tests {
         let tech = study_engine(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = DuplicationStudy::new(&engine);
-        let matrix = study.sample_matrix(0.6, 4, 50, 7);
+        let matrix = study.sample_matrix(Volts(0.6), 4, 50, 7);
         let _ = matrix.chip_delay_with_spares(128, 8);
     }
 }

@@ -39,6 +39,7 @@ use ntv_device::{ChipSample, TechModel};
 #[cfg(test)]
 use ntv_mc::StreamRng;
 use ntv_mc::{normal, order, CounterRng, GaussHermite, Histogram, Quantiles, SampleStream};
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::config::DatapathConfig;
@@ -79,7 +80,7 @@ impl PathDistribution {
 
     /// Build the distribution for a `length`-stage path at `vdd`.
     #[must_use]
-    pub fn build(tech: &TechModel, vdd: f64, length: usize) -> Self {
+    pub fn build(tech: &TechModel, vdd: Volts, length: usize) -> Self {
         let params = tech.params();
         let model = PathModel::new(tech, length);
         let gh_v = GaussHermite::new(Self::GH_VTH);
@@ -233,8 +234,8 @@ impl PathDistribution {
 /// Monte-Carlo distribution of the chip delay at one operating point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChipDelayDistribution {
-    /// Supply voltage this distribution was sampled at (V).
-    pub vdd: f64,
+    /// Supply voltage this distribution was sampled at.
+    pub vdd: Volts,
     /// The FO4 unit at `vdd` (ps): simulated chain delay ÷ chain length,
     /// the paper's definition (441 ps at 0.5 V in 90 nm).
     pub fo4_unit_ps: f64,
@@ -285,11 +286,12 @@ impl ChipDelayDistribution {
 /// use ntv_core::{DatapathConfig, DatapathEngine};
 /// use ntv_device::{TechModel, TechNode};
 /// use ntv_mc::StreamRng;
+/// use ntv_units::Volts;
 ///
 /// let tech = TechModel::new(TechNode::Gp90);
 /// let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
 /// let mut rng = StreamRng::from_seed(1);
-/// let dist = engine.chip_delay_distribution(0.55, 1_000, &mut rng);
+/// let dist = engine.chip_delay_distribution(Volts(0.55), 1_000, &mut rng);
 /// // The slowest of 12,800 paths always exceeds the 50-FO4 ideal.
 /// assert!(dist.fo4_quantiles.min() > 50.0);
 /// ```
@@ -345,15 +347,15 @@ impl<'a> DatapathEngine<'a> {
     /// Conditional path moments for an explicit chip (exposed for
     /// validation tests and the hierarchical mode).
     #[must_use]
-    pub fn path_moments(&self, vdd: f64, chip: &ChipSample) -> PathMoments {
+    pub fn path_moments(&self, vdd: Volts, chip: &ChipSample) -> PathMoments {
         self.path_model.conditional_moments(vdd, chip)
     }
 
     /// The precomputed unconditional path distribution at `vdd`
     /// (built on first use, then cached).
     #[must_use]
-    pub fn path_distribution(&self, vdd: f64) -> Arc<PathDistribution> {
-        let key = vdd.to_bits();
+    pub fn path_distribution(&self, vdd: Volts) -> Arc<PathDistribution> {
+        let key = vdd.get().to_bits();
         let mut cache = self.cache.lock().expect("cache lock");
         cache
             .entry(key)
@@ -373,7 +375,7 @@ impl<'a> DatapathEngine<'a> {
     #[must_use]
     pub fn sample_lane_delays_fo4<R: SampleStream + ?Sized>(
         &self,
-        vdd: f64,
+        vdd: Volts,
         n_lanes: usize,
         rng: &mut R,
     ) -> Vec<f64> {
@@ -415,7 +417,7 @@ impl<'a> DatapathEngine<'a> {
     /// Sample one chip delay (FO4 units): the slowest lane of the
     /// datapath.
     #[must_use]
-    pub fn sample_chip_delay_fo4<R: SampleStream + ?Sized>(&self, vdd: f64, rng: &mut R) -> f64 {
+    pub fn sample_chip_delay_fo4<R: SampleStream + ?Sized>(&self, vdd: Volts, rng: &mut R) -> f64 {
         let dist = self.path_distribution(vdd);
         let fo4 = dist.mean_ps() / self.config.path_length as f64;
         match self.mode {
@@ -446,7 +448,7 @@ impl<'a> DatapathEngine<'a> {
     #[must_use]
     pub fn chip_delay_distribution<R: SampleStream + ?Sized>(
         &self,
-        vdd: f64,
+        vdd: Volts,
         samples: usize,
         rng: &mut R,
     ) -> ChipDelayDistribution {
@@ -465,7 +467,7 @@ impl<'a> DatapathEngine<'a> {
     /// stream: a pure function of `(stream key, index)`, so any subset of
     /// indexes can be evaluated on any thread without changing any value.
     #[must_use]
-    pub fn sample_chip_delay_fo4_at(&self, vdd: f64, stream: &CounterRng, index: u64) -> f64 {
+    pub fn sample_chip_delay_fo4_at(&self, vdd: Volts, stream: &CounterRng, index: u64) -> f64 {
         let mut draws = stream.at(index);
         self.sample_chip_delay_fo4(vdd, &mut draws)
     }
@@ -475,7 +477,7 @@ impl<'a> DatapathEngine<'a> {
     #[must_use]
     pub fn sample_lane_delays_fo4_at(
         &self,
-        vdd: f64,
+        vdd: Volts,
         n_lanes: usize,
         stream: &CounterRng,
         index: u64,
@@ -490,7 +492,7 @@ impl<'a> DatapathEngine<'a> {
     #[must_use]
     pub fn sample_batch(
         &self,
-        vdd: f64,
+        vdd: Volts,
         stream: &CounterRng,
         range: std::ops::Range<u64>,
         exec: Executor,
@@ -517,7 +519,7 @@ impl<'a> DatapathEngine<'a> {
     #[must_use]
     pub fn chip_delay_distribution_par(
         &self,
-        vdd: f64,
+        vdd: Volts,
         samples: usize,
         stream: &CounterRng,
         exec: Executor,
@@ -540,7 +542,7 @@ impl<'a> DatapathEngine<'a> {
     #[must_use]
     pub fn path_delay_distribution_par(
         &self,
-        vdd: f64,
+        vdd: Volts,
         samples: usize,
         stream: &CounterRng,
         exec: Executor,
@@ -568,7 +570,7 @@ impl<'a> DatapathEngine<'a> {
     /// chain length (the paper's definition, e.g. 22.05 ns / 50 = 441 ps
     /// at 0.5 V in 90 nm).
     #[must_use]
-    pub fn fo4_unit_ps(&self, vdd: f64) -> f64 {
+    pub fn fo4_unit_ps(&self, vdd: Volts) -> f64 {
         self.path_distribution(vdd).mean_ps() / self.config.path_length as f64
     }
 
@@ -577,7 +579,7 @@ impl<'a> DatapathEngine<'a> {
     #[must_use]
     pub fn path_delay_distribution<R: SampleStream + ?Sized>(
         &self,
-        vdd: f64,
+        vdd: Volts,
         samples: usize,
         rng: &mut R,
     ) -> ChipDelayDistribution {
@@ -614,7 +616,7 @@ mod tests {
         // Monte Carlo (cross-chip) in mean, spread and upper tail.
         let tech = TechModel::new(TechNode::Gp90);
         let engine = engine_default(&tech);
-        for &vdd in &[0.5, 1.0] {
+        for vdd in [Volts(0.5), Volts(1.0)] {
             let dist = engine.path_distribution(vdd);
             let chain = ntv_circuit::chain::ChainMc::new(&tech, 50);
             let mut rng = StreamRng::from_seed(31);
@@ -622,7 +624,7 @@ mod tests {
             let s: Summary = mc.iter().copied().collect();
             assert!(
                 (dist.mean_ps() / s.mean() - 1.0).abs() < 0.01,
-                "vdd={vdd}: mean {} vs {}",
+                "{vdd}: mean {} vs {}",
                 dist.mean_ps(),
                 s.mean()
             );
@@ -631,7 +633,7 @@ mod tests {
             let q99_model = dist.quantile_by_survival(0.01);
             assert!(
                 (q99_model / q.q99() - 1.0).abs() < 0.02,
-                "vdd={vdd}: q99 {} vs {}",
+                "{vdd}: q99 {} vs {}",
                 q99_model,
                 q.q99()
             );
@@ -642,7 +644,7 @@ mod tests {
     fn sample_max_matches_brute_force() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = engine_default(&tech);
-        let dist = engine.path_distribution(0.55);
+        let dist = engine.path_distribution(Volts(0.55));
         let mut rng = StreamRng::from_seed(9);
         let fast: Summary = (0..20_000).map(|_| dist.sample_max(32, &mut rng)).collect();
         let slow: Summary = (0..20_000)
@@ -660,7 +662,7 @@ mod tests {
     fn survival_is_monotone_and_bounded() {
         let tech = TechModel::new(TechNode::PtmHp22);
         let engine = engine_default(&tech);
-        let dist = engine.path_distribution(0.5);
+        let dist = engine.path_distribution(Volts(0.5));
         let mean = dist.mean_ps();
         let mut prev = 1.0;
         for i in 0..100 {
@@ -679,10 +681,10 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let mut rng = StreamRng::from_seed(3);
         let one_path = DatapathEngine::new(&tech, DatapathConfig::new(1, 1, 50))
-            .chip_delay_distribution(1.0, 2000, &mut rng);
+            .chip_delay_distribution(Volts(1.0), 2000, &mut rng);
         let one_lane = DatapathEngine::new(&tech, DatapathConfig::new(1, 100, 50))
-            .chip_delay_distribution(1.0, 2000, &mut rng);
-        let full = engine_default(&tech).chip_delay_distribution(1.0, 2000, &mut rng);
+            .chip_delay_distribution(Volts(1.0), 2000, &mut rng);
+        let full = engine_default(&tech).chip_delay_distribution(Volts(1.0), 2000, &mut rng);
         assert!(one_path.fo4_quantiles.median() < one_lane.fo4_quantiles.median());
         assert!(one_lane.fo4_quantiles.median() < full.fo4_quantiles.median());
     }
@@ -692,9 +694,9 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = engine_default(&tech);
         let mut rng = StreamRng::from_seed(4);
-        let at_1v = engine.chip_delay_distribution(1.0, 2000, &mut rng);
-        let at_055 = engine.chip_delay_distribution(0.55, 2000, &mut rng);
-        let at_05 = engine.chip_delay_distribution(0.5, 2000, &mut rng);
+        let at_1v = engine.chip_delay_distribution(Volts(1.0), 2000, &mut rng);
+        let at_055 = engine.chip_delay_distribution(Volts(0.55), 2000, &mut rng);
+        let at_05 = engine.chip_delay_distribution(Volts(0.5), 2000, &mut rng);
         assert!(at_055.q99_fo4() > at_1v.q99_fo4());
         assert!(at_05.q99_fo4() > at_055.q99_fo4());
     }
@@ -708,12 +710,12 @@ mod tests {
         let n = 3000;
         let via_lanes: Vec<f64> = (0..n)
             .map(|_| {
-                let lanes = engine.sample_lane_delays_fo4(0.6, 128, &mut rng_a);
+                let lanes = engine.sample_lane_delays_fo4(Volts(0.6), 128, &mut rng_a);
                 lanes.iter().copied().fold(f64::NEG_INFINITY, f64::max)
             })
             .collect();
         let direct: Vec<f64> = (0..n)
-            .map(|_| engine.sample_chip_delay_fo4(0.6, &mut rng_b))
+            .map(|_| engine.sample_chip_delay_fo4(Volts(0.6), &mut rng_b))
             .collect();
         let qa = Quantiles::from_samples(via_lanes);
         let qb = Quantiles::from_samples(direct);
@@ -732,7 +734,7 @@ mod tests {
             VariationMode::Hierarchical,
         );
         let mut rng = StreamRng::from_seed(6);
-        let d = engine.chip_delay_distribution(0.55, 800, &mut rng);
+        let d = engine.chip_delay_distribution(Volts(0.55), 800, &mut rng);
         assert!(d.q99_fo4() > 50.0);
         assert_eq!(engine.mode(), VariationMode::Hierarchical);
     }
@@ -742,7 +744,7 @@ mod tests {
         let tech = TechModel::new(TechNode::PtmHp22);
         let engine = engine_default(&tech);
         let mut rng = StreamRng::from_seed(5);
-        let d = engine.chip_delay_distribution(0.5, 500, &mut rng);
+        let d = engine.chip_delay_distribution(Volts(0.5), 500, &mut rng);
         assert!(d.fo4_quantiles.min() > 50.0);
     }
 
@@ -751,7 +753,7 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = engine_default(&tech);
         let mut rng = StreamRng::from_seed(6);
-        let d = engine.chip_delay_distribution(0.5, 500, &mut rng);
+        let d = engine.chip_delay_distribution(Volts(0.5), 500, &mut rng);
         assert!((d.q99_ns() - d.q99_fo4() * d.fo4_unit_ps / 1000.0).abs() < 1e-12);
         assert!(d.q99_ns() > 20.0 && d.q99_ns() < 30.0, "{}", d.q99_ns());
     }
@@ -761,7 +763,7 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = engine_default(&tech);
         let mut rng = StreamRng::from_seed(7);
-        let d = engine.path_delay_distribution(1.0, 3000, &mut rng);
+        let d = engine.path_delay_distribution(Volts(1.0), 3000, &mut rng);
         assert!((d.fo4_quantiles.median() / 50.0 - 1.0).abs() < 0.03);
     }
 
@@ -771,12 +773,12 @@ mod tests {
         let engine = engine_default(&tech);
         let stream = ntv_mc::CounterRng::new(2012, "engine-test");
         // Pure function of (key, index): repeated evaluation is bitwise equal.
-        let a = engine.sample_chip_delay_fo4_at(0.55, &stream, 7);
-        let b = engine.sample_chip_delay_fo4_at(0.55, &stream, 7);
+        let a = engine.sample_chip_delay_fo4_at(Volts(0.55), &stream, 7);
+        let b = engine.sample_chip_delay_fo4_at(Volts(0.55), &stream, 7);
         assert_eq!(a.to_bits(), b.to_bits());
         // Batch output equals the per-index loop, for any thread count.
-        let serial = engine.sample_batch(0.55, &stream, 0..500, Executor::serial());
-        let par = engine.sample_batch(0.55, &stream, 0..500, Executor::new(8));
+        let serial = engine.sample_batch(Volts(0.55), &stream, 0..500, Executor::serial());
+        let par = engine.sample_batch(Volts(0.55), &stream, 0..500, Executor::new(8));
         assert!(serial
             .iter()
             .zip(&par)
@@ -791,9 +793,10 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = engine_default(&tech);
         let stream = ntv_mc::CounterRng::new(11, "engine-test");
-        let ctr = engine.chip_delay_distribution_par(0.55, 4000, &stream, Executor::default());
+        let ctr =
+            engine.chip_delay_distribution_par(Volts(0.55), 4000, &stream, Executor::default());
         let mut rng = StreamRng::from_seed(12);
-        let seq = engine.chip_delay_distribution(0.55, 4000, &mut rng);
+        let seq = engine.chip_delay_distribution(Volts(0.55), 4000, &mut rng);
         for p in [0.1, 0.5, 0.9, 0.99] {
             let (a, b) = (ctr.quantile_fo4(p), seq.quantile_fo4(p));
             assert!((a / b - 1.0).abs() < 0.02, "p={p}: {a} vs {b}");
@@ -809,8 +812,9 @@ mod tests {
             VariationMode::Hierarchical,
         );
         let stream = ntv_mc::CounterRng::new(3, "engine-test");
-        let serial = engine.chip_delay_distribution_par(0.6, 300, &stream, Executor::serial());
-        let par = engine.chip_delay_distribution_par(0.6, 300, &stream, Executor::new(8));
+        let serial =
+            engine.chip_delay_distribution_par(Volts(0.6), 300, &stream, Executor::serial());
+        let par = engine.chip_delay_distribution_par(Volts(0.6), 300, &stream, Executor::new(8));
         assert_eq!(serial, par);
     }
 
@@ -819,8 +823,9 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp45);
         let engine = engine_default(&tech);
         let stream = ntv_mc::CounterRng::new(5, "engine-test");
-        let serial = engine.path_delay_distribution_par(0.6, 2000, &stream, Executor::serial());
-        let par = engine.path_delay_distribution_par(0.6, 2000, &stream, Executor::new(4));
+        let serial =
+            engine.path_delay_distribution_par(Volts(0.6), 2000, &stream, Executor::serial());
+        let par = engine.path_delay_distribution_par(Volts(0.6), 2000, &stream, Executor::new(4));
         assert_eq!(serial, par);
         assert!((serial.fo4_quantiles.median() / 50.0 - 1.0).abs() < 0.05);
     }
@@ -830,10 +835,10 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp45);
         let engine = engine_default(&tech);
         let a = engine
-            .chip_delay_distribution(0.6, 50, &mut StreamRng::from_seed(42))
+            .chip_delay_distribution(Volts(0.6), 50, &mut StreamRng::from_seed(42))
             .q99_fo4();
         let b = engine
-            .chip_delay_distribution(0.6, 50, &mut StreamRng::from_seed(42))
+            .chip_delay_distribution(Volts(0.6), 50, &mut StreamRng::from_seed(42))
             .q99_fo4();
         assert_eq!(a, b);
     }

@@ -11,6 +11,7 @@
 //! multiple of the memory clock, frequency margining alone is unattractive.
 
 use ntv_mc::CounterRng;
+use ntv_units::{Hertz, Seconds, Volts};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
@@ -20,8 +21,8 @@ use crate::perf;
 /// One row of Table 4.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FrequencyRow {
-    /// Supply voltage (V).
-    pub vdd: f64,
+    /// Supply voltage.
+    pub vdd: Volts,
     /// Designed clock period (ns): nominal-variation design scaled to `vdd`.
     pub t_clk_ns: f64,
     /// Variation-aware clock period (ns): q99 chip delay at `vdd`.
@@ -30,11 +31,19 @@ pub struct FrequencyRow {
     pub perf_drop: f64,
 }
 
+impl FrequencyRow {
+    /// The variation-aware SIMD clock expressed as a frequency.
+    #[must_use]
+    pub fn va_clock(&self) -> Hertz {
+        Seconds::from_ns(self.t_va_clk_ns).frequency()
+    }
+}
+
 /// Compute one Table 4 row.
 #[must_use]
 pub fn frequency_margining(
     engine: &DatapathEngine<'_>,
-    vdd: f64,
+    vdd: Volts,
     samples: usize,
     seed: u64,
     exec: Executor,
@@ -83,9 +92,9 @@ mod tests {
     fn margin_grows_as_voltage_drops() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let r05 = frequency_margining(&engine, 0.5, SAMPLES, 1, Executor::default());
-        let r06 = frequency_margining(&engine, 0.6, SAMPLES, 1, Executor::default());
-        let r07 = frequency_margining(&engine, 0.7, SAMPLES, 1, Executor::default());
+        let r05 = frequency_margining(&engine, Volts(0.5), SAMPLES, 1, Executor::default());
+        let r06 = frequency_margining(&engine, Volts(0.6), SAMPLES, 1, Executor::default());
+        let r07 = frequency_margining(&engine, Volts(0.7), SAMPLES, 1, Executor::default());
         assert!(r05.perf_drop > r06.perf_drop && r06.perf_drop > r07.perf_drop);
         // Variation-aware clock is always the slower one.
         for r in [r05, r06, r07] {
@@ -98,7 +107,7 @@ mod tests {
         // Appendix E: "required delay margins reach almost 20%".
         let tech = TechModel::new(TechNode::PtmHp22);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let r = frequency_margining(&engine, 0.5, SAMPLES, 2, Executor::default());
+        let r = frequency_margining(&engine, Volts(0.5), SAMPLES, 2, Executor::default());
         assert!(r.perf_drop > 0.12 && r.perf_drop < 0.30, "{}", r.perf_drop);
     }
 
@@ -106,9 +115,22 @@ mod tests {
     fn period_scale_is_tens_of_ns_at_half_volt() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let r = frequency_margining(&engine, 0.5, SAMPLES, 3, Executor::default());
+        let r = frequency_margining(&engine, Volts(0.5), SAMPLES, 3, Executor::default());
         // ~50 FO4 x 441 ps = 22 ns design period.
         assert!(r.t_clk_ns > 18.0 && r.t_clk_ns < 28.0, "{}", r.t_clk_ns);
+    }
+
+    #[test]
+    fn va_clock_inverts_the_period() {
+        let row = FrequencyRow {
+            vdd: Volts(0.5),
+            t_clk_ns: 20.0,
+            t_va_clk_ns: 25.0,
+            perf_drop: 0.25,
+        };
+        let f = row.va_clock();
+        assert!((f.get() - 4.0e7).abs() < 1e-3, "{f}");
+        assert!((f.period().get() - 25.0e-9).abs() < 1e-20);
     }
 
     #[test]

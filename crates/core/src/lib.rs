@@ -32,14 +32,15 @@
 //! use ntv_core::{DatapathConfig, DatapathEngine};
 //! use ntv_device::{TechModel, TechNode};
 //! use ntv_mc::StreamRng;
+//! use ntv_units::Volts;
 //!
 //! let tech = TechModel::new(TechNode::Gp90);
 //! let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
 //! let mut rng = StreamRng::from_seed(7);
 //!
 //! // 99% chip-delay point at nominal and at 0.5 V, in FO4 units.
-//! let base = engine.chip_delay_distribution(1.0, 2_000, &mut rng).q99_fo4();
-//! let ntv = engine.chip_delay_distribution(0.5, 2_000, &mut rng).q99_fo4();
+//! let base = engine.chip_delay_distribution(Volts(1.0), 2_000, &mut rng).q99_fo4();
+//! let ntv = engine.chip_delay_distribution(Volts(0.5), 2_000, &mut rng).q99_fo4();
 //! let drop = ntv / base - 1.0;
 //! // Fig 4: ~5% performance drop at 0.5 V in 90 nm.
 //! assert!(drop > 0.02 && drop < 0.09);

@@ -19,6 +19,7 @@
 //! like "5.78 mV" at exactly this granularity.
 
 use ntv_mc::CounterRng;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
@@ -29,10 +30,10 @@ use crate::perf;
 /// A solved voltage-margin design point (one Table 2 cell).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MarginSolution {
-    /// NTV operating voltage (V).
-    pub vdd: f64,
-    /// Required margin (V); final supply is `vdd + margin`.
-    pub margin: f64,
+    /// NTV operating voltage.
+    pub vdd: Volts,
+    /// Required margin; final supply is `vdd + margin`.
+    pub margin: Volts,
     /// Target chip delay (ns) — nominal-level variation at NTV speed.
     pub target_ns: f64,
     /// Achieved q99 chip delay (ns) at `vdd + margin`.
@@ -50,8 +51,8 @@ pub struct MarginStudy<'a> {
 }
 
 impl<'a> MarginStudy<'a> {
-    /// Largest margin the solver will consider (V).
-    pub const MAX_MARGIN: f64 = 0.2;
+    /// Largest margin the solver will consider.
+    pub const MAX_MARGIN: Volts = Volts(0.2);
 
     /// Study with the paper's Diet SODA budget.
     #[must_use]
@@ -84,7 +85,7 @@ impl<'a> MarginStudy<'a> {
     /// The target chip delay (ns) for NTV operation at `vdd`:
     /// `fo4chipd@FV × FO4(vdd)`.
     #[must_use]
-    pub fn target_delay_ns(&self, vdd: f64, samples: usize, seed: u64) -> f64 {
+    pub fn target_delay_ns(&self, vdd: Volts, samples: usize, seed: u64) -> f64 {
         let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed, self.exec);
         base_fo4 * self.engine.tech().fo4_delay_ps(vdd) / 1000.0
     }
@@ -93,7 +94,7 @@ impl<'a> MarginStudy<'a> {
     /// addressed as `(seed, "margin-eval", i)` — common random numbers
     /// across voltages by construction.
     #[must_use]
-    pub fn q99_ns_at(&self, vdd_effective: f64, samples: usize, seed: u64) -> f64 {
+    pub fn q99_ns_at(&self, vdd_effective: Volts, samples: usize, seed: u64) -> f64 {
         let stream = CounterRng::new(seed, "margin-eval");
         self.engine
             .chip_delay_distribution_par(vdd_effective, samples, &stream, self.exec)
@@ -107,14 +108,14 @@ impl<'a> MarginStudy<'a> {
     /// Panics if even [`Self::MAX_MARGIN`] (200 mV) cannot reach the target,
     /// which does not occur for any calibrated node in the studied range.
     #[must_use]
-    pub fn solve(&self, vdd: f64, samples: usize, seed: u64) -> MarginSolution {
-        const TOLERANCE: f64 = 0.1e-3;
+    pub fn solve(&self, vdd: Volts, samples: usize, seed: u64) -> MarginSolution {
+        const TOLERANCE: Volts = Volts(0.1e-3);
         let target_ns = self.target_delay_ns(vdd, samples, seed);
 
         if self.q99_ns_at(vdd, samples, seed) <= target_ns {
             return MarginSolution {
                 vdd,
-                margin: 0.0,
+                margin: Volts::ZERO,
                 target_ns,
                 achieved_ns: self.q99_ns_at(vdd, samples, seed),
                 power_overhead: 0.0,
@@ -122,12 +123,12 @@ impl<'a> MarginStudy<'a> {
         }
         assert!(
             self.q99_ns_at(vdd + Self::MAX_MARGIN, samples, seed) <= target_ns,
-            "voltage margin above {} V required at {vdd} V — outside the model's regime",
+            "voltage margin above {} required at {vdd} — outside the model's regime",
             Self::MAX_MARGIN
         );
 
         // Invariant: q99(vdd+lo) > target >= q99(vdd+hi).
-        let (mut lo, mut hi) = (0.0_f64, Self::MAX_MARGIN);
+        let (mut lo, mut hi) = (Volts::ZERO, Self::MAX_MARGIN);
         while hi - lo > TOLERANCE {
             let mid = 0.5 * (lo + hi);
             if self.q99_ns_at(vdd + mid, samples, seed) <= target_ns {
@@ -160,9 +161,9 @@ mod tests {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = MarginStudy::new(&engine);
         // Paper: 5.8 mV @0.50V, 2.9 mV @0.60V, 1.7 mV @0.70V.
-        let m050 = study.solve(0.50, SAMPLES, 1).margin * 1000.0;
-        let m060 = study.solve(0.60, SAMPLES, 1).margin * 1000.0;
-        let m070 = study.solve(0.70, SAMPLES, 1).margin * 1000.0;
+        let m050 = study.solve(Volts(0.50), SAMPLES, 1).margin.get() * 1000.0;
+        let m060 = study.solve(Volts(0.60), SAMPLES, 1).margin.get() * 1000.0;
+        let m070 = study.solve(Volts(0.70), SAMPLES, 1).margin.get() * 1000.0;
         assert!((2.0..=10.0).contains(&m050), "0.50V: {m050} mV (paper 5.8)");
         assert!((1.0..=6.0).contains(&m060), "0.60V: {m060} mV (paper 2.9)");
         assert!((0.5..=4.0).contains(&m070), "0.70V: {m070} mV (paper 1.7)");
@@ -175,10 +176,14 @@ mod tests {
         let samples = 1500;
         let tech90 = TechModel::new(TechNode::Gp90);
         let engine90 = DatapathEngine::new(&tech90, DatapathConfig::paper_default());
-        let m90 = MarginStudy::new(&engine90).solve(0.55, samples, 2).margin;
+        let m90 = MarginStudy::new(&engine90)
+            .solve(Volts(0.55), samples, 2)
+            .margin;
         let tech45 = TechModel::new(TechNode::Gp45);
         let engine45 = DatapathEngine::new(&tech45, DatapathConfig::paper_default());
-        let m45 = MarginStudy::new(&engine45).solve(0.55, samples, 2).margin;
+        let m45 = MarginStudy::new(&engine45)
+            .solve(Volts(0.55), samples, 2)
+            .margin;
         assert!(m45 > 2.0 * m90, "45nm {m45} vs 90nm {m90}");
     }
 
@@ -186,11 +191,11 @@ mod tests {
     fn achieved_delay_meets_target() {
         let tech = TechModel::new(TechNode::PtmHp32);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let sol = MarginStudy::new(&engine).solve(0.6, SAMPLES, 3);
+        let sol = MarginStudy::new(&engine).solve(Volts(0.6), SAMPLES, 3);
         assert!(sol.achieved_ns <= sol.target_ns);
         // 0.1 mV resolution: backing off the margin must miss the target.
         let study = MarginStudy::new(&engine);
-        let back = study.q99_ns_at(sol.vdd + sol.margin - 0.2e-3, SAMPLES, 3);
+        let back = study.q99_ns_at(sol.vdd + sol.margin - Volts(0.2e-3), SAMPLES, 3);
         assert!(back > sol.target_ns);
     }
 
@@ -198,18 +203,18 @@ mod tests {
     fn zero_margin_at_nominal() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let sol = MarginStudy::new(&engine).solve(1.0, SAMPLES, 4);
+        let sol = MarginStudy::new(&engine).solve(Volts(1.0), SAMPLES, 4);
         // At the baseline voltage the target is met by construction
         // (same distribution up to MC noise).
-        assert!(sol.margin < 2e-3, "{}", sol.margin);
+        assert!(sol.margin < Volts(2e-3), "{}", sol.margin);
     }
 
     #[test]
     fn power_overhead_tracks_budget() {
         let tech = TechModel::new(TechNode::PtmHp22);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let sol = MarginStudy::new(&engine).solve(0.55, 1500, 5);
-        let expect = DietSodaBudget::paper().margin_power_overhead(0.55, sol.margin);
+        let sol = MarginStudy::new(&engine).solve(Volts(0.55), 1500, 5);
+        let expect = DietSodaBudget::paper().margin_power_overhead(Volts(0.55), sol.margin);
         assert!((sol.power_overhead - expect).abs() < 1e-12);
         // Table 2 scale: a couple of percent.
         assert!(sol.power_overhead > 0.001 && sol.power_overhead < 0.08);

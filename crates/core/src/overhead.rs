@@ -16,6 +16,7 @@
 //!   domain (SIMD datapath; ~43 % of PE power) pays the margin, the
 //!   full-voltage memory system does not.
 
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 /// Area/power budget of the Diet SODA processing element.
@@ -23,12 +24,14 @@ use serde::{Deserialize, Serialize};
 /// # Example
 ///
 /// ```
+/// use ntv_units::Volts;
+///
 /// let budget = ntv_core::DietSodaBudget::paper();
 /// // Table 1, 90nm @0.55V: 6 spares -> 2.6% area, 1.0% power.
 /// assert!((budget.duplication_area_overhead(6) - 0.026).abs() < 0.002);
 /// assert!((budget.duplication_power_overhead(6) - 0.010).abs() < 0.002);
 /// // Table 2, 90nm @0.50V: 5.8mV margin -> 1.0% power.
-/// assert!((budget.margin_power_overhead(0.5, 5.8e-3) - 0.010).abs() < 0.002);
+/// assert!((budget.margin_power_overhead(Volts(0.5), Volts(5.8e-3)) - 0.010).abs() < 0.002);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DietSodaBudget {
@@ -81,16 +84,16 @@ impl DietSodaBudget {
     ///
     /// Panics if `vdd <= 0` or `margin < 0`.
     #[must_use]
-    pub fn margin_power_overhead(&self, vdd: f64, margin: f64) -> f64 {
-        assert!(vdd > 0.0, "supply voltage must be positive");
-        assert!(margin >= 0.0, "voltage margin cannot be negative");
+    pub fn margin_power_overhead(&self, vdd: Volts, margin: Volts) -> f64 {
+        assert!(vdd > Volts::ZERO, "supply voltage must be positive");
+        assert!(margin >= Volts::ZERO, "voltage margin cannot be negative");
         let ratio = (vdd + margin) / vdd;
         self.ntv_power_fraction * (ratio * ratio - 1.0)
     }
 
     /// Combined overhead of α spares plus a voltage margin (Table 3 rows).
     #[must_use]
-    pub fn combined_power_overhead(&self, spares: u32, vdd: f64, margin: f64) -> f64 {
+    pub fn combined_power_overhead(&self, spares: u32, vdd: Volts, margin: Volts) -> f64 {
         self.duplication_power_overhead(spares) + self.margin_power_overhead(vdd, margin)
     }
 }
@@ -142,7 +145,7 @@ mod tests {
             (0.65, 8.9, 0.011),
         ];
         for (vdd, mv, want) in cases {
-            let got = b.margin_power_overhead(vdd, mv / 1000.0);
+            let got = b.margin_power_overhead(Volts(vdd), Volts(mv / 1000.0));
             assert!(
                 (got - want).abs() < 0.003,
                 "{vdd}V +{mv}mV: {got} vs {want}"
@@ -157,7 +160,10 @@ mod tests {
             assert!(b.duplication_power_overhead(s) > b.duplication_power_overhead(s - 1));
             assert!(b.duplication_area_overhead(s) > b.duplication_area_overhead(s - 1));
         }
-        assert!(b.margin_power_overhead(0.6, 0.02) > b.margin_power_overhead(0.6, 0.01));
+        assert!(
+            b.margin_power_overhead(Volts(0.6), Volts(0.02))
+                > b.margin_power_overhead(Volts(0.6), Volts(0.01))
+        );
     }
 
     #[test]
@@ -165,15 +171,16 @@ mod tests {
         let b = DietSodaBudget::paper();
         assert_eq!(b.duplication_area_overhead(0), 0.0);
         assert_eq!(b.duplication_power_overhead(0), 0.0);
-        assert_eq!(b.margin_power_overhead(0.6, 0.0), 0.0);
-        assert_eq!(b.combined_power_overhead(0, 0.6, 0.0), 0.0);
+        assert_eq!(b.margin_power_overhead(Volts(0.6), Volts::ZERO), 0.0);
+        assert_eq!(b.combined_power_overhead(0, Volts(0.6), Volts::ZERO), 0.0);
     }
 
     #[test]
     fn combined_is_sum() {
         let b = DietSodaBudget::paper();
-        let got = b.combined_power_overhead(2, 0.6, 0.010);
-        let want = b.duplication_power_overhead(2) + b.margin_power_overhead(0.6, 0.010);
+        let got = b.combined_power_overhead(2, Volts(0.6), Volts(0.010));
+        let want =
+            b.duplication_power_overhead(2) + b.margin_power_overhead(Volts(0.6), Volts(0.010));
         assert!((got - want).abs() < 1e-12);
     }
 }

@@ -12,6 +12,7 @@
 //! the *variation-induced* degradation remains.
 
 use ntv_mc::CounterRng;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
@@ -20,8 +21,8 @@ use crate::exec::Executor;
 /// One point of the Fig 4 sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PerfDropPoint {
-    /// Supply voltage (V).
-    pub vdd: f64,
+    /// Supply voltage.
+    pub vdd: Volts,
     /// fo4chipd: 99 % chip delay in FO4 units at `vdd`.
     pub q99_fo4: f64,
     /// Variation-induced performance drop vs nominal (fraction).
@@ -50,7 +51,7 @@ pub fn baseline_q99_fo4(
 #[must_use]
 pub fn performance_drop(
     engine: &DatapathEngine<'_>,
-    vdd: f64,
+    vdd: Volts,
     samples: usize,
     seed: u64,
     exec: Executor,
@@ -75,7 +76,7 @@ pub fn performance_drop(
 #[must_use]
 pub fn performance_drop_sweep(
     engine: &DatapathEngine<'_>,
-    voltages: &[f64],
+    voltages: &[Volts],
     samples: usize,
     seed: u64,
     exec: Executor,
@@ -111,9 +112,9 @@ mod tests {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let exec = Executor::default();
         // Paper: 5% @0.5V, 2.5% @0.55V, 1.5% @0.6V.
-        let d05 = performance_drop(&engine, 0.50, SAMPLES, 1, exec).drop;
-        let d055 = performance_drop(&engine, 0.55, SAMPLES, 1, exec).drop;
-        let d06 = performance_drop(&engine, 0.60, SAMPLES, 1, exec).drop;
+        let d05 = performance_drop(&engine, Volts(0.50), SAMPLES, 1, exec).drop;
+        let d055 = performance_drop(&engine, Volts(0.55), SAMPLES, 1, exec).drop;
+        let d06 = performance_drop(&engine, Volts(0.60), SAMPLES, 1, exec).drop;
         assert!((0.03..0.08).contains(&d05), "0.50V: {d05}");
         assert!((0.015..0.045).contains(&d055), "0.55V: {d055}");
         assert!((0.008..0.03).contains(&d06), "0.60V: {d06}");
@@ -124,7 +125,7 @@ mod tests {
     fn drop_matches_fig4_22nm() {
         let tech = TechModel::new(TechNode::PtmHp22);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let d05 = performance_drop(&engine, 0.50, SAMPLES, 2, Executor::default()).drop;
+        let d05 = performance_drop(&engine, Volts(0.50), SAMPLES, 2, Executor::default()).drop;
         // Paper: climbs to ~18-20% at 0.5 V.
         assert!((0.12..0.28).contains(&d05), "22nm 0.5V: {d05}");
     }
@@ -133,7 +134,7 @@ mod tests {
     fn drop_at_nominal_is_zero() {
         let tech = TechModel::new(TechNode::Gp45);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let d = performance_drop(&engine, 1.0, SAMPLES, 3, Executor::default()).drop;
+        let d = performance_drop(&engine, Volts(1.0), SAMPLES, 3, Executor::default()).drop;
         // Same voltage, different random streams: only MC noise remains.
         assert!(d.abs() < 0.01, "drop at nominal: {d}");
     }
@@ -144,7 +145,7 @@ mod tests {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let pts = performance_drop_sweep(
             &engine,
-            &[0.5, 0.55, 0.6, 0.65, 0.7],
+            &[Volts(0.5), Volts(0.55), Volts(0.6), Volts(0.65), Volts(0.7)],
             SAMPLES,
             4,
             Executor::default(),
@@ -162,7 +163,7 @@ mod tests {
             .map(|&n| {
                 let tech = TechModel::new(n);
                 let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-                performance_drop(&engine, 0.5, samples, 5, Executor::default()).drop
+                performance_drop(&engine, Volts(0.5), samples, 5, Executor::default()).drop
             })
             .collect();
         // 90nm smallest, 22nm largest (Fig 4).
@@ -176,8 +177,8 @@ mod tests {
     fn results_are_thread_count_invariant() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let serial = performance_drop(&engine, 0.55, 1000, 6, Executor::serial());
-        let par = performance_drop(&engine, 0.55, 1000, 6, Executor::new(8));
+        let serial = performance_drop(&engine, Volts(0.55), 1000, 6, Executor::serial());
+        let par = performance_drop(&engine, Volts(0.55), 1000, 6, Executor::new(8));
         assert_eq!(serial.q99_fo4.to_bits(), par.q99_fo4.to_bits());
         assert_eq!(serial.drop.to_bits(), par.drop.to_bits());
     }

@@ -10,6 +10,7 @@
 //! by Monte Carlo.
 
 use ntv_mc::SampleStream;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
@@ -165,7 +166,7 @@ pub fn mc_repair_probability<R: SampleStream + ?Sized>(
 #[must_use]
 pub fn lane_failure_probability<R: SampleStream + ?Sized>(
     engine: &DatapathEngine<'_>,
-    vdd: f64,
+    vdd: Volts,
     t_clk_ns: f64,
     samples: usize,
     rng: &mut R,
@@ -258,9 +259,9 @@ mod tests {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let mut rng = StreamRng::from_seed(15);
         // A generous clock fails almost never; a tight one often.
-        let fo4_ns = tech.fo4_delay_ps(0.55) / 1000.0;
-        let loose = lane_failure_probability(&engine, 0.55, 70.0 * fo4_ns, 200, &mut rng);
-        let tight = lane_failure_probability(&engine, 0.55, 51.0 * fo4_ns, 200, &mut rng);
+        let fo4_ns = tech.fo4_delay_ps(Volts(0.55)) / 1000.0;
+        let loose = lane_failure_probability(&engine, Volts(0.55), 70.0 * fo4_ns, 200, &mut rng);
+        let tight = lane_failure_probability(&engine, Volts(0.55), 51.0 * fo4_ns, 200, &mut rng);
         assert!(loose < 0.01, "loose {loose}");
         assert!(tight > 0.1, "tight {tight}");
     }

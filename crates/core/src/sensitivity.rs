@@ -11,6 +11,7 @@
 
 use ntv_device::{DeviceParams, TechModel};
 use ntv_mc::CounterRng;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::config::DatapathConfig;
@@ -44,9 +45,9 @@ impl VariationSource {
     pub fn frozen(self, params: &DeviceParams) -> DeviceParams {
         let mut p = *params;
         match self {
-            VariationSource::RandomVth => p.sigma_vth_random = 0.0,
+            VariationSource::RandomVth => p.sigma_vth_random = Volts::ZERO,
             VariationSource::RandomCurrentFactor => p.sigma_k_random = 0.0,
-            VariationSource::SystematicVth => p.sigma_vth_systematic = 0.0,
+            VariationSource::SystematicVth => p.sigma_vth_systematic = Volts::ZERO,
             VariationSource::SystematicCurrentFactor => p.sigma_k_systematic = 0.0,
         }
         p
@@ -80,7 +81,7 @@ pub struct SourceContribution {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SensitivityReport {
     /// Operating voltage.
-    pub vdd: f64,
+    pub vdd: Volts,
     /// q99 excess of the full model (FO4 above the ideal path).
     pub full_excess_fo4: f64,
     /// Per-source contributions, largest share first.
@@ -96,7 +97,7 @@ pub struct SensitivityReport {
 pub fn decompose(
     tech: &TechModel,
     config: DatapathConfig,
-    vdd: f64,
+    vdd: Volts,
     samples: usize,
     seed: u64,
     exec: Executor,
@@ -141,7 +142,7 @@ impl std::fmt::Display for SensitivityReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "q99 excess at {:.2} V: {:.2} FO4; contribution by source:",
+            "q99 excess at {:.2}: {:.2} FO4; contribution by source:",
             self.vdd, self.full_excess_fo4
         )?;
         for c in &self.contributions {
@@ -167,15 +168,15 @@ mod tests {
     fn freezing_everything_removes_the_excess() {
         let tech = TechModel::new(TechNode::Gp90);
         let mut p = *tech.params();
-        p.sigma_vth_random = 0.0;
+        p.sigma_vth_random = Volts::ZERO;
         p.sigma_k_random = 0.0;
-        p.sigma_vth_systematic = 0.0;
+        p.sigma_vth_systematic = Volts::ZERO;
         p.sigma_k_systematic = 0.0;
         let frozen = TechModel::from_params(p);
         let engine = DatapathEngine::new(&frozen, DatapathConfig::paper_default());
         let mut rng = StreamRng::from_seed(1);
         let q = engine
-            .chip_delay_distribution(0.55, 500, &mut rng)
+            .chip_delay_distribution(Volts(0.55), 500, &mut rng)
             .q99_fo4();
         // The mixture variance collapses to numerical dust when every
         // sigma is zero; allow for that cancellation noise.
@@ -191,7 +192,7 @@ mod tests {
         let r = decompose(
             &tech,
             DatapathConfig::paper_default(),
-            0.5,
+            Volts(0.5),
             2_000,
             2,
             Executor::default(),
@@ -220,7 +221,7 @@ mod tests {
         let r = decompose(
             &tech,
             DatapathConfig::paper_default(),
-            0.55,
+            Volts(0.55),
             2_000,
             3,
             Executor::default(),
@@ -241,7 +242,7 @@ mod tests {
         let text = decompose(
             &tech,
             DatapathConfig::paper_default(),
-            0.6,
+            Volts(0.6),
             800,
             4,
             Executor::default(),

@@ -8,6 +8,7 @@
 //! yield target) and yield under structural duplication.
 
 use ntv_mc::CounterRng;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::duplication::LaneDelayMatrix;
@@ -49,7 +50,7 @@ impl<'a> YieldStudy<'a> {
     }
 
     /// Chip-delay samples (ns), `(seed, "yield", i)`-addressed.
-    fn chip_delays_ns(&self, vdd: f64, samples: usize, seed: u64) -> Vec<f64> {
+    fn chip_delays_ns(&self, vdd: Volts, samples: usize, seed: u64) -> Vec<f64> {
         let stream = CounterRng::new(seed, "yield");
         let fo4 = self.engine.fo4_unit_ps(vdd);
         self.engine
@@ -61,7 +62,7 @@ impl<'a> YieldStudy<'a> {
 
     /// Timing yield at `vdd` for a clock period, from `samples` chips.
     #[must_use]
-    pub fn timing_yield(&self, vdd: f64, t_clk_ns: f64, samples: usize, seed: u64) -> f64 {
+    pub fn timing_yield(&self, vdd: Volts, t_clk_ns: f64, samples: usize, seed: u64) -> f64 {
         let ok = self
             .chip_delays_ns(vdd, samples, seed)
             .iter()
@@ -74,7 +75,7 @@ impl<'a> YieldStudy<'a> {
     #[must_use]
     pub fn yield_curve(
         &self,
-        vdd: f64,
+        vdd: Volts,
         grid: &[f64],
         samples: usize,
         seed: u64,
@@ -97,7 +98,7 @@ impl<'a> YieldStudy<'a> {
     ///
     /// Panics if `target` is outside `(0, 1]`.
     #[must_use]
-    pub fn period_for_yield(&self, vdd: f64, target: f64, samples: usize, seed: u64) -> f64 {
+    pub fn period_for_yield(&self, vdd: Volts, target: f64, samples: usize, seed: u64) -> f64 {
         assert!(
             target > 0.0 && target <= 1.0,
             "yield target must be in (0,1]"
@@ -136,9 +137,9 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = YieldStudy::new(&engine);
-        let fo4_ns = engine.fo4_unit_ps(0.55) / 1000.0;
+        let fo4_ns = engine.fo4_unit_ps(Volts(0.55)) / 1000.0;
         let grid: Vec<f64> = (50..60).map(|k| f64::from(k) * fo4_ns).collect();
-        let curve = study.yield_curve(0.55, &grid, SAMPLES, 1);
+        let curve = study.yield_curve(Volts(0.55), &grid, SAMPLES, 1);
         for w in curve.windows(2) {
             assert!(w[1].timing_yield >= w[0].timing_yield);
         }
@@ -151,8 +152,8 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp45);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = YieldStudy::new(&engine);
-        let period = study.period_for_yield(0.6, 0.99, SAMPLES, 2);
-        let y = study.timing_yield(0.6, period, SAMPLES, 2);
+        let period = study.period_for_yield(Volts(0.6), 0.99, SAMPLES, 2);
+        let y = study.timing_yield(Volts(0.6), period, SAMPLES, 2);
         assert!((y - 0.99).abs() < 0.005, "yield at q99 period: {y}");
     }
 
@@ -162,9 +163,9 @@ mod tests {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let study = YieldStudy::new(&engine);
         let dup = DuplicationStudy::new(&engine);
-        let matrix = dup.sample_matrix(0.55, 16, SAMPLES, 3);
+        let matrix = dup.sample_matrix(Volts(0.55), 16, SAMPLES, 3);
         // Clock at the unspared 90% point: ~90% yield without spares.
-        let t_clk = study.period_for_yield(0.55, 0.90, SAMPLES, 3);
+        let t_clk = study.period_for_yield(Volts(0.55), 0.90, SAMPLES, 3);
         let y0 = study.yield_with_spares(&matrix, 0, t_clk);
         let y8 = study.yield_with_spares(&matrix, 8, t_clk);
         let y16 = study.yield_with_spares(&matrix, 16, t_clk);
@@ -177,6 +178,6 @@ mod tests {
     fn invalid_target_rejected() {
         let tech = TechModel::new(TechNode::Gp90);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let _ = YieldStudy::new(&engine).period_for_yield(0.6, 0.0, 10, 1);
+        let _ = YieldStudy::new(&engine).period_for_yield(Volts(0.6), 0.0, 10, 1);
     }
 }

@@ -7,6 +7,7 @@
 //! relative delay at 0.5 V that it does at nominal voltage, because the
 //! delay sensitivity `S(V)` explodes near threshold.
 
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::model::TechModel;
@@ -52,14 +53,14 @@ impl Corner {
 
     /// Variation-free FO4 delay (ps) of a chip sitting at this corner.
     #[must_use]
-    pub fn fo4_delay_ps(self, tech: &TechModel, vdd: f64) -> f64 {
+    pub fn fo4_delay_ps(self, tech: &TechModel, vdd: Volts) -> f64 {
         let chip = self.chip_sample(tech);
         tech.gate_delay_ps(vdd, &chip, &crate::variation::GateSample::nominal())
     }
 
     /// Fractional slowdown of this corner vs typical at `vdd`.
     #[must_use]
-    pub fn slowdown(self, tech: &TechModel, vdd: f64) -> f64 {
+    pub fn slowdown(self, tech: &TechModel, vdd: Volts) -> f64 {
         self.fo4_delay_ps(tech, vdd) / Corner::Typical.fo4_delay_ps(tech, vdd) - 1.0
     }
 }
@@ -83,19 +84,22 @@ mod tests {
     #[test]
     fn corners_are_ordered_fast_to_slow() {
         let tech = TechModel::new(TechNode::Gp90);
-        for vdd in [0.5, 0.7, 1.0] {
+        for vdd in [Volts(0.5), Volts(0.7), Volts(1.0)] {
             let ff = Corner::FastFast.fo4_delay_ps(&tech, vdd);
             let tt = Corner::Typical.fo4_delay_ps(&tech, vdd);
             let ss = Corner::SlowSlow.fo4_delay_ps(&tech, vdd);
-            assert!(ff < tt && tt < ss, "vdd={vdd}: {ff} {tt} {ss}");
+            assert!(ff < tt && tt < ss, "{vdd}: {ff} {tt} {ss}");
         }
     }
 
     #[test]
     fn typical_corner_matches_nominal_delay() {
         let tech = TechModel::new(TechNode::Gp45);
-        assert!((Corner::Typical.fo4_delay_ps(&tech, 0.6) - tech.fo4_delay_ps(0.6)).abs() < 1e-12);
-        assert_eq!(Corner::Typical.slowdown(&tech, 0.6), 0.0);
+        assert!(
+            (Corner::Typical.fo4_delay_ps(&tech, Volts(0.6)) - tech.fo4_delay_ps(Volts(0.6))).abs()
+                < 1e-12
+        );
+        assert_eq!(Corner::Typical.slowdown(&tech, Volts(0.6)), 0.0);
     }
 
     #[test]
@@ -108,7 +112,7 @@ mod tests {
         for node in TechNode::ALL {
             let tech = TechModel::new(node);
             let at_nominal = Corner::SlowSlow.slowdown(&tech, tech.nominal_vdd());
-            let at_ntv = Corner::SlowSlow.slowdown(&tech, 0.5);
+            let at_ntv = Corner::SlowSlow.slowdown(&tech, Volts(0.5));
             assert!(
                 at_ntv > 1.5 * at_nominal,
                 "{node}: SS slowdown {at_ntv} vs {at_nominal}"

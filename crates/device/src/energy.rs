@@ -19,6 +19,7 @@
 //! above it, trading ≈2× energy for ≈10× performance versus the
 //! minimum-energy point.
 
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::model::TechModel;
@@ -31,8 +32,8 @@ pub const OP_CHAIN_LENGTH: usize = 50;
 /// One point of an energy/delay sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergyPoint {
-    /// Supply voltage (V).
-    pub vdd: f64,
+    /// Supply voltage.
+    pub vdd: Volts,
     /// Switching energy per op (fJ).
     pub switching_fj: f64,
     /// Leakage energy per op (fJ).
@@ -50,12 +51,13 @@ pub struct EnergyPoint {
 /// ```
 /// use ntv_device::{TechModel, TechNode};
 /// use ntv_device::energy::EnergyModel;
+/// use ntv_units::Volts;
 ///
 /// let tech = TechModel::new(TechNode::Gp90);
 /// let energy = EnergyModel::new(&tech);
 /// // Near-threshold operation saves substantial energy vs nominal.
-/// let nominal = energy.point(1.0).total_fj;
-/// let ntv = energy.point(0.5).total_fj;
+/// let nominal = energy.point(Volts(1.0)).total_fj;
+/// let ntv = energy.point(Volts(0.5)).total_fj;
 /// assert!(nominal / ntv > 3.0);
 /// ```
 #[derive(Debug, Clone)]
@@ -74,14 +76,14 @@ impl<'a> EnergyModel<'a> {
     /// [`TechModel::on_current`]; the `exp(−Vth/(n·φt))` off-state factor and
     /// the idle-width multiplier are folded into `leak_i0`).
     #[must_use]
-    pub fn leakage_current(&self, vdd: f64) -> f64 {
+    pub fn leakage_current(&self, vdd: Volts) -> f64 {
         let p = self.tech.params();
         p.leak_i0 * (p.dibl * vdd / (p.slope_n * THERMAL_VOLTAGE)).exp()
     }
 
     /// Per-operation delay (ns): the 50-stage reference critical path.
     #[must_use]
-    pub fn op_delay_ns(&self, vdd: f64) -> f64 {
+    pub fn op_delay_ns(&self, vdd: Volts) -> f64 {
         OP_CHAIN_LENGTH as f64 * self.tech.fo4_delay_ps(vdd) / 1000.0
     }
 
@@ -91,9 +93,9 @@ impl<'a> EnergyModel<'a> {
     ///
     /// Panics if `vdd` is outside the supported `(0.05, 2.0)` V range.
     #[must_use]
-    pub fn point(&self, vdd: f64) -> EnergyPoint {
+    pub fn point(&self, vdd: Volts) -> EnergyPoint {
         let p = self.tech.params();
-        let switching_fj = p.switch_cap_fj * vdd * vdd * OP_CHAIN_LENGTH as f64;
+        let switching_fj = p.switch_cap_fj * vdd.get() * vdd.get() * OP_CHAIN_LENGTH as f64;
         let delay_ns = self.op_delay_ns(vdd);
         // I_leak·V·D_op in the same fJ units as switching: D_op ∝ V/I_on
         // with the C/I scale already inside switch_cap_fj, so
@@ -115,7 +117,7 @@ impl<'a> EnergyModel<'a> {
     ///
     /// Panics if `steps < 2` or the range is empty/invalid.
     #[must_use]
-    pub fn sweep(&self, v_lo: f64, v_hi: f64, steps: usize) -> Vec<EnergyPoint> {
+    pub fn sweep(&self, v_lo: Volts, v_hi: Volts, steps: usize) -> Vec<EnergyPoint> {
         assert!(steps >= 2, "a sweep needs at least two points");
         assert!(v_lo < v_hi, "invalid sweep range [{v_lo}, {v_hi}]");
         (0..steps)
@@ -133,7 +135,7 @@ impl<'a> EnergyModel<'a> {
     /// Fig 9.
     #[must_use]
     pub fn minimum_energy_point(&self) -> EnergyPoint {
-        let (mut a, mut b) = (0.1, self.tech.nominal_vdd());
+        let (mut a, mut b) = (Volts(0.1), self.tech.nominal_vdd());
         const PHI: f64 = 0.618_033_988_749_895;
         let mut c = b - PHI * (b - a);
         let mut d = a + PHI * (b - a);
@@ -164,7 +166,7 @@ mod tests {
             let min = e.minimum_energy_point();
             assert!(
                 min.vdd < tech.params().vth0,
-                "{node}: Emin at {} V but Vth = {}",
+                "{node}: Emin at {} but Vth = {}",
                 min.vdd,
                 tech.params().vth0
             );
@@ -180,8 +182,8 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         let e = EnergyModel::new(&tech);
         let min = e.minimum_energy_point();
-        let ntv = e.point(0.5);
-        let nominal = e.point(1.0);
+        let ntv = e.point(Volts(0.5));
+        let nominal = e.point(Volts(1.0));
 
         let energy_ratio_ntv_vs_min = ntv.total_fj / min.total_fj;
         assert!(
@@ -204,7 +206,7 @@ mod tests {
     fn switching_energy_is_quadratic_in_v() {
         let tech = TechModel::new(TechNode::Gp45);
         let e = EnergyModel::new(&tech);
-        let r = e.point(1.0).switching_fj / e.point(0.5).switching_fj;
+        let r = e.point(Volts(1.0)).switching_fj / e.point(Volts(0.5)).switching_fj;
         assert!((r - 4.0).abs() < 1e-9);
     }
 
@@ -212,7 +214,7 @@ mod tests {
     fn leakage_energy_dominates_in_deep_subthreshold() {
         let tech = TechModel::new(TechNode::PtmHp22);
         let e = EnergyModel::new(&tech);
-        let deep = e.point(0.18);
+        let deep = e.point(Volts(0.18));
         assert!(deep.leakage_fj > deep.switching_fj);
         let nominal = e.point(tech.nominal_vdd());
         assert!(nominal.switching_fj > nominal.leakage_fj);
@@ -222,7 +224,7 @@ mod tests {
     fn sweep_is_ordered_and_consistent() {
         let tech = TechModel::new(TechNode::Gp90);
         let e = EnergyModel::new(&tech);
-        let pts = e.sweep(0.2, 1.0, 17);
+        let pts = e.sweep(Volts(0.2), Volts(1.0), 17);
         assert_eq!(pts.len(), 17);
         for w in pts.windows(2) {
             assert!(w[1].vdd > w[0].vdd);
@@ -238,6 +240,6 @@ mod tests {
     #[should_panic(expected = "at least two points")]
     fn sweep_rejects_single_point() {
         let tech = TechModel::new(TechNode::Gp90);
-        let _ = EnergyModel::new(&tech).sweep(0.2, 1.0, 1);
+        let _ = EnergyModel::new(&tech).sweep(Volts(0.2), Volts(1.0), 1);
     }
 }

@@ -32,16 +32,17 @@
 //! ```
 //! use ntv_device::{TechModel, TechNode};
 //! use ntv_mc::StreamRng;
+//! use ntv_units::Volts;
 //!
 //! let tech = TechModel::new(TechNode::Gp90);
 //! // Variation-free FO4 delay grows steeply in the near-threshold region.
-//! assert!(tech.fo4_delay_ps(0.5) > 3.0 * tech.fo4_delay_ps(0.7));
+//! assert!(tech.fo4_delay_ps(Volts(0.5)) > 3.0 * tech.fo4_delay_ps(Volts(0.7)));
 //!
 //! // Sample one chip and one device, and evaluate a varied gate delay.
 //! let mut rng = StreamRng::from_seed(1);
 //! let chip = tech.sample_chip(&mut rng);
 //! let gate = tech.sample_gate(&mut rng);
-//! let d = tech.gate_delay_ps(0.5, &chip, &gate);
+//! let d = tech.gate_delay_ps(Volts(0.5), &chip, &gate);
 //! assert!(d > 0.0);
 //! ```
 

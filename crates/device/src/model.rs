@@ -1,6 +1,7 @@
 //! The technology model: transregional current and FO4 delay.
 
 use ntv_mc::SampleStream;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::node::TechNode;
@@ -50,9 +51,10 @@ impl std::fmt::Display for OperatingRegion {
 ///
 /// ```
 /// use ntv_device::{TechModel, TechNode};
+/// use ntv_units::Volts;
 /// let tech = TechModel::new(TechNode::Gp90);
 /// // Chain-of-50 delay at 0.5 V is ≈ 22 ns in the paper (§3.2).
-/// let chain_ns = 50.0 * tech.fo4_delay_ps(0.5) / 1000.0;
+/// let chain_ns = 50.0 * tech.fo4_delay_ps(Volts(0.5)) / 1000.0;
 /// assert!((chain_ns - 22.05).abs() < 1.5);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -95,14 +97,14 @@ impl TechModel {
 
     /// Nominal (full) supply voltage.
     #[must_use]
-    pub fn nominal_vdd(&self) -> f64 {
+    pub fn nominal_vdd(&self) -> Volts {
         self.params.vdd_nominal
     }
 
-    fn assert_voltage(&self, vdd: f64) {
+    fn assert_voltage(&self, vdd: Volts) {
         assert!(
-            vdd.is_finite() && vdd > 0.05 && vdd < 2.0,
-            "supply voltage {vdd} V outside the supported range (0.05, 2.0)"
+            vdd.is_finite() && vdd > Volts(0.05) && vdd < Volts(2.0),
+            "supply voltage {vdd} outside the supported range (0.05 V, 2.0 V)"
         );
     }
 
@@ -112,7 +114,7 @@ impl TechModel {
     ///
     /// Panics if `vdd` is outside the supported `(0.05, 2.0)` V range.
     #[must_use]
-    pub fn on_current(&self, vdd: f64, vth: f64) -> f64 {
+    pub fn on_current(&self, vdd: Volts, vth: Volts) -> f64 {
         self.assert_voltage(vdd);
         let p = &self.params;
         let x = (vdd - vth) / (p.alpha * p.slope_n * THERMAL_VOLTAGE);
@@ -125,8 +127,8 @@ impl TechModel {
     ///
     /// Panics if `vdd` is outside the supported range.
     #[must_use]
-    pub fn fo4_delay_ps(&self, vdd: f64) -> f64 {
-        self.params.delay_scale_ps * vdd / self.on_current(vdd, self.params.vth0)
+    pub fn fo4_delay_ps(&self, vdd: Volts) -> f64 {
+        self.params.delay_scale_ps * vdd.get() / self.on_current(vdd, self.params.vth0)
     }
 
     /// FO4 delay (ps) of one varied device on one varied chip.
@@ -134,10 +136,10 @@ impl TechModel {
     /// The chip's systematic ΔVth/ln-k and the gate's random ΔVth/ln-k
     /// compose additively (in Vth and log-current respectively).
     #[must_use]
-    pub fn gate_delay_ps(&self, vdd: f64, chip: &ChipSample, gate: &GateSample) -> f64 {
+    pub fn gate_delay_ps(&self, vdd: Volts, chip: &ChipSample, gate: &GateSample) -> f64 {
         let vth = self.params.vth0 + chip.dvth + gate.dvth;
         let kappa = (chip.ln_k + gate.ln_k).exp();
-        self.params.delay_scale_ps * vdd / (self.on_current(vdd, vth) * kappa)
+        self.params.delay_scale_ps * vdd.get() / (self.on_current(vdd, vth) * kappa)
     }
 
     /// Delay of a varied device given an explicit conditioning chip and a
@@ -145,9 +147,9 @@ impl TechModel {
     #[must_use]
     pub fn gate_delay_ps_at(
         &self,
-        vdd: f64,
+        vdd: Volts,
         chip: &ChipSample,
-        dvth_rand: f64,
+        dvth_rand: Volts,
         ln_k_rand: f64,
     ) -> f64 {
         self.gate_delay_ps(
@@ -166,14 +168,15 @@ impl TechModel {
     /// Grows steeply as `vdd` approaches `Vth` — the root cause of
     /// near-threshold delay variability (paper §3).
     #[must_use]
-    pub fn delay_vth_sensitivity(&self, vdd: f64) -> f64 {
+    // ntv:allow(bare-unit): the return is a log-sensitivity in 1/V, not a voltage
+    pub fn delay_vth_sensitivity(&self, vdd: Volts) -> f64 {
         self.assert_voltage(vdd);
         let p = &self.params;
         let denom = p.alpha * p.slope_n * THERMAL_VOLTAGE;
         let x = (vdd - p.vth0) / denom;
         // d lnD/dVth = α/denom · sigmoid(x)/softplus(x)
         let sig = 1.0 / (1.0 + (-x).exp());
-        p.alpha / denom * (sig / softplus(x))
+        p.alpha / denom.get() * (sig / softplus(x))
     }
 
     /// Which operating region `vdd` falls in for this node.
@@ -181,11 +184,11 @@ impl TechModel {
     /// Near-threshold is taken as `Vth − 50 mV .. Vth + 250 mV`, matching
     /// the 0.4–0.65 V band the paper treats as NTV for these nodes.
     #[must_use]
-    pub fn region(&self, vdd: f64) -> OperatingRegion {
+    pub fn region(&self, vdd: Volts) -> OperatingRegion {
         self.assert_voltage(vdd);
-        if vdd < self.params.vth0 - 0.05 {
+        if vdd < self.params.vth0 - Volts(0.05) {
             OperatingRegion::SubThreshold
-        } else if vdd < self.params.vth0 + 0.25 {
+        } else if vdd < self.params.vth0 + Volts(0.25) {
             OperatingRegion::NearThreshold
         } else {
             OperatingRegion::SuperThreshold
@@ -222,8 +225,8 @@ impl TechModel {
     /// noise; it lets the architecture engine scale conditional path
     /// moments per lane without re-running quadrature.
     #[must_use]
-    pub fn region_delay_factor(&self, vdd: f64, region: &RegionSample) -> f64 {
-        (self.delay_vth_sensitivity(vdd) * region.dvth - region.ln_k).exp()
+    pub fn region_delay_factor(&self, vdd: Volts, region: &RegionSample) -> f64 {
+        (self.delay_vth_sensitivity(vdd) * region.dvth.get() - region.ln_k).exp()
     }
 }
 
@@ -255,8 +258,8 @@ mod tests {
             let tech = TechModel::new(node);
             let mut prev = f64::INFINITY;
             let mut v = 0.35;
-            while v <= tech.nominal_vdd() + 1e-9 {
-                let d = tech.fo4_delay_ps(v);
+            while v <= tech.nominal_vdd().get() + 1e-9 {
+                let d = tech.fo4_delay_ps(Volts(v));
                 assert!(d < prev, "{node}: delay not monotone at {v} V");
                 prev = d;
                 v += 0.05;
@@ -267,8 +270,8 @@ mod tests {
     #[test]
     fn chain_delay_matches_paper_90nm() {
         let tech = TechModel::new(TechNode::Gp90);
-        let chain_ns_05 = 50.0 * tech.fo4_delay_ps(0.5) / 1000.0;
-        let chain_ns_06 = 50.0 * tech.fo4_delay_ps(0.6) / 1000.0;
+        let chain_ns_05 = 50.0 * tech.fo4_delay_ps(Volts(0.5)) / 1000.0;
+        let chain_ns_06 = 50.0 * tech.fo4_delay_ps(Volts(0.6)) / 1000.0;
         // Paper §3.2: 22.05 ns @0.5 V, 8.99 ns @0.6 V. Allow ±15 %.
         assert!(
             (chain_ns_05 / 22.05 - 1.0).abs() < 0.15,
@@ -285,7 +288,7 @@ mod tests {
         for node in TechNode::ALL {
             let tech = TechModel::new(node);
             let s_nom = tech.delay_vth_sensitivity(tech.nominal_vdd());
-            let s_ntv = tech.delay_vth_sensitivity(0.5);
+            let s_ntv = tech.delay_vth_sensitivity(Volts(0.5));
             assert!(s_ntv > 3.0 * s_nom, "{node}: {s_ntv} vs {s_nom}");
         }
     }
@@ -295,8 +298,11 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp90);
         for &v in &[0.5, 0.6, 0.8, 1.0] {
             let h = 1e-6;
-            let d0 = tech.params().delay_scale_ps * v / tech.on_current(v, tech.params().vth0 - h);
-            let d1 = tech.params().delay_scale_ps * v / tech.on_current(v, tech.params().vth0 + h);
+            let v = Volts(v);
+            let d0 = tech.params().delay_scale_ps * v.get()
+                / tech.on_current(v, tech.params().vth0 - Volts(h));
+            let d1 = tech.params().delay_scale_ps * v.get()
+                / tech.on_current(v, tech.params().vth0 + Volts(h));
             let num = (d1.ln() - d0.ln()) / (2.0 * h);
             let ana = tech.delay_vth_sensitivity(v);
             assert!((num - ana).abs() / ana < 1e-5, "v={v}: {num} vs {ana}");
@@ -308,18 +314,18 @@ mod tests {
         let tech = TechModel::new(TechNode::Gp45);
         let chip = ChipSample::nominal();
         let slow = GateSample {
-            dvth: 0.03,
+            dvth: Volts(0.03),
             ln_k: 0.0,
         };
         let fast = GateSample {
-            dvth: -0.03,
+            dvth: Volts(-0.03),
             ln_k: 0.0,
         };
-        let d_slow = tech.gate_delay_ps(0.55, &chip, &slow);
-        let d_fast = tech.gate_delay_ps(0.55, &chip, &fast);
-        let d_nom = tech.gate_delay_ps(0.55, &chip, &GateSample::nominal());
+        let d_slow = tech.gate_delay_ps(Volts(0.55), &chip, &slow);
+        let d_fast = tech.gate_delay_ps(Volts(0.55), &chip, &fast);
+        let d_nom = tech.gate_delay_ps(Volts(0.55), &chip, &GateSample::nominal());
         assert!(d_slow > d_nom && d_nom > d_fast);
-        assert!((d_nom - tech.fo4_delay_ps(0.55)).abs() < 1e-9);
+        assert!((d_nom - tech.fo4_delay_ps(Volts(0.55))).abs() < 1e-9);
     }
 
     #[test]
@@ -327,19 +333,19 @@ mod tests {
         let tech = TechModel::new(TechNode::PtmHp32);
         let chip = ChipSample::nominal();
         let g = GateSample {
-            dvth: 0.0,
+            dvth: Volts::ZERO,
             ln_k: 0.2,
         };
-        let ratio = tech.gate_delay_ps(0.6, &chip, &g) / tech.fo4_delay_ps(0.6);
+        let ratio = tech.gate_delay_ps(Volts(0.6), &chip, &g) / tech.fo4_delay_ps(Volts(0.6));
         assert!((ratio - (-0.2_f64).exp()).abs() < 1e-12);
     }
 
     #[test]
     fn regions_are_ordered() {
         let tech = TechModel::new(TechNode::Gp90);
-        assert_eq!(tech.region(0.3), OperatingRegion::SubThreshold);
-        assert_eq!(tech.region(0.5), OperatingRegion::NearThreshold);
-        assert_eq!(tech.region(1.0), OperatingRegion::SuperThreshold);
+        assert_eq!(tech.region(Volts(0.3)), OperatingRegion::SubThreshold);
+        assert_eq!(tech.region(Volts(0.5)), OperatingRegion::NearThreshold);
+        assert_eq!(tech.region(Volts(1.0)), OperatingRegion::SuperThreshold);
     }
 
     #[test]
@@ -360,6 +366,6 @@ mod tests {
     #[should_panic(expected = "outside the supported range")]
     fn absurd_voltage_rejected() {
         let tech = TechModel::new(TechNode::Gp90);
-        let _ = tech.fo4_delay_ps(5.0);
+        let _ = tech.fo4_delay_ps(Volts(5.0));
     }
 }

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::str::FromStr;
 
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 /// The four technology nodes studied in the paper (§3, Fig 2).
@@ -43,16 +44,16 @@ impl TechNode {
         }
     }
 
-    /// Nominal ("full") supply voltage for the node, in volts.
+    /// Nominal ("full") supply voltage for the node.
     ///
     /// The paper's performance-drop baseline (Fig 4) and duplication target
     /// (Table 1) are both defined at this voltage.
     #[must_use]
-    pub fn nominal_vdd(self) -> f64 {
+    pub fn nominal_vdd(self) -> Volts {
         match self {
-            TechNode::Gp90 | TechNode::Gp45 => 1.0,
-            TechNode::PtmHp32 => 0.9,
-            TechNode::PtmHp22 => 0.8,
+            TechNode::Gp90 | TechNode::Gp45 => Volts(1.0),
+            TechNode::PtmHp32 => Volts(0.9),
+            TechNode::PtmHp22 => Volts(0.8),
         }
     }
 
@@ -122,10 +123,10 @@ mod tests {
 
     #[test]
     fn nominal_voltages_match_paper() {
-        assert_eq!(TechNode::Gp90.nominal_vdd(), 1.0);
-        assert_eq!(TechNode::Gp45.nominal_vdd(), 1.0);
-        assert_eq!(TechNode::PtmHp32.nominal_vdd(), 0.9);
-        assert_eq!(TechNode::PtmHp22.nominal_vdd(), 0.8);
+        assert_eq!(TechNode::Gp90.nominal_vdd(), Volts(1.0));
+        assert_eq!(TechNode::Gp45.nominal_vdd(), Volts(1.0));
+        assert_eq!(TechNode::PtmHp32.nominal_vdd(), Volts(0.9));
+        assert_eq!(TechNode::PtmHp22.nominal_vdd(), Volts(0.8));
     }
 
     #[test]

@@ -23,12 +23,16 @@
 //! nonlinear model (which also produces the right-skewed histograms of
 //! Fig 1).
 
+use ntv_units::{Kelvin, Volts};
 use serde::{Deserialize, Serialize};
 
 use crate::node::TechNode;
 
-/// Thermal voltage kT/q at 300 K, in volts.
-pub const THERMAL_VOLTAGE: f64 = 0.02585;
+/// Reference junction temperature for the calibrated parameter sets.
+pub const ROOM_TEMPERATURE: Kelvin = Kelvin(300.0);
+
+/// Thermal voltage kT/q at [`ROOM_TEMPERATURE`].
+pub const THERMAL_VOLTAGE: Volts = Volts(0.02585);
 
 /// Complete analytical device model for one technology node.
 ///
@@ -39,10 +43,10 @@ pub const THERMAL_VOLTAGE: f64 = 0.02585;
 pub struct DeviceParams {
     /// Which node this parameter set describes.
     pub node: TechNode,
-    /// Nominal supply voltage (V).
-    pub vdd_nominal: f64,
-    /// Nominal threshold voltage Vth0 (V).
-    pub vth0: f64,
+    /// Nominal supply voltage.
+    pub vdd_nominal: Volts,
+    /// Nominal threshold voltage Vth0.
+    pub vth0: Volts,
     /// Sub-threshold slope factor `n` (I ∝ exp((V−Vth)/(n·φt)) below Vth).
     pub slope_n: f64,
     /// Velocity-saturation exponent α of the strong-inversion power law
@@ -51,10 +55,10 @@ pub struct DeviceParams {
     /// Delay prefactor (ps · normalized-current): FO4 delay =
     /// `delay_scale_ps · Vdd / I_on(Vdd, Vth)`.
     pub delay_scale_ps: f64,
-    /// Per-device random σ(Vth) in volts (RDF, plus LER at 32/22 nm).
-    pub sigma_vth_random: f64,
-    /// Per-chip systematic σ(Vth) in volts.
-    pub sigma_vth_systematic: f64,
+    /// Per-device random σ(Vth) (RDF, plus LER at 32/22 nm).
+    pub sigma_vth_random: Volts,
+    /// Per-chip systematic σ(Vth).
+    pub sigma_vth_systematic: Volts,
     /// Per-device random σ of the log current factor (dimensionless).
     pub sigma_k_random: f64,
     /// Per-chip systematic σ of the log current factor (dimensionless).
@@ -85,8 +89,9 @@ impl DeviceParams {
     ///
     /// ```
     /// use ntv_device::{DeviceParams, TechNode};
+    /// use ntv_units::Volts;
     /// let p = DeviceParams::for_node(TechNode::Gp90);
-    /// assert_eq!(p.vdd_nominal, 1.0);
+    /// assert_eq!(p.vdd_nominal, Volts(1.0));
     /// ```
     #[must_use]
     pub fn for_node(node: TechNode) -> Self {
@@ -95,13 +100,13 @@ impl DeviceParams {
             // 5.76 % → 9.43 % chain-50) and the 441 ps / ~180 ps FO4 delays.
             TechNode::Gp90 => Self {
                 node,
-                vdd_nominal: 1.0,
-                vth0: 0.43,
+                vdd_nominal: Volts(1.0),
+                vth0: Volts(0.43),
                 slope_n: 1.30,
                 alpha: 1.35,
                 delay_scale_ps: 1848.0,
-                sigma_vth_random: 7.6e-3,
-                sigma_vth_systematic: 1.42e-3,
+                sigma_vth_random: Volts(7.6e-3),
+                sigma_vth_systematic: Volts(1.42e-3),
                 sigma_k_random: 0.0487,
                 sigma_k_systematic: 0.0174,
                 lane_fraction: 0.5,
@@ -116,13 +121,13 @@ impl DeviceParams {
             // the larger Table 2 voltage margins: 19.6 mV vs 12.1 mV).
             TechNode::Gp45 => Self {
                 node,
-                vdd_nominal: 1.0,
-                vth0: 0.40,
+                vdd_nominal: Volts(1.0),
+                vth0: Volts(0.40),
                 slope_n: 1.30,
                 alpha: 1.32,
                 delay_scale_ps: 715.0,
-                sigma_vth_random: 17.6e-3,
-                sigma_vth_systematic: 4.97e-3,
+                sigma_vth_random: Volts(17.6e-3),
+                sigma_vth_systematic: Volts(4.97e-3),
                 sigma_k_random: 0.0625,
                 sigma_k_systematic: 0.0178,
                 lane_fraction: 0.5,
@@ -134,13 +139,13 @@ impl DeviceParams {
             // chain-50 targets ~5.5 %@0.9 V → ~14 %@0.5 V.
             TechNode::PtmHp32 => Self {
                 node,
-                vdd_nominal: 0.9,
-                vth0: 0.40,
+                vdd_nominal: Volts(0.9),
+                vth0: Volts(0.40),
                 slope_n: 1.28,
                 alpha: 1.30,
                 delay_scale_ps: 459.0,
-                sigma_vth_random: 12.3e-3,
-                sigma_vth_systematic: 3.47e-3,
+                sigma_vth_random: Volts(12.3e-3),
+                sigma_vth_systematic: Volts(3.47e-3),
                 sigma_k_random: 0.0484,
                 sigma_k_systematic: 0.0137,
                 lane_fraction: 0.5,
@@ -153,13 +158,13 @@ impl DeviceParams {
             // 0.55 V (both stated in the paper).
             TechNode::PtmHp22 => Self {
                 node,
-                vdd_nominal: 0.8,
-                vth0: 0.41,
+                vdd_nominal: Volts(0.8),
+                vth0: Volts(0.41),
                 slope_n: 1.30,
                 alpha: 1.28,
                 delay_scale_ps: 288.0,
-                sigma_vth_random: 20.4e-3,
-                sigma_vth_systematic: 5.75e-3,
+                sigma_vth_random: Volts(20.4e-3),
+                sigma_vth_systematic: Volts(5.75e-3),
                 sigma_k_random: 0.0939,
                 sigma_k_systematic: 0.0266,
                 lane_fraction: 0.5,
@@ -192,11 +197,11 @@ impl DeviceParams {
             }
         }
         check(
-            self.vdd_nominal > 0.0 && self.vdd_nominal < 2.0,
+            self.vdd_nominal > Volts::ZERO && self.vdd_nominal < Volts(2.0),
             "nominal Vdd out of range",
         )?;
         check(
-            self.vth0 > 0.0 && self.vth0 < self.vdd_nominal,
+            self.vth0 > Volts::ZERO && self.vth0 < self.vdd_nominal,
             "Vth0 out of range",
         )?;
         check(
@@ -206,8 +211,8 @@ impl DeviceParams {
         check(self.alpha > 1.0 && self.alpha <= 2.0, "alpha out of range")?;
         check(self.delay_scale_ps > 0.0, "delay scale must be positive")?;
         check(
-            self.sigma_vth_random >= 0.0
-                && self.sigma_vth_systematic >= 0.0
+            self.sigma_vth_random >= Volts::ZERO
+                && self.sigma_vth_systematic >= Volts::ZERO
                 && self.sigma_k_random >= 0.0
                 && self.sigma_k_systematic >= 0.0,
             "variation sigmas must be non-negative",
@@ -264,9 +269,9 @@ pub struct DeviceParamsBuilder {
 }
 
 impl DeviceParamsBuilder {
-    /// Override the nominal threshold voltage (V).
+    /// Override the nominal threshold voltage.
     #[must_use]
-    pub fn vth0(mut self, vth0: f64) -> Self {
+    pub fn vth0(mut self, vth0: Volts) -> Self {
         self.params.vth0 = vth0;
         self
     }
@@ -303,16 +308,16 @@ impl DeviceParamsBuilder {
         self
     }
 
-    /// Override the per-device random σ(Vth) in volts.
+    /// Override the per-device random σ(Vth).
     #[must_use]
-    pub fn sigma_vth_random(mut self, sigma: f64) -> Self {
+    pub fn sigma_vth_random(mut self, sigma: Volts) -> Self {
         self.params.sigma_vth_random = sigma;
         self
     }
 
-    /// Override the per-chip systematic σ(Vth) in volts.
+    /// Override the per-chip systematic σ(Vth).
     #[must_use]
-    pub fn sigma_vth_systematic(mut self, sigma: f64) -> Self {
+    pub fn sigma_vth_systematic(mut self, sigma: Volts) -> Self {
         self.params.sigma_vth_systematic = sigma;
         self
     }
@@ -351,7 +356,7 @@ mod tests {
 
     #[test]
     fn variation_grows_with_scaling_for_random_vth() {
-        let sigmas: Vec<f64> = TechNode::ALL
+        let sigmas: Vec<Volts> = TechNode::ALL
             .iter()
             .map(|&n| DeviceParams::for_node(n).sigma_vth_random)
             .collect();
@@ -364,14 +369,16 @@ mod tests {
     #[test]
     fn builder_overrides_and_validates() {
         let p = DeviceParams::builder(TechNode::Gp45)
-            .vth0(0.5)
+            .vth0(Volts(0.5))
             .slope_n(1.4)
             .build()
             .unwrap();
-        assert_eq!(p.vth0, 0.5);
+        assert_eq!(p.vth0, Volts(0.5));
         assert_eq!(p.slope_n, 1.4);
 
-        let bad = DeviceParams::builder(TechNode::Gp45).vth0(1.5).build();
+        let bad = DeviceParams::builder(TechNode::Gp45)
+            .vth0(Volts(1.5))
+            .build();
         assert!(bad.is_err());
         assert!(bad.unwrap_err().to_string().contains("Vth0"));
     }
@@ -382,8 +389,30 @@ mod tests {
             .sigma_scale(0.0)
             .build()
             .unwrap();
-        assert_eq!(p.sigma_vth_random, 0.0);
+        assert_eq!(p.sigma_vth_random, Volts::ZERO);
         assert_eq!(p.sigma_k_systematic, 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_boundary_voltages() {
+        // Both ends of the Vdd range are open intervals: exactly 0 V and
+        // exactly 2 V are rejected, values strictly inside are accepted.
+        let mut p = DeviceParams::for_node(TechNode::Gp90);
+        p.vdd_nominal = Volts::ZERO;
+        assert!(p.validate().is_err());
+        p.vdd_nominal = Volts(2.0);
+        assert!(p.validate().is_err());
+        p.vdd_nominal = Volts(1.999);
+        assert!(p.validate().is_ok());
+
+        // Vth0 must be strictly below the nominal supply.
+        let mut p = DeviceParams::for_node(TechNode::Gp90);
+        p.vth0 = p.vdd_nominal;
+        assert!(p.validate().is_err());
+        p.vth0 = p.vdd_nominal - Volts(1e-9);
+        assert!(p.validate().is_ok());
+        p.vth0 = Volts::ZERO;
+        assert!(p.validate().is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!   out along a logic chain.
 
 use ntv_mc::SampleStream;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::params::DeviceParams;
@@ -27,8 +28,8 @@ use crate::params::DeviceParams;
 /// regional offset, while different lanes see different ones).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct RegionSample {
-    /// Regional threshold-voltage shift ΔVth (V).
-    pub dvth: f64,
+    /// Regional threshold-voltage shift ΔVth.
+    pub dvth: Volts,
     /// Regional log current-factor shift.
     pub ln_k: f64,
 }
@@ -44,8 +45,8 @@ impl RegionSample {
 /// Systematic (per-chip) variation draw, shared by all gates on a die.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ChipSample {
-    /// Systematic threshold-voltage shift ΔVth (V).
-    pub dvth: f64,
+    /// Systematic threshold-voltage shift ΔVth.
+    pub dvth: Volts,
     /// Systematic log current-factor shift.
     pub ln_k: f64,
 }
@@ -61,8 +62,8 @@ impl ChipSample {
 /// Random (per-device) variation draw, independent for each gate.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct GateSample {
-    /// Random threshold-voltage shift ΔVth (V).
-    pub dvth: f64,
+    /// Random threshold-voltage shift ΔVth.
+    pub dvth: Volts,
     /// Random log current-factor shift.
     pub ln_k: f64,
 }
@@ -81,7 +82,7 @@ impl GateSample {
 /// (Fig 1/2) uses this.
 pub fn sample_chip<R: SampleStream + ?Sized>(params: &DeviceParams, rng: &mut R) -> ChipSample {
     ChipSample {
-        dvth: rng.normal(0.0, params.sigma_vth_systematic),
+        dvth: Volts(rng.normal(0.0, params.sigma_vth_systematic.get())),
         ln_k: rng.normal(0.0, params.sigma_k_systematic),
     }
 }
@@ -95,7 +96,7 @@ pub fn sample_chip_global<R: SampleStream + ?Sized>(
 ) -> ChipSample {
     let f = (1.0 - params.lane_fraction).sqrt();
     ChipSample {
-        dvth: rng.normal(0.0, params.sigma_vth_systematic * f),
+        dvth: Volts(rng.normal(0.0, params.sigma_vth_systematic.get() * f)),
         ln_k: rng.normal(0.0, params.sigma_k_systematic * f),
     }
 }
@@ -105,7 +106,7 @@ pub fn sample_chip_global<R: SampleStream + ?Sized>(
 pub fn sample_region<R: SampleStream + ?Sized>(params: &DeviceParams, rng: &mut R) -> RegionSample {
     let f = params.lane_fraction.sqrt();
     RegionSample {
-        dvth: rng.normal(0.0, params.sigma_vth_systematic * f),
+        dvth: Volts(rng.normal(0.0, params.sigma_vth_systematic.get() * f)),
         ln_k: rng.normal(0.0, params.sigma_k_systematic * f),
     }
 }
@@ -113,7 +114,7 @@ pub fn sample_region<R: SampleStream + ?Sized>(params: &DeviceParams, rng: &mut 
 /// Draw one device's random variation.
 pub fn sample_gate<R: SampleStream + ?Sized>(params: &DeviceParams, rng: &mut R) -> GateSample {
     GateSample {
-        dvth: rng.normal(0.0, params.sigma_vth_random),
+        dvth: Volts(rng.normal(0.0, params.sigma_vth_random.get())),
         ln_k: rng.normal(0.0, params.sigma_k_random),
     }
 }
@@ -126,7 +127,7 @@ mod tests {
 
     #[test]
     fn nominal_samples_are_zero() {
-        assert_eq!(ChipSample::nominal().dvth, 0.0);
+        assert_eq!(ChipSample::nominal().dvth, Volts::ZERO);
         assert_eq!(GateSample::nominal().ln_k, 0.0);
     }
 
@@ -135,18 +136,18 @@ mod tests {
         let params = DeviceParams::for_node(TechNode::PtmHp22);
         let mut rng = StreamRng::from_seed(8);
         let chips: Summary = (0..50_000)
-            .map(|_| sample_chip(&params, &mut rng).dvth)
+            .map(|_| sample_chip(&params, &mut rng).dvth.get())
             .collect();
         let gates: Summary = (0..50_000)
-            .map(|_| sample_gate(&params, &mut rng).dvth)
+            .map(|_| sample_gate(&params, &mut rng).dvth.get())
             .collect();
         assert!(
-            (chips.std_dev() - params.sigma_vth_systematic).abs()
-                < 0.05 * params.sigma_vth_systematic + 1e-6
+            (chips.std_dev() - params.sigma_vth_systematic.get()).abs()
+                < 0.05 * params.sigma_vth_systematic.get() + 1e-6
         );
         assert!(
-            (gates.std_dev() - params.sigma_vth_random).abs()
-                < 0.05 * params.sigma_vth_random + 1e-6
+            (gates.std_dev() - params.sigma_vth_random.get()).abs()
+                < 0.05 * params.sigma_vth_random.get() + 1e-6
         );
         assert!(chips.mean().abs() < 1e-4);
         assert!(gates.mean().abs() < 1e-3);
@@ -158,12 +159,13 @@ mod tests {
         let mut rng = StreamRng::from_seed(4);
         let combined: Summary = (0..50_000)
             .map(|_| {
-                sample_chip_global(&params, &mut rng).dvth + sample_region(&params, &mut rng).dvth
+                (sample_chip_global(&params, &mut rng).dvth + sample_region(&params, &mut rng).dvth)
+                    .get()
             })
             .collect();
         assert!(
-            (combined.std_dev() - params.sigma_vth_systematic).abs()
-                < 0.05 * params.sigma_vth_systematic
+            (combined.std_dev() - params.sigma_vth_systematic.get()).abs()
+                < 0.05 * params.sigma_vth_systematic.get()
         );
     }
 

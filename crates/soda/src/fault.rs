@@ -22,6 +22,7 @@
 
 use ntv_core::DatapathEngine;
 use ntv_mc::StreamRng;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 /// How the PE responds to variation-induced timing errors.
@@ -112,7 +113,7 @@ impl FaultModel {
     #[must_use]
     pub fn from_engine(
         engine: &DatapathEngine<'_>,
-        vdd: f64,
+        vdd: Volts,
         t_clk_ns: f64,
         spares: usize,
         guard_band: f64,
@@ -219,13 +220,13 @@ mod tests {
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
         let mut rng = StreamRng::from_seed(3);
         // A clock barely above the ideal 50-FO4 path at 0.5 V: many lanes miss it.
-        let tight_ns = 51.0 * engine.fo4_unit_ps(0.5) / 1000.0;
-        let fm = FaultModel::from_engine(&engine, 0.5, tight_ns, 6, 0.0, &mut rng);
+        let tight_ns = 51.0 * engine.fo4_unit_ps(Volts(0.5)) / 1000.0;
+        let fm = FaultModel::from_engine(&engine, Volts(0.5), tight_ns, 6, 0.0, &mut rng);
         assert_eq!(fm.physical_lanes(), 134);
         assert!(!fm.faulty_lanes(0.5).is_empty());
         // A generous clock: fault-free.
-        let loose_ns = 80.0 * engine.fo4_unit_ps(0.5) / 1000.0;
-        let fm = FaultModel::from_engine(&engine, 0.5, loose_ns, 6, 0.0, &mut rng);
+        let loose_ns = 80.0 * engine.fo4_unit_ps(Volts(0.5)) / 1000.0;
+        let fm = FaultModel::from_engine(&engine, Volts(0.5), loose_ns, 6, 0.0, &mut rng);
         assert!(fm.is_fault_free());
     }
 

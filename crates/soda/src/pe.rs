@@ -3,6 +3,7 @@
 
 use ntv_device::TechModel;
 use ntv_mc::StreamRng;
+use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
 use crate::fault::{ErrorPolicy, FaultModel};
@@ -53,13 +54,14 @@ impl EnergyConfig {
     /// ```
     /// use ntv_device::{TechModel, TechNode};
     /// use ntv_soda::pe::EnergyConfig;
+    /// use ntv_units::Volts;
     /// let tech = TechModel::new(TechNode::Gp90);
-    /// let ntv = EnergyConfig::for_tech(&tech, 0.5);
-    /// let fv = EnergyConfig::for_tech(&tech, 1.0);
+    /// let ntv = EnergyConfig::for_tech(&tech, Volts(0.5));
+    /// let fv = EnergyConfig::for_tech(&tech, Volts(1.0));
     /// assert!((fv.fu_lane_pj / ntv.fu_lane_pj - 4.0).abs() < 1e-9);
     /// ```
     #[must_use]
-    pub fn for_tech(tech: &TechModel, vdd: f64) -> Self {
+    pub fn for_tech(tech: &TechModel, vdd: Volts) -> Self {
         let base = Self::ntv_default();
         let nominal = tech.nominal_vdd();
         // ntv_default is calibrated at half the nominal supply.

@@ -8,6 +8,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::lexer::{self, Token};
+use crate::parser;
 use crate::rules::{self, RuleId};
 
 /// What kind of code a file contains, which decides rule applicability.
@@ -84,7 +85,10 @@ impl FileClass {
             // hold a `StreamRng` for legacy sequential checks, but result
             // code must go through the counter-based API. Environment reads
             // are likewise library-only (harnesses may take CLI/env knobs).
-            RuleId::StatefulRng | RuleId::EnvRead => matches!(self, Library),
+            // Unit newtypes likewise police the cross-crate API surface
+            // only: harness and bench code deliberately holds raw `f64`
+            // grids and wraps at the call boundary.
+            RuleId::StatefulRng | RuleId::EnvRead | RuleId::BareUnit => matches!(self, Library),
             RuleId::WallClock => matches!(self, Library | Tool),
             RuleId::HashContainer => matches!(self, Library | Tool),
             RuleId::Unwrap | RuleId::Panic => matches!(self, Library | Tool),
@@ -357,7 +361,11 @@ pub fn lint_source(rel: &Path, source: &str, policy: &Policy) -> Vec<Diagnostic>
     let waivers = parse_waivers(&lexed.comments);
 
     let mut out = Vec::new();
-    for hit in rules::scan(&lexed.tokens) {
+    let mut hits = rules::scan(&lexed.tokens);
+    if class.rule_applies(RuleId::BareUnit) {
+        hits.extend(rules::scan_signatures(&parser::parse(&lexed)));
+    }
+    for hit in hits {
         if !class.rule_applies(hit.rule) {
             continue;
         }
@@ -366,7 +374,11 @@ pub fn lint_source(rel: &Path, source: &str, policy: &Policy) -> Vec<Diagnostic>
         if regions.contains(hit.line)
             && matches!(
                 hit.rule,
-                RuleId::Unwrap | RuleId::Panic | RuleId::HashContainer | RuleId::WallClock
+                RuleId::Unwrap
+                    | RuleId::Panic
+                    | RuleId::HashContainer
+                    | RuleId::WallClock
+                    | RuleId::BareUnit
             )
         {
             continue;
@@ -431,6 +443,10 @@ pub fn collect_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
 }
 
 /// Lint every Rust file in the workspace rooted at `root`.
+///
+/// Diagnostics come back sorted by (file, line, rule), so two runs over the
+/// same tree render byte-identical reports regardless of filesystem
+/// enumeration order.
 pub fn lint_workspace(root: &Path, policy: &Policy) -> io::Result<LintReport> {
     let mut report = LintReport::default();
     for path in collect_rust_files(root)? {
@@ -441,6 +457,7 @@ pub fn lint_workspace(root: &Path, policy: &Policy) -> io::Result<LintReport> {
             .diagnostics
             .extend(lint_source(&rel, &source, policy));
     }
+    report.sort();
     Ok(report)
 }
 
@@ -454,6 +471,12 @@ pub struct LintReport {
 }
 
 impl LintReport {
+    /// Sort diagnostics by (file, line, rule) for byte-identical reports.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
     /// Number of deny-severity diagnostics.
     #[must_use]
     pub fn errors(&self) -> usize {
@@ -585,6 +608,62 @@ mod tests {}
         let d = lint_source(&lib_path(), "let x = y.unwrap();", &policy);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn bare_unit_fires_in_library_but_not_harness_or_bench() {
+        let src = "pub fn solve(vdd: f64) -> f64 { vdd }";
+        let d = lint_source(&lib_path(), src, &Policy::default());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, RuleId::BareUnit);
+        let harness = PathBuf::from("tests/determinism.rs");
+        assert!(lint_source(&harness, src, &Policy::default()).is_empty());
+        let bench = PathBuf::from("crates/bench/src/experiments/fig4.rs");
+        assert!(lint_source(&bench, src, &Policy::default()).is_empty());
+    }
+
+    #[test]
+    fn bare_unit_respects_waivers_and_test_regions() {
+        let waived = "// ntv:allow(bare-unit): plotting boundary, wrapped by the one caller\n\
+                      pub fn solve(vdd: f64) -> f64 { vdd }";
+        assert!(lint_source(&lib_path(), waived, &Policy::default()).is_empty());
+        let in_tests = "#[cfg(test)]\nmod tests {\n    pub fn solve(vdd: f64) -> f64 { vdd }\n}";
+        assert!(lint_source(&lib_path(), in_tests, &Policy::default()).is_empty());
+    }
+
+    #[test]
+    fn reports_sort_by_file_then_line_then_rule() {
+        let mut r = LintReport::default();
+        let diag = |file: &str, line: u32, rule: RuleId| Diagnostic {
+            rule,
+            severity: Severity::Deny,
+            file: PathBuf::from(file),
+            line,
+            message: String::new(),
+        };
+        r.diagnostics = vec![
+            diag("b.rs", 1, RuleId::Unwrap),
+            diag("a.rs", 9, RuleId::Panic),
+            diag("a.rs", 9, RuleId::Unwrap),
+            diag("a.rs", 2, RuleId::Unwrap),
+        ];
+        r.sort();
+        let key: Vec<(String, u32)> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.file.display().to_string(), d.line))
+            .collect();
+        assert_eq!(
+            key,
+            vec![
+                ("a.rs".to_string(), 2),
+                ("a.rs".to_string(), 9),
+                ("a.rs".to_string(), 9),
+                ("b.rs".to_string(), 1),
+            ]
+        );
+        assert_eq!(r.diagnostics[1].rule, RuleId::Unwrap);
+        assert_eq!(r.diagnostics[2].rule, RuleId::Panic);
     }
 
     #[test]

@@ -2,29 +2,33 @@
 //!
 //! The only subcommand today is `lint`: a custom static-analysis pass that
 //! mechanically enforces the workspace's domain invariants (determinism,
-//! float totality, panic hygiene) as deny-by-default diagnostics with
-//! `file:line` spans, a severity/allowlist system, and inline waiver
-//! comments. Run it as `cargo xtask lint` (aliased in `.cargo/config.toml`);
-//! CI treats a non-zero exit as a failed build.
+//! float totality, panic hygiene, unit safety) as deny-by-default
+//! diagnostics with `file:line` spans, a severity/allowlist system, and
+//! inline waiver comments. Run it as `cargo xtask lint` (aliased in
+//! `.cargo/config.toml`); CI treats a non-zero exit as a failed build.
 //!
 //! Design notes:
 //!
-//! * The pass is built on a hand-rolled lexer ([`lexer`]) rather than a full
-//!   parser: the build environment is offline (no `syn`), and every rule is
-//!   a local token pattern, so a comment/string-aware token stream is
-//!   exactly the right level of abstraction — it cannot be fooled by
-//!   `"thread_rng"` in a message string, and it is total over in-progress
-//!   code that does not parse yet.
-//! * Rules ([`rules`]) are pure functions over tokens; the policy layer
-//!   ([`engine`]) decides where they apply (library vs bench vs harness vs
-//!   tool code), applies `#[cfg(test)]` carve-outs, severity overrides and
-//!   waivers, and renders diagnostics.
+//! * The pass is built on a hand-rolled lexer ([`lexer`]) rather than `syn`:
+//!   the build environment is offline, and a comment/string-aware token
+//!   stream cannot be fooled by `"thread_rng"` in a message string while
+//!   staying total over in-progress code that does not parse yet.
+//! * Token-pattern rules are pure functions over that stream; the
+//!   signature-aware family additionally runs a shallow recursive-descent
+//!   declaration parser ([`parser`]) that extracts fn signatures, parameter
+//!   and return types, struct/impl headers and `pub` visibility — still no
+//!   expression parsing, so it inherits the lexer's totality.
+//! * Rules ([`rules`]) produce raw hits; the policy layer ([`engine`])
+//!   decides where they apply (library vs bench vs harness vs tool code),
+//!   applies `#[cfg(test)]` carve-outs, severity overrides and waivers, and
+//!   renders diagnostics (human-readable or `--format json`).
 //! * Fixtures under `tests/fixtures/` pin every rule's behaviour — each bad
 //!   fixture must keep tripping its diagnostic, and the clean fixture plus
 //!   the real workspace must stay quiet.
 
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 pub use engine::{

@@ -19,6 +19,9 @@ lint options:
   --rule <name>    only report the named rule (repeatable; short or
                    ntv::-prefixed names)
   --quiet          print only the summary line
+  --format <fmt>   output format: text (default) or json — json emits a
+                   stable (file, line, rule)-sorted array on stdout and the
+                   summary on stderr
 
 exit status: 0 clean, 1 deny-level diagnostics found, 2 usage or I/O error";
 
@@ -41,9 +44,16 @@ fn main() -> ExitCode {
     }
 }
 
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn lint(args: &[String]) -> ExitCode {
     let mut warn_only = false;
     let mut quiet = false;
+    let mut format = Format::Text;
     let mut only_rules: Vec<RuleId> = Vec::new();
     let mut paths: Vec<PathBuf> = Vec::new();
 
@@ -62,6 +72,14 @@ fn lint(args: &[String]) -> ExitCode {
                 Some(rule) => only_rules.push(rule),
                 None => {
                     eprintln!("xtask lint: --rule needs a known rule name (see --list-rules)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => {
+                    eprintln!("xtask lint: --format needs `text` or `json`");
                     return ExitCode::from(2);
                 }
             },
@@ -99,11 +117,15 @@ fn lint(args: &[String]) -> ExitCode {
                 .diagnostics
                 .extend(engine::lint_source(rel, &source, &policy));
         }
+        // Explicit paths sort the same way the workspace walk does, so a
+        // report is byte-identical however the file list was assembled.
+        report.sort();
         report
     };
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut shown = Vec::new();
     for diag in &report.diagnostics {
         if !only_rules.is_empty() && !only_rules.contains(&diag.rule) {
             continue;
@@ -113,20 +135,75 @@ fn lint(args: &[String]) -> ExitCode {
             Severity::Warn => warnings += 1,
             Severity::Allow => continue,
         }
-        if !quiet {
+        shown.push(diag);
+    }
+
+    if format == Format::Json {
+        println!("{}", render_json(&shown));
+    } else if !quiet {
+        for diag in &shown {
             println!("{diag}\n");
         }
     }
 
-    println!(
+    let summary = format!(
         "xtask lint: {errors} error{}, {warnings} warning{} across {} files",
         if errors == 1 { "" } else { "s" },
         if warnings == 1 { "" } else { "s" },
         report.files_scanned,
     );
+    // In json mode stdout is reserved for the (machine-read) report.
+    if format == Format::Json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
     if errors > 0 && !warn_only {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Render diagnostics as a stable JSON array: objects with `file`, `line`,
+/// `rule`, `severity`, `message` keys in that order, input order preserved
+/// (already sorted by (file, line, rule)).
+fn render_json(diags: &[&engine::Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let severity = match d.severity {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Allow => "allow",
+        };
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"severity\": \"{severity}\", \"message\": \"{}\"}}",
+            json_escape(&d.file.display().to_string().replace('\\', "/")),
+            d.line,
+            d.rule.name(),
+            json_escape(&d.message),
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

@@ -1,0 +1,672 @@
+//! Signature-aware parsing layer: a hand-rolled recursive-descent pass over
+//! the [`lexer`](crate::lexer) token stream that extracts item *declarations*
+//! — function signatures with parameter and return types, struct and impl
+//! headers, and `pub` visibility — without needing `syn` (the build
+//! environment is offline).
+//!
+//! The parser is deliberately shallow: it never descends into expression
+//! bodies, so it is total over in-progress code, and it only understands as
+//! much of the declaration grammar as the signature-level rules
+//! ([`rules::scan_signatures`](crate::rules::scan_signatures)) consume:
+//!
+//! * generic parameter lists are skipped by bracket balancing (with `->`
+//!   inside `Fn(..) -> ..` bounds handled so the `>` is not miscounted);
+//! * `pub(crate)` / `pub(super)` count as **not** public — the rules police
+//!   the workspace-external API surface only;
+//! * each item records the contiguous `///` doc block above it (attributes
+//!   between the docs and the item are skipped);
+//! * `macro_rules!` bodies are excluded wholesale: `$name:ident` fragments
+//!   make token-level "signatures" meaningless there.
+
+use crate::lexer::{LexedFile, Token, TokenKind};
+
+/// One `name: Type` parameter of a function signature.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Parameter pattern as written (usually a plain identifier).
+    pub name: String,
+    /// Rendered type (idents and puncts, no whitespace except between
+    /// adjacent identifiers), e.g. `f64`, `&[Volts]`, `(f64,f64)`.
+    pub ty: String,
+    /// 1-based line the parameter name starts on.
+    pub line: u32,
+}
+
+/// An extracted function signature.
+#[derive(Debug, Clone)]
+pub struct FnSig {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `pub` exactly; `pub(crate)` / `pub(super)` are not public API.
+    pub is_pub: bool,
+    /// Non-receiver parameters (any `self` form is skipped).
+    pub params: Vec<Param>,
+    /// Rendered return type, if the signature has `->`.
+    pub ret: Option<String>,
+    /// Joined `///` doc block above the item (empty when undocumented).
+    pub doc: String,
+    /// Self-type name when declared inside an `impl` block.
+    pub in_impl: Option<String>,
+}
+
+/// A struct declaration header.
+#[derive(Debug, Clone)]
+pub struct StructDecl {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// `pub` exactly (same rule as [`FnSig::is_pub`]).
+    pub is_pub: bool,
+}
+
+/// An impl-block header.
+#[derive(Debug, Clone)]
+pub struct ImplDecl {
+    /// The self type's final path segment (`Volts` for
+    /// `impl fmt::Display for Volts`).
+    pub self_ty: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+}
+
+/// Every declaration extracted from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All function signatures, in source order.
+    pub fns: Vec<FnSig>,
+    /// All struct declarations, in source order.
+    pub structs: Vec<StructDecl>,
+    /// All impl-block headers, in source order.
+    pub impls: Vec<ImplDecl>,
+}
+
+impl ParsedFile {
+    /// Is the struct named `name` declared `pub` in this file?
+    ///
+    /// Returns `None` when the file declares no such struct (the type may
+    /// live elsewhere, so callers should treat unknown as public).
+    #[must_use]
+    pub fn struct_is_pub(&self, name: &str) -> Option<bool> {
+        self.structs
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.is_pub)
+    }
+}
+
+/// Parse one lexed file into its declarations.
+#[must_use]
+pub fn parse(lexed: &LexedFile) -> ParsedFile {
+    let tokens = &lexed.tokens;
+    let macro_spans = macro_rules_spans(tokens);
+    let impl_spans = impl_spans(tokens, &macro_spans);
+    let doc_lines = doc_comment_lines(lexed);
+
+    let mut out = ParsedFile {
+        impls: impl_spans
+            .iter()
+            .map(|s| ImplDecl {
+                self_ty: s.self_ty.clone(),
+                line: s.line,
+            })
+            .collect(),
+        ..ParsedFile::default()
+    };
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if in_any_span(&macro_spans, i) {
+            i += 1;
+            continue;
+        }
+        match tokens[i].ident() {
+            Some("struct") => {
+                if let Some(name_tok) = tokens.get(i + 1).and_then(Token::ident) {
+                    let (is_pub, _) = visibility_before(tokens, i, &doc_lines);
+                    out.structs.push(StructDecl {
+                        name: name_tok.to_owned(),
+                        line: tokens[i].line,
+                        is_pub,
+                    });
+                }
+                i += 1;
+            }
+            Some("fn") => {
+                let (sig, next) = parse_fn(lexed, i, &doc_lines, &impl_spans);
+                if let Some(sig) = sig {
+                    out.fns.push(sig);
+                }
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// A half-open token-index span with metadata.
+struct Span {
+    start: usize,
+    end: usize,
+    self_ty: String,
+    line: u32,
+}
+
+fn in_any_span(spans: &[Span], i: usize) -> bool {
+    spans.iter().any(|s| (s.start..s.end).contains(&i))
+}
+
+/// Token spans of `macro_rules! name { .. }` bodies.
+fn macro_rules_spans(tokens: &[Token]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].ident() == Some("macro_rules")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            // Skip to the delimiter that opens the rule set and balance it.
+            let mut j = i + 2;
+            while let Some(t) = tokens.get(j) {
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                    break;
+                }
+                j += 1;
+            }
+            let end = skip_balanced(tokens, j);
+            spans.push(Span {
+                start: i,
+                end,
+                self_ty: String::new(),
+                line: tokens[i].line,
+            });
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Token spans of `impl .. { .. }` bodies with the self type's last path
+/// segment (`impl Display for Volts` → `Volts`; `impl<T> Foo<T>` → `Foo`).
+fn impl_spans(tokens: &[Token], macro_spans: &[Span]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].ident() != Some("impl") || in_any_span(macro_spans, i) {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = skip_generics(tokens, j);
+        }
+        // Read the first type path; if `for` follows, the second path is the
+        // self type (`impl Trait for Type`).
+        let (first, after_first) = read_type_path(tokens, j);
+        let (self_ty, mut k) = if tokens.get(after_first).and_then(Token::ident) == Some("for") {
+            read_type_path(tokens, after_first + 1)
+        } else {
+            (first, after_first)
+        };
+        // Skip a `where` clause (and anything else) up to the body brace.
+        while let Some(t) = tokens.get(k) {
+            if t.is_punct('{') {
+                break;
+            }
+            k += 1;
+        }
+        let end = skip_balanced(tokens, k);
+        spans.push(Span {
+            start: k,
+            end,
+            self_ty,
+            line,
+        });
+        i = k.max(i + 1);
+    }
+    spans
+}
+
+/// Read a type path starting at `i`; return its final segment name and the
+/// index just past the path (generic arguments skipped by balancing).
+fn read_type_path(tokens: &[Token], mut i: usize) -> (String, usize) {
+    let mut last = String::new();
+    loop {
+        match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) => {
+                last = s.clone();
+                i += 1;
+            }
+            Some(TokenKind::Punct(':')) => i += 1,
+            Some(TokenKind::Punct('<')) => i = skip_generics(tokens, i),
+            _ => break,
+        }
+    }
+    (last, i)
+}
+
+/// From an opening `<` at `i`, return the index just past the matching `>`.
+/// `->` arrows inside `Fn(..) -> ..` bounds are skipped so their `>` is not
+/// miscounted as a closer.
+fn skip_generics(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = tokens.get(i) {
+        if t.is_punct('-') && tokens.get(i + 1).is_some_and(|n| n.is_punct('>')) {
+            i += 2;
+            continue;
+        }
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// From an opening `(`/`[`/`{` at `i`, return the index just past its match.
+fn skip_balanced(tokens: &[Token], open: usize) -> usize {
+    let Some(first) = tokens.get(open) else {
+        return open;
+    };
+    let (o, c) = match &first.kind {
+        TokenKind::Punct('(') => ('(', ')'),
+        TokenKind::Punct('[') => ('[', ']'),
+        TokenKind::Punct('{') => ('{', '}'),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = tokens.get(i) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// 1-based lines that hold `///` doc comments.
+fn doc_comment_lines(lexed: &LexedFile) -> Vec<u32> {
+    lexed
+        .comments
+        .iter()
+        .filter(|c| c.text.starts_with("///") && !c.text.starts_with("////"))
+        .map(|c| c.line)
+        .collect()
+}
+
+/// Joined text of the contiguous `///` block ending on `end_line`.
+fn doc_block_ending_at(lexed: &LexedFile, end_line: u32) -> String {
+    let mut lines: Vec<&str> = Vec::new();
+    let mut want = end_line;
+    for c in lexed.comments.iter().rev() {
+        if c.line == want && c.text.starts_with("///") && !c.text.starts_with("////") {
+            lines.push(c.text.trim_start_matches('/').trim());
+            want = want.saturating_sub(1);
+        }
+    }
+    lines.reverse();
+    lines.join("\n")
+}
+
+/// Look backwards from the item keyword at `i` over modifiers
+/// (`const` / `async` / `unsafe` / `extern "C"` / `default`) and attributes
+/// to find the visibility and the first line of the whole item (where the
+/// doc block must end).
+fn visibility_before(tokens: &[Token], i: usize, _doc_lines: &[u32]) -> (bool, u32) {
+    let mut is_pub = false;
+    let mut start_line = tokens[i].line;
+    let mut j = i;
+    while j > 0 {
+        let prev = &tokens[j - 1];
+        match &prev.kind {
+            TokenKind::Ident(s)
+                if matches!(
+                    s.as_str(),
+                    "const" | "async" | "unsafe" | "extern" | "default"
+                ) =>
+            {
+                j -= 1;
+                start_line = prev.line;
+            }
+            // The ABI string of `extern "C"`.
+            TokenKind::Literal => {
+                if j >= 2 && tokens[j - 2].ident() == Some("extern") {
+                    j -= 1;
+                    start_line = prev.line;
+                } else {
+                    break;
+                }
+            }
+            // `pub` or the tail of `pub(crate)` / `pub(super)`.
+            TokenKind::Punct(')') => {
+                // Walk back to the matching `(`; if `pub` precedes it this
+                // is a restricted visibility — counted as non-public.
+                let mut depth = 0usize;
+                let mut k = j - 1;
+                loop {
+                    if tokens[k].is_punct(')') {
+                        depth += 1;
+                    } else if tokens[k].is_punct('(') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                if k > 0 && tokens[k - 1].ident() == Some("pub") {
+                    start_line = tokens[k - 1].line;
+                    j = k - 1;
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Ident(s) if s == "pub" => {
+                is_pub = true;
+                start_line = prev.line;
+                j -= 1;
+            }
+            // An attribute `#[..]` ends right before the item head.
+            TokenKind::Punct(']') => {
+                let mut depth = 0usize;
+                let mut k = j - 1;
+                loop {
+                    if tokens[k].is_punct(']') {
+                        depth += 1;
+                    } else if tokens[k].is_punct('[') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                if k > 0 && tokens[k - 1].is_punct('#') {
+                    start_line = tokens[k - 1].line;
+                    j = k - 1;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (is_pub, start_line)
+}
+
+/// Render declaration-position tokens back to compact source text.
+fn render(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    let mut prev_ident = false;
+    for t in tokens {
+        match &t.kind {
+            TokenKind::Ident(id) => {
+                if prev_ident {
+                    s.push(' ');
+                }
+                s.push_str(id);
+                prev_ident = true;
+            }
+            TokenKind::Punct(c) => {
+                s.push(*c);
+                prev_ident = false;
+            }
+            TokenKind::Literal => {
+                if prev_ident {
+                    s.push(' ');
+                }
+                s.push_str("<lit>");
+                prev_ident = true;
+            }
+        }
+    }
+    s
+}
+
+/// Parse the signature of the `fn` keyword at index `i`. Returns the
+/// signature (None for malformed heads) and the index to resume scanning at
+/// (just past the parameter list — bodies are scanned for nested items by
+/// the main loop).
+fn parse_fn(
+    lexed: &LexedFile,
+    i: usize,
+    doc_lines: &[u32],
+    impl_spans: &[Span],
+) -> (Option<FnSig>, usize) {
+    let tokens = &lexed.tokens;
+    let line = tokens[i].line;
+    let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+        return (None, i + 1);
+    };
+    let (is_pub, start_line) = visibility_before(tokens, i, doc_lines);
+
+    let mut j = i + 2;
+    if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+        j = skip_generics(tokens, j);
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+        return (None, i + 1);
+    }
+    let params_end = skip_balanced(tokens, j);
+    let params = parse_params(&tokens[j + 1..params_end.saturating_sub(1)]);
+
+    // Optional `-> Type`, terminated by `{`, `;` or a `where` clause.
+    let mut ret = None;
+    let mut k = params_end;
+    if tokens.get(k).is_some_and(|t| t.is_punct('-'))
+        && tokens.get(k + 1).is_some_and(|t| t.is_punct('>'))
+    {
+        k += 2;
+        let ret_start = k;
+        let mut depth = 0usize;
+        while let Some(t) = tokens.get(k) {
+            match &t.kind {
+                TokenKind::Punct('<' | '(' | '[') => depth += 1,
+                TokenKind::Punct('>' | ')' | ']') => depth = depth.saturating_sub(1),
+                TokenKind::Punct('{' | ';') if depth == 0 => break,
+                TokenKind::Ident(s) if depth == 0 && s == "where" => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        ret = Some(render(&tokens[ret_start..k]));
+    }
+
+    // Doc block: contiguous `///` run ending on the line above the item head
+    // (visibility / attributes included in "head").
+    let doc = if doc_lines.contains(&start_line.saturating_sub(1)) {
+        doc_block_ending_at(lexed, start_line.saturating_sub(1))
+    } else {
+        String::new()
+    };
+
+    let in_impl = impl_spans
+        .iter()
+        .rev()
+        .find(|s| (s.start..s.end).contains(&i))
+        .map(|s| s.self_ty.clone());
+
+    (
+        Some(FnSig {
+            name: name.to_owned(),
+            line,
+            is_pub,
+            params,
+            ret,
+            doc,
+            in_impl,
+        }),
+        params_end,
+    )
+}
+
+/// Split a parameter-list token slice on top-level commas and extract
+/// `name: Type` pairs, skipping any `self` receiver and attributes.
+fn parse_params(tokens: &[Token]) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth = 0usize;
+    let mut seg_start = 0usize;
+    let mut segments: Vec<&[Token]> = Vec::new();
+    for (idx, t) in tokens.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Punct('(' | '[' | '{' | '<') => depth += 1,
+            TokenKind::Punct(')' | ']' | '}' | '>') => depth = depth.saturating_sub(1),
+            TokenKind::Punct(',') if depth == 0 => {
+                segments.push(&tokens[seg_start..idx]);
+                seg_start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    if seg_start < tokens.len() {
+        segments.push(&tokens[seg_start..]);
+    }
+
+    for seg in segments {
+        // Strip leading attributes and `mut`.
+        let mut s = seg;
+        while s.first().is_some_and(|t| t.is_punct('#')) {
+            let end = skip_balanced(s, 1);
+            s = &s[end..];
+        }
+        if s.first().and_then(Token::ident) == Some("mut") {
+            s = &s[1..];
+        }
+        // A receiver: `self`, `&self`, `&'a mut self`, `mut self`, ...
+        let first_ident = s.iter().find_map(|t| t.ident());
+        if first_ident == Some("self") {
+            continue;
+        }
+        // Find the top-level `:` splitting pattern from type (`::` never
+        // appears at depth 0 on the pattern side of a declaration).
+        let mut d = 0usize;
+        let mut colon = None;
+        for (idx, t) in s.iter().enumerate() {
+            match &t.kind {
+                TokenKind::Punct('(' | '[' | '{' | '<') => d += 1,
+                TokenKind::Punct(')' | ']' | '}' | '>') => d = d.saturating_sub(1),
+                TokenKind::Punct(':') if d == 0 => {
+                    colon = Some(idx);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(colon) = colon else { continue };
+        let (pat, ty) = s.split_at(colon);
+        if pat.is_empty() {
+            continue;
+        }
+        params.push(Param {
+            name: render(pat),
+            ty: render(&ty[1..]),
+            line: pat[0].line,
+        });
+    }
+    params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn extracts_free_fn_signature() {
+        let p = parse_src("/// Supply in volts.\npub fn f(vdd: f64, n: usize) -> f64 { 0.0 }");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "f");
+        assert!(f.is_pub);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "vdd");
+        assert_eq!(f.params[0].ty, "f64");
+        assert_eq!(f.params[1].ty, "usize");
+        assert_eq!(f.ret.as_deref(), Some("f64"));
+    }
+
+    #[test]
+    fn methods_record_their_impl_type_and_skip_self() {
+        let p = parse_src(
+            "pub struct Gate;\nimpl Gate {\n    pub fn delay(&self, vdd: f64) -> f64 { vdd }\n}",
+        );
+        assert_eq!(p.structs.len(), 1);
+        assert!(p.structs[0].is_pub);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].in_impl.as_deref(), Some("Gate"));
+        assert_eq!(p.fns[0].params.len(), 1);
+        assert_eq!(p.fns[0].params[0].name, "vdd");
+    }
+
+    #[test]
+    fn trait_impl_self_type_is_the_for_type() {
+        let p = parse_src("impl std::fmt::Display for Volts { fn fmt(&self) -> Out { x } }");
+        assert_eq!(p.impls.len(), 1);
+        assert_eq!(p.impls[0].self_ty, "Volts");
+    }
+
+    #[test]
+    fn pub_crate_is_not_public() {
+        let p = parse_src("pub(crate) fn hidden(vdd: f64) {}");
+        assert_eq!(p.fns.len(), 1);
+        assert!(!p.fns[0].is_pub);
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_do_not_derail() {
+        let p = parse_src("pub fn map<F: Fn(f64) -> f64>(vdd: f64, f: F) -> f64 { f(vdd) }");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].params.len(), 2);
+        assert_eq!(p.fns[0].params[0].ty, "f64");
+        assert_eq!(p.fns[0].ret.as_deref(), Some("f64"));
+    }
+
+    #[test]
+    fn tuple_types_render_compactly() {
+        let p = parse_src("pub fn bounds() -> (f64, f64) { (0.0, 1.0) }");
+        assert_eq!(p.fns[0].ret.as_deref(), Some("(f64,f64)"));
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let p = parse_src(
+            "macro_rules! gen { () => { pub fn vdd_volts(vdd: f64) {} }; }\npub fn real() {}",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "real");
+    }
+
+    #[test]
+    fn attributes_between_doc_and_fn_keep_the_doc() {
+        let src = "/// Voltage in volts.\n#[must_use]\npub fn nominal_vdd() -> f64 { 1.0 }";
+        let p = parse_src(src);
+        assert!(!p.fns[0].doc.is_empty(), "{:?}", p.fns[0]);
+    }
+}

@@ -14,8 +14,14 @@
 //! * **Panic hygiene** — library crates must not contain bare `unwrap()` or
 //!   `panic!`-family macros; propagate errors or use `expect` with a
 //!   documented invariant.
+//! * **Unit safety** — public library APIs must not pass physical quantities
+//!   (volts, seconds, hertz, watts, kelvin) as bare `f64`; use the
+//!   `ntv-units` newtypes so the compiler rejects a voltage where a time is
+//!   expected. This family is signature-aware: it runs on the
+//!   [`parser`](crate::parser) extraction, not the raw token stream.
 
 use crate::lexer::Token;
+use crate::parser::ParsedFile;
 
 /// Identity of a lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -40,6 +46,9 @@ pub enum RuleId {
     /// `panic!` / `todo!` / `unimplemented!` (and argument-less
     /// `unreachable!()`) in library code.
     Panic,
+    /// Bare `f64` (or f64 tuple) carrying a physical unit in a public
+    /// library signature — use the `ntv-units` newtypes instead.
+    BareUnit,
     /// Malformed `ntv:allow(..)` waiver comment (missing rule or reason).
     BadWaiver,
 }
@@ -55,6 +64,7 @@ impl RuleId {
         RuleId::PartialCmpUnwrap,
         RuleId::Unwrap,
         RuleId::Panic,
+        RuleId::BareUnit,
         RuleId::BadWaiver,
     ];
 
@@ -70,6 +80,7 @@ impl RuleId {
             RuleId::PartialCmpUnwrap => "ntv::partial-cmp-unwrap",
             RuleId::Unwrap => "ntv::unwrap",
             RuleId::Panic => "ntv::panic",
+            RuleId::BareUnit => "ntv::bare-unit",
             RuleId::BadWaiver => "ntv::bad-waiver",
         }
     }
@@ -86,6 +97,7 @@ impl RuleId {
             RuleId::PartialCmpUnwrap => "partial-cmp-unwrap",
             RuleId::Unwrap => "unwrap",
             RuleId::Panic => "panic",
+            RuleId::BareUnit => "bare-unit",
             RuleId::BadWaiver => "bad-waiver",
         }
     }
@@ -135,6 +147,12 @@ impl RuleId {
             RuleId::Panic => {
                 "library code must return `Result`; reserve panics for \
                  documented invariants via `expect`/`assert!` with a message"
+            }
+            RuleId::BareUnit => {
+                "physical quantities in public signatures must use the \
+                 `ntv-units` newtypes (`Volts`, `Seconds`, `Hertz`, `Watts`, \
+                 `Kelvin`) so unit mix-ups fail to compile; scale-suffixed \
+                 names (`_ps`, `_mv`, `_fo4`, ...) stay `f64` by convention"
             }
             RuleId::BadWaiver => {
                 "waivers must name a rule and give a reason: \
@@ -228,6 +246,118 @@ pub fn scan(tokens: &[Token]) -> Vec<Hit> {
         }
     }
     hits
+}
+
+/// Scan extracted declarations for the signature-aware `ntv::bare-unit`
+/// family. Only *public* functions are policed (and methods only when their
+/// self type is not a private struct of the same file): the rule protects
+/// the API surface other crates consume.
+#[must_use]
+pub fn scan_signatures(parsed: &ParsedFile) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for f in &parsed.fns {
+        if !f.is_pub {
+            continue;
+        }
+        if let Some(self_ty) = &f.in_impl {
+            if parsed.struct_is_pub(self_ty) == Some(false) {
+                continue;
+            }
+        }
+        for p in &f.params {
+            if is_bare_f64(&p.ty) && has_unit_segment(&p.name) && !has_scale_segment(&p.name) {
+                hits.push(Hit {
+                    rule: RuleId::BareUnit,
+                    line: p.line,
+                    message: format!(
+                        "parameter `{}: {}` of public fn `{}` carries a physical unit as bare f64",
+                        p.name, p.ty, f.name
+                    ),
+                });
+            }
+        }
+        if let Some(ret) = &f.ret {
+            if is_bare_f64(ret)
+                && !has_scale_segment(&f.name)
+                && (has_unit_segment(&f.name) || doc_names_unit(&f.doc).is_some())
+            {
+                let why = if has_unit_segment(&f.name) {
+                    "its name".to_string()
+                } else {
+                    // Checked by the condition above.
+                    let unit = doc_names_unit(&f.doc).unwrap_or("a unit");
+                    format!("its doc (\"in {unit}\")")
+                };
+                hits.push(Hit {
+                    rule: RuleId::BareUnit,
+                    line: f.line,
+                    message: format!(
+                        "public fn `{}` returns `{ret}` but {why} names a physical unit",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+    hits
+}
+
+/// `f64` itself, or a tuple type containing only `f64` fields.
+fn is_bare_f64(ty: &str) -> bool {
+    if ty == "f64" {
+        return true;
+    }
+    ty.strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .is_some_and(|inner| {
+            let mut any = false;
+            for field in inner.split(',').filter(|f| !f.is_empty()) {
+                if field != "f64" {
+                    return false;
+                }
+                any = true;
+            }
+            any
+        })
+}
+
+/// Snake-case segments that *are* a physical quantity: a parameter named
+/// `vdd` or `half_life_seconds` holds volts/seconds and must be typed so.
+const UNIT_SEGMENTS: &[&str] = &[
+    "vdd", "vth", "volt", "volts", "voltage", "kelvin", "hertz", "hz", "watt", "watts", "seconds",
+    "secs",
+];
+
+/// Scale-suffix segments exempting a name: by workspace convention these are
+/// plain numbers in a *stated* scale (`t_clk_ns`, `margin_mv`,
+/// `fo4_unit_ps`) and the SI-base newtypes would force silent rescaling.
+const SCALE_SEGMENTS: &[&str] = &[
+    "ps", "ns", "us", "ms", "fs", "fj", "pj", "nj", "mv", "uv", "ghz", "mhz", "khz", "mw", "uw",
+    "fo4", "pct",
+];
+
+fn segments(name: &str) -> impl Iterator<Item = String> + '_ {
+    name.split(|c: char| !c.is_alphanumeric())
+        .filter(|s| !s.is_empty())
+        .map(str::to_lowercase)
+}
+
+fn has_unit_segment(name: &str) -> bool {
+    segments(name).any(|s| UNIT_SEGMENTS.contains(&s.as_str()))
+}
+
+fn has_scale_segment(name: &str) -> bool {
+    segments(name).any(|s| SCALE_SEGMENTS.contains(&s.as_str()))
+}
+
+/// Does the doc comment explicitly state the value's unit (`... in volts`)?
+/// Restricted to the `in <unit>` phrase so prose that merely *mentions*
+/// voltage (e.g. "at the given supply") does not flag dimensionless returns.
+fn doc_names_unit(doc: &str) -> Option<&'static str> {
+    let doc = doc.to_lowercase();
+    ["volts", "seconds", "hertz", "watts", "kelvin"]
+        .into_iter()
+        .find(|unit| doc.contains(&format!("in {unit}")))
 }
 
 /// Is token `i` followed by `::name`?
@@ -411,5 +541,54 @@ mod tests {
     #[test]
     fn macro_definitions_are_not_invocations() {
         assert!(rules_hit("macro_rules! panic { () => {} }").is_empty());
+    }
+
+    fn sig_hits(src: &str) -> Vec<Hit> {
+        scan_signatures(&crate::parser::parse(&lex(src)))
+    }
+
+    #[test]
+    fn bare_unit_flags_unit_named_f64_params_on_public_fns() {
+        let hits = sig_hits("pub fn delay(vdd: f64, n: usize) -> f64 { 0.0 }");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, RuleId::BareUnit);
+        assert!(hits[0].message.contains("vdd"), "{}", hits[0].message);
+        // Private and crate-restricted functions are not API surface.
+        assert!(sig_hits("fn delay(vdd: f64) -> f64 { 0.0 }").is_empty());
+        assert!(sig_hits("pub(crate) fn delay(vdd: f64) -> f64 { 0.0 }").is_empty());
+    }
+
+    #[test]
+    fn bare_unit_flags_unit_named_returns_and_doc_units() {
+        assert_eq!(sig_hits("pub fn nominal_vdd() -> f64 { 0.9 }").len(), 1);
+        let doc = "/// Critical-path period, in seconds.\npub fn period() -> f64 { 1e-9 }";
+        assert_eq!(sig_hits(doc).len(), 1);
+        // Prose mentioning a quantity without stating the unit is fine.
+        let prose =
+            "/// Yield at the given supply voltage point.\npub fn yield_at() -> f64 { 0.9 }";
+        assert!(sig_hits(prose).is_empty());
+    }
+
+    #[test]
+    fn bare_unit_exempts_scale_suffixed_names_and_newtypes() {
+        assert!(sig_hits("pub fn fo4_unit_ps(vdd_mv: f64) -> f64 { 441.0 }").is_empty());
+        assert!(sig_hits("pub fn target_delay_ns() -> f64 { 22.0 }").is_empty());
+        assert!(sig_hits("pub fn delay(vdd: Volts) -> Seconds { Seconds(0.0) }").is_empty());
+        // Slices/containers of f64 are aggregates, not a single quantity.
+        assert!(sig_hits("pub fn vdd_grid() -> Vec<f64> { vec![] }").is_empty());
+    }
+
+    #[test]
+    fn bare_unit_flags_f64_tuples_and_private_impl_methods_pass() {
+        assert_eq!(
+            sig_hits("pub fn vdd_bounds() -> (f64, f64) { (0.0, 1.0) }").len(),
+            1
+        );
+        let private_impl =
+            "struct Inner;\nimpl Inner {\n    pub fn vth_shift(&self) -> f64 { 0.0 }\n}";
+        assert!(sig_hits(private_impl).is_empty());
+        let public_impl =
+            "pub struct Outer;\nimpl Outer {\n    pub fn vth_shift(&self) -> f64 { 0.0 }\n}";
+        assert_eq!(sig_hits(public_impl).len(), 1);
     }
 }

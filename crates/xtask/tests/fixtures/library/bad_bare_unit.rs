@@ -1,0 +1,29 @@
+//! Fixture: physical quantities as bare `f64` in public signatures must
+//! trigger `ntv::bare-unit`.
+
+/// Scale factor applied on top of the nominal gate delay.
+pub struct Derater {
+    scale: f64,
+}
+
+impl Derater {
+    /// Derated delay at the given supply.
+    pub fn delay_ps(&self, vdd: f64) -> f64 {
+        self.scale * 100.0 / vdd
+    }
+}
+
+/// Nominal supply for this corner.
+pub fn nominal_vdd() -> f64 {
+    0.9
+}
+
+/// Critical-path period, in seconds.
+pub fn clock_period() -> f64 {
+    1.0e-9
+}
+
+/// Safe operating window for the supply.
+pub fn vdd_bounds() -> (f64, f64) {
+    (0.4, 1.0)
+}

@@ -1,0 +1,20 @@
+//! Fixture: a justified inline waiver silences `ntv::bare-unit`, and the
+//! rule's carve-outs (scale suffixes, wrapped types, aggregates) stay quiet
+//! without one.
+
+/// Raw supply sweep start, kept as `f64` at the plotting boundary.
+// ntv:allow(bare-unit): serialization boundary; the one caller wraps into Volts
+pub fn sweep_start(vdd_min: f64) -> Vec<f64> {
+    vec![vdd_min]
+}
+
+/// FO4 unit at the margined operating point (picoseconds — scale-suffixed
+/// names are plain numbers in a stated scale by workspace convention).
+pub fn fo4_unit_ps(margin_mv: f64) -> f64 {
+    441.0 + margin_mv
+}
+
+/// Newtype-carrying signatures are exactly what the rule wants.
+pub fn solve(vdd: Volts) -> Seconds {
+    Seconds(vdd.get() * 1.0e-9)
+}

@@ -41,6 +41,7 @@ fn each_bad_library_fixture_triggers_its_rule() {
         ("library/bad_partial_cmp.rs", RuleId::PartialCmpUnwrap),
         ("library/bad_unwrap.rs", RuleId::Unwrap),
         ("library/bad_panic.rs", RuleId::Panic),
+        ("library/bad_bare_unit.rs", RuleId::BareUnit),
         ("library/bad_waiver.rs", RuleId::BadWaiver),
     ];
     for (rel, rule) in cases {
@@ -56,6 +57,24 @@ fn each_bad_library_fixture_triggers_its_rule() {
 #[test]
 fn clean_library_fixture_passes() {
     assert_eq!(lint_rules("library/clean.rs"), vec![], "library/clean.rs");
+}
+
+#[test]
+fn bare_unit_fixture_flags_every_shape_and_waiver_silences() {
+    let source =
+        std::fs::read_to_string(fixture("library/bad_bare_unit.rs")).expect("fixture exists");
+    let ws_rel = Path::new("crates/xtask/tests/fixtures/library/bad_bare_unit.rs");
+    let diags = engine::lint_source(ws_rel, &source, &Policy::default());
+    // vdd param, nominal_vdd return, doc-typed clock_period return, and the
+    // (f64, f64) vdd_bounds tuple.
+    assert_eq!(diags.len(), 4, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == RuleId::BareUnit));
+
+    assert_eq!(
+        lint_rules("library/waived_bare_unit.rs"),
+        vec![],
+        "library/waived_bare_unit.rs"
+    );
 }
 
 #[test]
@@ -128,4 +147,53 @@ fn binary_exit_codes_match_the_contract() {
         Some(0),
         "--warn-only must always exit 0"
     );
+}
+
+/// `--format json` emits a parseable, (file, line, rule)-sorted report on
+/// stdout that is byte-identical across runs; the summary goes to stderr.
+#[test]
+fn json_format_is_stable_and_machine_readable() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let run = || {
+        Command::new(bin)
+            .args(["lint", "--format", "json", "--warn-only"])
+            .arg(fixture("library/bad_bare_unit.rs"))
+            .arg(fixture("library/bad_unwrap.rs"))
+            .output()
+            .expect("xtask runs")
+    };
+
+    let a = run();
+    let b = run();
+    assert_eq!(a.stdout, b.stdout, "json report must be byte-identical");
+    let stdout = String::from_utf8(a.stdout).expect("utf-8 json");
+    assert!(stdout.trim_start().starts_with('['), "{stdout}");
+    assert!(stdout.trim_end().ends_with(']'), "{stdout}");
+    for key in [
+        "\"file\":",
+        "\"line\":",
+        "\"rule\":",
+        "\"severity\":",
+        "\"message\":",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    assert!(stdout.contains("ntv::bare-unit"), "{stdout}");
+    assert!(stdout.contains("ntv::unwrap"), "{stdout}");
+    // Sorted by file: bad_bare_unit.rs diagnostics come before bad_unwrap.rs.
+    let first = stdout.find("bad_bare_unit.rs").expect("bare-unit file");
+    let second = stdout.find("bad_unwrap.rs").expect("unwrap file");
+    assert!(first < second, "{stdout}");
+    // The summary must not pollute the machine-read stream.
+    assert!(!stdout.contains("xtask lint:"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&a.stderr);
+    assert!(stderr.contains("xtask lint:"), "{stderr}");
+
+    // An empty report is the empty array, not the empty string.
+    let clean = Command::new(bin)
+        .args(["lint", "--format", "json"])
+        .arg(fixture("library/clean.rs"))
+        .output()
+        .expect("xtask runs");
+    assert_eq!(String::from_utf8_lossy(&clean.stdout).trim(), "[]");
 }

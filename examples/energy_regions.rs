@@ -8,6 +8,7 @@
 
 use ntv_simd::device::energy::EnergyModel;
 use ntv_simd::device::{TechModel, TechNode};
+use ntv_simd::units::Volts;
 
 fn main() {
     let node: TechNode = std::env::args()
@@ -22,10 +23,10 @@ fn main() {
         "{:>6} {:>16} {:>12} {:>12} {:>12} {:>12}",
         "Vdd", "region", "E_sw (fJ)", "E_leak (fJ)", "E_total (fJ)", "delay (ns)"
     );
-    for p in energy.sweep(0.15, tech.nominal_vdd(), 30) {
+    for p in energy.sweep(Volts(0.15), tech.nominal_vdd(), 30) {
         println!(
             "{:>5.2}V {:>16} {:>12.1} {:>12.2} {:>12.1} {:>12.2}",
-            p.vdd,
+            p.vdd.get(),
             tech.region(p.vdd).to_string(),
             p.switching_fj,
             p.leakage_fj,
@@ -35,12 +36,12 @@ fn main() {
     }
 
     let minimum = energy.minimum_energy_point();
-    let ntv = energy.point(0.5);
+    let ntv = energy.point(Volts(0.5));
     let nominal = energy.point(tech.nominal_vdd());
     println!(
         "\nminimum-energy point: {:.1} fJ at {:.2} V ({}), but {:.0}x slower than nominal",
         minimum.total_fj,
-        minimum.vdd,
+        minimum.vdd.get(),
         tech.region(minimum.vdd),
         minimum.delay_ns / nominal.delay_ns
     );
@@ -51,7 +52,7 @@ fn main() {
     );
     println!(
         "vs nominal ({:.1} V): {:.1}x less energy at {:.1}x the delay",
-        tech.nominal_vdd(),
+        tech.nominal_vdd().get(),
         nominal.total_fj / ntv.total_fj,
         ntv.delay_ns / nominal.delay_ns
     );

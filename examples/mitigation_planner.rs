@@ -14,6 +14,7 @@ use ntv_simd::core::frequency::frequency_margining;
 use ntv_simd::core::margining::MarginStudy;
 use ntv_simd::core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_simd::device::{TechModel, TechNode};
+use ntv_simd::units::Volts;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -33,7 +34,7 @@ fn main() {
     println!("mitigation plan for a 128-wide SIMD datapath, {node} @ {vdd} V\n");
 
     // Frequency backoff: the do-nothing option.
-    let freq = frequency_margining(&engine, vdd, samples, seed, Executor::default());
+    let freq = frequency_margining(&engine, Volts(vdd), samples, seed, Executor::default());
     println!(
         "0. frequency margining: stretch the clock from {:.2} ns to {:.2} ns\n   -> {:.1}% throughput loss, no power overhead (but the SIMD clock must\n      stay a multiple of the memory clock, §4.3)",
         freq.t_clk_ns,
@@ -42,7 +43,7 @@ fn main() {
     );
 
     // Duplication only.
-    match DuplicationStudy::new(&engine).solve(vdd, 128, samples, seed) {
+    match DuplicationStudy::new(&engine).solve(Volts(vdd), 128, samples, seed) {
         Ok(sol) => println!(
             "1. duplication only: {} spare lanes -> {:.1}% area, {:.2}% power",
             sol.spares,
@@ -53,22 +54,22 @@ fn main() {
     }
 
     // Margining only.
-    let margin = MarginStudy::new(&engine).solve(vdd, samples, seed);
+    let margin = MarginStudy::new(&engine).solve(Volts(vdd), samples, seed);
     println!(
         "2. margining only: +{:.1} mV -> {:.2}% power",
-        margin.margin * 1000.0,
+        margin.margin.get() * 1000.0,
         margin.power_overhead * 100.0
     );
 
     // Combinations.
     let dse = DseStudy::new(&engine);
-    let choices = dse.explore(vdd, &[0, 1, 2, 4, 8, 16, 26], samples, seed);
+    let choices = dse.explore(Volts(vdd), &[0, 1, 2, 4, 8, 16, 26], samples, seed);
     println!("3. combinations (spares + residual margin):");
     for c in &choices {
         println!(
             "     {:>2} spares + {:>5.1} mV -> {:.2}% power",
             c.spares,
-            c.margin * 1000.0,
+            c.margin.get() * 1000.0,
             c.power_overhead * 100.0
         );
     }
@@ -76,7 +77,7 @@ fn main() {
     println!(
         "\nrecommendation: {} spares + {:.1} mV ({:.2}% power overhead)",
         best.spares,
-        best.margin * 1000.0,
+        best.margin.get() * 1000.0,
         best.power_overhead * 100.0
     );
 }

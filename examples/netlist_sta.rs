@@ -13,12 +13,13 @@ use ntv_simd::circuit::report::{to_dot, NetlistStats};
 use ntv_simd::circuit::{sta, Netlist};
 use ntv_simd::device::{TechModel, TechNode};
 use ntv_simd::mc::{StreamRng, Summary};
+use ntv_simd::units::Volts;
 
 fn survey(tech: &TechModel, name: &str, netlist: &Netlist, samples: usize) {
     let stats = NetlistStats::of(netlist);
-    let nominal = sta::analyze(netlist, &sta::nominal_delays(netlist, tech, 1.0));
+    let nominal = sta::analyze(netlist, &sta::nominal_delays(netlist, tech, Volts(1.0)));
     let mut rng = StreamRng::from_seed(7);
-    let mc: Summary = sta::mc_critical_delays(netlist, tech, 0.5, samples, &mut rng)
+    let mc: Summary = sta::mc_critical_delays(netlist, tech, Volts(0.5), samples, &mut rng)
         .into_iter()
         .collect();
     println!("{name}:");
@@ -49,7 +50,7 @@ fn main() {
 
     // Emit a small adder with its nominal critical path highlighted.
     let small = kogge_stone(8);
-    let result = sta::analyze(&small, &sta::nominal_delays(&small, &tech, 1.0));
+    let result = sta::analyze(&small, &sta::nominal_delays(&small, &tech, Volts(1.0)));
     let dot = to_dot(&small, &result.critical_path);
     println!(
         "--- kogge-stone-8 critical path in Graphviz (pipe through `dot -Tsvg`) ---\n{}",

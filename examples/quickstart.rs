@@ -10,6 +10,7 @@ use ntv_simd::core::perf::performance_drop;
 use ntv_simd::core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_simd::device::{TechModel, TechNode};
 use ntv_simd::mc::StreamRng;
+use ntv_simd::units::Volts;
 
 fn main() {
     let samples = 5_000;
@@ -22,7 +23,7 @@ fn main() {
     let vdd = 0.55;
 
     // 1. The raw voltage scaling win: delay and switching-energy factors.
-    let slowdown = tech.fo4_delay_ps(vdd) / tech.fo4_delay_ps(1.0);
+    let slowdown = tech.fo4_delay_ps(Volts(vdd)) / tech.fo4_delay_ps(Volts(1.0));
     println!("90nm GP @{vdd} V vs 1.0 V:");
     println!(
         "  gate delay grows {slowdown:.1}x, switching energy shrinks {:.1}x",
@@ -31,21 +32,21 @@ fn main() {
 
     // 2. What variation adds on top: the 99% chip-delay point in FO4 units.
     let mut rng = StreamRng::from_seed(seed);
-    let dist = engine.chip_delay_distribution(vdd, samples, &mut rng);
+    let dist = engine.chip_delay_distribution(Volts(vdd), samples, &mut rng);
     println!(
         "  ideal critical path is 50 FO4; the 99% point of the slowest of\n  \
          12,800 paths is {:.1} FO4 ({:.2} ns)",
         dist.q99_fo4(),
         dist.q99_ns()
     );
-    let drop = performance_drop(&engine, vdd, samples, seed, Executor::default());
+    let drop = performance_drop(&engine, Volts(vdd), samples, seed, Executor::default());
     println!(
         "  variation-induced performance drop vs nominal: {:.1}%",
         drop.drop * 100.0
     );
 
     // 3. The mitigation menu: spare lanes vs a few millivolts.
-    let point = compare_at(&engine, vdd, 128, samples, seed, Executor::default());
+    let point = compare_at(&engine, Volts(vdd), 128, samples, seed, Executor::default());
     match (point.spares, point.duplication_power) {
         (Some(spares), Some(power)) => println!(
             "  structural duplication: {spares} spare lanes ({:.1}% power overhead)",
@@ -55,7 +56,7 @@ fn main() {
     }
     println!(
         "  voltage margining: +{:.1} mV ({:.1}% power overhead)",
-        point.margin * 1000.0,
+        point.margin.get() * 1000.0,
         point.margining_power * 100.0
     );
     println!("  cheapest: {}", point.preferred());

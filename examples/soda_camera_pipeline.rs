@@ -13,6 +13,7 @@ use ntv_simd::mc::StreamRng;
 use ntv_simd::soda::kernels::{self, golden};
 use ntv_simd::soda::pe::{EnergyConfig, ProcessingElement};
 use ntv_simd::soda::{ErrorPolicy, FaultModel};
+use ntv_simd::units::Volts;
 
 fn main() {
     let node = TechNode::Gp90;
@@ -24,14 +25,18 @@ fn main() {
     // Clock the SIMD domain aggressively: at the lane-delay quantile where
     // ~2 of the 134 lanes on a typical chip miss timing.
     let mut rng = StreamRng::from_seed(2012);
-    let lane_q =
-        ntv_simd::mc::Quantiles::from_samples(engine.sample_lane_delays_fo4(vdd, 4_000, &mut rng));
-    let t_clk_ns =
-        lane_q.quantile(1.0 - 2.0 / (128.0 + spares as f64)) * engine.fo4_unit_ps(vdd) / 1000.0;
+    let lane_q = ntv_simd::mc::Quantiles::from_samples(engine.sample_lane_delays_fo4(
+        Volts(vdd),
+        4_000,
+        &mut rng,
+    ));
+    let t_clk_ns = lane_q.quantile(1.0 - 2.0 / (128.0 + spares as f64))
+        * engine.fo4_unit_ps(Volts(vdd))
+        / 1000.0;
     // Sample fabricated chips until one has repairable faulty lanes, so the
     // policies have something to disagree about.
     let fault = loop {
-        let f = FaultModel::from_engine(&engine, vdd, t_clk_ns, spares, 0.0, &mut rng);
+        let f = FaultModel::from_engine(&engine, Volts(vdd), t_clk_ns, spares, 0.0, &mut rng);
         let faults = f.faulty_lanes(0.99).len();
         if faults >= 1 && faults <= spares {
             break f;
@@ -71,7 +76,7 @@ fn main() {
         ErrorPolicy::SpareRemap,
     ] {
         let mut pe = ProcessingElement::new();
-        pe.set_energy_config(EnergyConfig::for_tech(&tech, vdd));
+        pe.set_energy_config(EnergyConfig::for_tech(&tech, Volts(vdd)));
         pe.set_error_policy(policy);
         pe.set_fault_model(fault.clone(), StreamRng::from_seed(99));
         if policy == ErrorPolicy::SpareRemap {

@@ -13,6 +13,7 @@ use ntv_simd::core::{DatapathConfig, DatapathEngine};
 use ntv_simd::device::{TechModel, TechNode};
 use ntv_simd::mc::StreamRng;
 use ntv_simd::soda::LaneMap;
+use ntv_simd::units::Volts;
 
 fn main() {
     let tech = TechModel::new(TechNode::PtmHp22);
@@ -23,11 +24,14 @@ fn main() {
     // model: 22 nm at 0.55 V, clocked at the lane-delay 90% quantile
     // (aggressive binning: ~13 of 128 lanes miss timing on a typical chip).
     let vdd = 0.55;
-    let lane_q =
-        ntv_simd::mc::Quantiles::from_samples(engine.sample_lane_delays_fo4(vdd, 4_000, &mut rng));
+    let lane_q = ntv_simd::mc::Quantiles::from_samples(engine.sample_lane_delays_fo4(
+        Volts(vdd),
+        4_000,
+        &mut rng,
+    ));
     let t_clk_fo4 = lane_q.quantile(0.90);
-    let t_clk_ns = t_clk_fo4 * engine.fo4_unit_ps(vdd) / 1000.0;
-    let p_fail = lane_failure_probability(&engine, vdd, t_clk_ns, 400, &mut rng);
+    let t_clk_ns = t_clk_fo4 * engine.fo4_unit_ps(Volts(vdd)) / 1000.0;
+    let p_fail = lane_failure_probability(&engine, Volts(vdd), t_clk_ns, 400, &mut rng);
     println!(
         "22nm @{vdd} V, clock at {t_clk_fo4:.1} FO4 ({t_clk_ns:.2} ns): per-lane \
          timing-failure probability = {p_fail:.3}\n"

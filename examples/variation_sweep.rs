@@ -11,6 +11,7 @@ use ntv_simd::core::perf::performance_drop;
 use ntv_simd::core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_simd::device::{TechModel, TechNode};
 use ntv_simd::mc::StreamRng;
+use ntv_simd::units::Volts;
 
 fn main() {
     let circuit_samples = 800;
@@ -26,7 +27,7 @@ fn main() {
     for node in TechNode::ALL {
         let tech = TechModel::new(node);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        for vdd in [tech.nominal_vdd(), 0.6, 0.5] {
+        for vdd in [tech.nominal_vdd(), Volts(0.6), Volts(0.5)] {
             let mut rng = StreamRng::from_seed(seed);
             let single = ChainMc::new(&tech, 1).three_sigma_over_mu(vdd, circuit_samples, &mut rng);
             let chain = ChainMc::new(&tech, 50).three_sigma_over_mu(vdd, circuit_samples, &mut rng);
@@ -37,7 +38,7 @@ fn main() {
             println!(
                 "{:<12} {:>6.2}V {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
                 node.to_string(),
-                vdd,
+                vdd.get(),
                 single * 100.0,
                 chain * 100.0,
                 adder * 100.0,

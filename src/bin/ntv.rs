@@ -26,6 +26,7 @@ use ntv_simd::core::yield_model::YieldStudy;
 use ntv_simd::core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_simd::device::energy::EnergyModel;
 use ntv_simd::device::{Corner, TechModel, TechNode};
+use ntv_simd::units::Volts;
 
 const SAMPLES: usize = 5_000;
 const SEED: u64 = 2012;
@@ -97,30 +98,31 @@ fn main() -> ExitCode {
             };
             let tech = TechModel::new(node);
             let p = tech.params();
-            println!("{node}: nominal {} V, Vth0 {} V", p.vdd_nominal, p.vth0);
+            println!("{node}: nominal {}, Vth0 {}", p.vdd_nominal, p.vth0);
             println!(
                 "  FO4 delay: {:.1} ps @nominal, {:.1} ps @0.5 V",
                 tech.fo4_delay_ps(p.vdd_nominal),
-                tech.fo4_delay_ps(0.5)
+                tech.fo4_delay_ps(Volts(0.5))
             );
             println!(
                 "  sigma(Vth): {:.1} mV random, {:.1} mV systematic; sigma(ln k): {:.3} / {:.3}",
-                p.sigma_vth_random * 1000.0,
-                p.sigma_vth_systematic * 1000.0,
+                p.sigma_vth_random.get() * 1000.0,
+                p.sigma_vth_systematic.get() * 1000.0,
                 p.sigma_k_random,
                 p.sigma_k_systematic
             );
             for corner in Corner::ALL {
                 println!(
                     "  {corner}: {:+.1}% delay @0.5 V",
-                    corner.slowdown(&tech, 0.5) * 100.0
+                    corner.slowdown(&tech, Volts(0.5)) * 100.0
                 );
             }
             let e = EnergyModel::new(&tech);
             let min = e.minimum_energy_point();
             println!(
                 "  minimum energy: {:.1} fJ/op at {:.2} V",
-                min.total_fj, min.vdd
+                min.total_fj,
+                min.vdd.get()
             );
             ExitCode::SUCCESS
         }
@@ -131,7 +133,7 @@ fn main() -> ExitCode {
             };
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-            let p = perf::performance_drop(&engine, vdd, SAMPLES, SEED, exec);
+            let p = perf::performance_drop(&engine, Volts(vdd), SAMPLES, SEED, exec);
             println!(
                 "{node} @{vdd} V: q99 = {:.2} FO4, drop vs nominal = {:.1}%",
                 p.q99_fo4,
@@ -146,10 +148,12 @@ fn main() -> ExitCode {
             };
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-            match DuplicationStudy::new(&engine)
-                .with_executor(exec)
-                .solve(vdd, 128, SAMPLES, SEED)
-            {
+            match DuplicationStudy::new(&engine).with_executor(exec).solve(
+                Volts(vdd),
+                128,
+                SAMPLES,
+                SEED,
+            ) {
                 Ok(sol) => println!(
                     "{node} @{vdd} V: {} spares ({:.1}% area, {:.2}% power)",
                     sol.spares,
@@ -167,12 +171,13 @@ fn main() -> ExitCode {
             };
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-            let sol = MarginStudy::new(&engine)
-                .with_executor(exec)
-                .solve(vdd, SAMPLES, SEED);
+            let sol =
+                MarginStudy::new(&engine)
+                    .with_executor(exec)
+                    .solve(Volts(vdd), SAMPLES, SEED);
             println!(
                 "{node} @{vdd} V: +{:.1} mV margin ({:.2}% power), target {:.3} ns",
-                sol.margin * 1000.0,
+                sol.margin.get() * 1000.0,
                 sol.power_overhead * 100.0,
                 sol.target_ns
             );
@@ -186,12 +191,12 @@ fn main() -> ExitCode {
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
             let dse = DseStudy::new(&engine).with_executor(exec);
-            let choices = dse.explore(vdd, &[0, 1, 2, 4, 8, 16, 26], SAMPLES, SEED);
+            let choices = dse.explore(Volts(vdd), &[0, 1, 2, 4, 8, 16, 26], SAMPLES, SEED);
             for c in &choices {
                 println!(
                     "  {:>2} spares + {:>5.1} mV -> {:.2}% power",
                     c.spares,
-                    c.margin * 1000.0,
+                    c.margin.get() * 1000.0,
                     c.power_overhead * 100.0
                 );
             }
@@ -199,7 +204,7 @@ fn main() -> ExitCode {
             println!(
                 "best: {} spares + {:.1} mV ({:.2}% power)",
                 best.spares,
-                best.margin * 1000.0,
+                best.margin.get() * 1000.0,
                 best.power_overhead * 100.0
             );
             ExitCode::SUCCESS
@@ -216,8 +221,8 @@ fn main() -> ExitCode {
             let tech = TechModel::new(node);
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
             let study = YieldStudy::new(&engine).with_executor(exec);
-            let y = study.timing_yield(vdd, t_clk_ns, SAMPLES, SEED);
-            let q99 = study.period_for_yield(vdd, 0.99, SAMPLES, SEED);
+            let y = study.timing_yield(Volts(vdd), t_clk_ns, SAMPLES, SEED);
+            let q99 = study.period_for_yield(Volts(vdd), 0.99, SAMPLES, SEED);
             println!(
                 "{node} @{vdd} V: yield {:.2}% at {t_clk_ns} ns (99% yield needs {:.3} ns)",
                 y * 100.0,
@@ -234,7 +239,7 @@ fn main() -> ExitCode {
             let report = sensitivity::decompose(
                 &tech,
                 DatapathConfig::paper_default(),
-                vdd,
+                Volts(vdd),
                 SAMPLES,
                 SEED,
                 exec,

@@ -30,13 +30,14 @@
 //! use ntv_simd::device::{TechModel, TechNode};
 //! use ntv_simd::core::{DatapathConfig, DatapathEngine};
 //! use ntv_simd::mc::StreamRng;
+//! use ntv_simd::units::Volts;
 //!
 //! // 128-wide SIMD datapath in 90nm GP, evaluated at 0.55 V.
 //! let tech = TechModel::new(TechNode::Gp90);
 //! let config = DatapathConfig::paper_default();
 //! let engine = DatapathEngine::new(&tech, config);
 //! let mut rng = StreamRng::from_seed(1);
-//! let dist = engine.chip_delay_distribution(0.55, 2_000, &mut rng);
+//! let dist = engine.chip_delay_distribution(Volts(0.55), 2_000, &mut rng);
 //! // The 99% chip-delay point in FO4 units is a little above the ideal
 //! // 50-FO4 critical path because variation makes the slowest of
 //! // 128 lanes x 100 paths slower.
@@ -48,3 +49,4 @@ pub use ntv_core as core;
 pub use ntv_device as device;
 pub use ntv_mc as mc;
 pub use ntv_soda as soda;
+pub use ntv_units as units;

@@ -8,13 +8,14 @@ use ntv_simd::core::engine::{PathDistribution, VariationMode};
 use ntv_simd::core::{DatapathConfig, DatapathEngine};
 use ntv_simd::device::{TechModel, TechNode};
 use ntv_simd::mc::{Ecdf, StreamRng, Summary};
+use ntv_simd::units::Volts;
 
 #[test]
 fn path_distribution_matches_gate_level_chain_across_nodes() {
     // The precomputed unconditional CDF vs brute-force cross-chip chains.
     for node in [TechNode::Gp90, TechNode::PtmHp22] {
         let tech = TechModel::new(node);
-        for vdd in [0.5, tech.nominal_vdd()] {
+        for vdd in [Volts(0.5), tech.nominal_vdd()] {
             let dist = PathDistribution::build(&tech, vdd, 50);
             let chain = ChainMc::new(&tech, 50);
             let mut rng = StreamRng::from_seed(1);
@@ -38,7 +39,7 @@ fn path_distribution_matches_gate_level_chain_across_nodes() {
 #[test]
 fn skewed_sampler_reproduces_the_mixture_cdf() {
     let tech = TechModel::new(TechNode::Gp45);
-    let dist = PathDistribution::build(&tech, 0.55, 50);
+    let dist = PathDistribution::build(&tech, Volts(0.55), 50);
     let mut rng = StreamRng::from_seed(2);
     let samples: Vec<f64> = (0..20_000).map(|_| dist.sample(&mut rng)).collect();
     let ecdf = Ecdf::from_samples(samples);
@@ -54,10 +55,10 @@ fn conditional_moments_match_on_chip_monte_carlo() {
     let mut rng = StreamRng::from_seed(3);
     for _ in 0..3 {
         let chip = tech.sample_chip(&mut rng);
-        let m = model.conditional_moments(0.6, &chip);
+        let m = model.conditional_moments(Volts(0.6), &chip);
         let chain = ChainMc::new(&tech, 50);
         let mc: Summary = (0..8_000)
-            .map(|_| chain.sample_on_chip_ps(0.6, &chip, &mut rng))
+            .map(|_| chain.sample_on_chip_ps(Volts(0.6), &chip, &mut rng))
             .collect();
         assert!((m.mean_ps / mc.mean() - 1.0).abs() < 0.01);
         assert!((m.std_ps / mc.std_dev() - 1.0).abs() < 0.06);
@@ -80,10 +81,10 @@ fn paper_normal_and_skewed_modes_share_first_two_moments() {
     let mut rng_a = StreamRng::from_seed(4);
     let mut rng_b = StreamRng::from_seed(5);
     let a: Summary = (0..20_000)
-        .map(|_| normal.sample_chip_delay_fo4(0.55, &mut rng_a))
+        .map(|_| normal.sample_chip_delay_fo4(Volts(0.55), &mut rng_a))
         .collect();
     let b: Summary = (0..20_000)
-        .map(|_| skewed.sample_chip_delay_fo4(0.55, &mut rng_b))
+        .map(|_| skewed.sample_chip_delay_fo4(Volts(0.55), &mut rng_b))
         .collect();
     assert!((a.mean() / b.mean() - 1.0).abs() < 0.01);
     assert!((a.std_dev() / b.std_dev() - 1.0).abs() < 0.05);
@@ -104,7 +105,7 @@ fn paper_normal_and_skewed_modes_share_first_two_moments() {
     );
     let mut rng_c = StreamRng::from_seed(6);
     let c: Summary = (0..20_000)
-        .map(|_| skew22.sample_chip_delay_fo4(0.5, &mut rng_c))
+        .map(|_| skew22.sample_chip_delay_fo4(Volts(0.5), &mut rng_c))
         .collect();
     assert!(c.skewness() > 0.3, "22nm @0.5V skewness {}", c.skewness());
 }
@@ -120,10 +121,10 @@ fn tail_shape_matters_for_extreme_maxima() {
     let skewed = DatapathEngine::with_mode(&tech, config, VariationMode::SkewedIid);
     let mut rng = StreamRng::from_seed(6);
     let qn = normal
-        .chip_delay_distribution(0.5, 3_000, &mut rng)
+        .chip_delay_distribution(Volts(0.5), 3_000, &mut rng)
         .q99_fo4();
     let qs = skewed
-        .chip_delay_distribution(0.5, 3_000, &mut rng)
+        .chip_delay_distribution(Volts(0.5), 3_000, &mut rng)
         .q99_fo4();
     assert!(qs > 1.05 * qn, "skewed q99 {qs} vs normal q99 {qn}");
 }
@@ -145,7 +146,7 @@ fn hierarchical_mode_weakens_spares() {
         let study = DuplicationStudy::new(&engine);
         let baseline =
             perf::baseline_q99_fo4(&engine, samples, 7, ntv_simd::core::Executor::default());
-        let matrix = study.sample_matrix(0.55, 128, samples, 7);
+        let matrix = study.sample_matrix(Volts(0.55), 128, samples, 7);
         study.required_spares(&matrix, baseline)
     };
 
@@ -161,7 +162,7 @@ fn fo4_unit_matches_paper_definition() {
     // FO4 unit = simulated chain mean / 50: 441 ps at 0.5 V in 90 nm.
     let tech = TechModel::new(TechNode::Gp90);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-    let unit = engine.fo4_unit_ps(0.5);
+    let unit = engine.fo4_unit_ps(Volts(0.5));
     assert!((unit / 441.0 - 1.0).abs() < 0.1, "FO4 unit {unit} ps");
 }
 
@@ -172,20 +173,20 @@ fn common_random_numbers_correlate_across_voltages() {
     // delays, so q99 differences are dominated by the voltage, not noise.
     let tech = TechModel::new(TechNode::Gp45);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-    let draw = |vdd: f64| -> Vec<f64> {
+    let draw = |vdd: Volts| -> Vec<f64> {
         let mut rng = StreamRng::from_seed_and_label(9, "crn-check");
         (0..2_000)
             .map(|_| engine.sample_chip_delay_fo4(vdd, &mut rng))
             .collect()
     };
-    let a = draw(0.600);
-    let b = draw(0.605);
+    let a = draw(Volts(0.600));
+    let b = draw(Volts(0.605));
     let r = ntv_simd::mc::stats::pearson(&a, &b);
     assert!(r > 0.99, "CRN correlation {r}");
     // Independent seeds are uncorrelated by comparison.
     let mut rng = StreamRng::from_seed_and_label(10, "other");
     let c: Vec<f64> = (0..2_000)
-        .map(|_| engine.sample_chip_delay_fo4(0.605, &mut rng))
+        .map(|_| engine.sample_chip_delay_fo4(Volts(0.605), &mut rng))
         .collect();
     assert!(ntv_simd::mc::stats::pearson(&a, &c).abs() < 0.1);
 }

@@ -5,6 +5,7 @@
 
 use ntv_bench::experiments::{fig4, fig7, placement, table1, table2, table3};
 use ntv_simd::device::TechNode;
+use ntv_simd::units::Volts;
 
 const SAMPLES: usize = 2_500;
 const SEED: u64 = 99;
@@ -44,13 +45,13 @@ fn duplication_works_at_90nm_but_not_scaled_nodes_at_half_volt() {
 fn margins_are_millivolt_scale_and_ordered() {
     let r = table2::run(SAMPLES, SEED);
     for c in &r.cells {
-        let mv = c.solution.margin * 1000.0;
+        let mv = c.solution.margin.get() * 1000.0;
         assert!((0.3..40.0).contains(&mv), "margin {mv} mV at {:?}", c.node);
     }
     // 90nm needs only single-digit millivolts; 45nm several times more.
     let m90 = r.cell(TechNode::Gp90, 0.5).expect("cell").solution.margin;
     let m45 = r.cell(TechNode::Gp45, 0.5).expect("cell").solution.margin;
-    assert!(m90 < 0.010, "90nm: {} V", m90);
+    assert!(m90 < Volts(0.010), "90nm: {m90}");
     assert!(m45 > 2.0 * m90, "45nm {m45} vs 90nm {m90}");
 }
 
@@ -61,7 +62,7 @@ fn combined_technique_is_cheapest_at_45nm_600mv() {
     // lowest power overhead" for scaled nodes.
     let r = table3::run(SAMPLES, SEED);
     assert!(r.best.spares > 0, "{:?}", r.best);
-    assert!(r.best.margin > 0.0);
+    assert!(r.best.margin > Volts::ZERO);
     let pure_margin = &r.choices[0];
     let heavy_dup = r.choices.last().expect("choices");
     assert!(r.best.power_overhead < pure_margin.power_overhead);
@@ -78,13 +79,13 @@ fn technique_crossover_matches_section_4_4() {
     let dup_wins_high = p90
         .points
         .iter()
-        .filter(|p| p.vdd >= 0.6)
+        .filter(|p| p.vdd >= Volts(0.6))
         .any(|p| p.preferred() == Technique::Duplication);
     assert!(dup_wins_high);
     // "As technology scales and supply voltage decreases, the voltage
     // margining scheme starts to outperform" — 45nm at 0.5-0.55 V.
     let p45 = &r.panels[1];
-    for p in p45.points.iter().filter(|p| p.vdd <= 0.55) {
+    for p in p45.points.iter().filter(|p| p.vdd <= Volts(0.55)) {
         assert_eq!(p.preferred(), Technique::VoltageMargining, "{p:?}");
     }
 }

@@ -14,6 +14,7 @@ use ntv_simd::mc::{normal, order, Quantiles, StreamRng, Summary};
 use ntv_simd::soda::kernels::{self, golden};
 use ntv_simd::soda::pe::ProcessingElement;
 use ntv_simd::soda::xram::{LaneMap, ShuffleConfig};
+use ntv_simd::units::Volts;
 
 fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-1.0e6_f64..1.0e6, len)
@@ -140,10 +141,10 @@ proptest! {
     ) {
         let tech = TechModel::new(TechNode::ALL[node_idx]);
         // Delay falls with voltage...
-        prop_assert!(tech.fo4_delay_ps(v_lo + dv) < tech.fo4_delay_ps(v_lo));
+        prop_assert!(tech.fo4_delay_ps(Volts(v_lo + dv)) < tech.fo4_delay_ps(Volts(v_lo)));
         // ...and on-current falls with threshold voltage.
         let p = tech.params();
-        prop_assert!(tech.on_current(v_lo, p.vth0 + 0.02) < tech.on_current(v_lo, p.vth0));
+        prop_assert!(tech.on_current(Volts(v_lo), p.vth0 + Volts(0.02)) < tech.on_current(Volts(v_lo), p.vth0));
     }
 
     #[test]
@@ -154,8 +155,8 @@ proptest! {
         );
         let mut rng_a = StreamRng::from_seed(10);
         let mut rng_b = StreamRng::from_seed(10);
-        let sa = ChainMc::new(&base, 10).summary(0.6, 800, &mut rng_a);
-        let sb = ChainMc::new(&scaled, 10).summary(0.6, 800, &mut rng_b);
+        let sa = ChainMc::new(&base, 10).summary(Volts(0.6), 800, &mut rng_a);
+        let sb = ChainMc::new(&scaled, 10).summary(Volts(0.6), 800, &mut rng_b);
         let ratio = sb.cv() / sa.cv();
         // cv scales roughly linearly with sigma (first order).
         prop_assert!((ratio / scale - 1.0).abs() < 0.35, "scale {scale}: ratio {ratio}");
@@ -183,7 +184,7 @@ proptest! {
     ) {
         use ntv_simd::core::engine::PathDistribution;
         let tech = TechModel::new(TechNode::ALL[node_idx]);
-        let dist = PathDistribution::build(&tech, vdd, 50);
+        let dist = PathDistribution::build(&tech, Volts(vdd), 50);
         // survival is monotone non-increasing and bounded.
         let m = dist.mean_ps();
         let mut prev = 1.0;
@@ -265,13 +266,13 @@ proptest! {
     fn corners_bracket_monte_carlo_systematics(node_idx in 0usize..4, vdd in 0.5_f64..0.9) {
         use ntv_simd::device::Corner;
         let tech = TechModel::new(TechNode::ALL[node_idx]);
-        let ff = Corner::FastFast.fo4_delay_ps(&tech, vdd);
-        let ss = Corner::SlowSlow.fo4_delay_ps(&tech, vdd);
+        let ff = Corner::FastFast.fo4_delay_ps(&tech, Volts(vdd));
+        let ss = Corner::SlowSlow.fo4_delay_ps(&tech, Volts(vdd));
         let mut rng = StreamRng::from_seed(3);
         // 3-sigma corners bracket virtually all sampled systematic chips.
         for _ in 0..100 {
             let chip = tech.sample_chip(&mut rng);
-            let d = tech.gate_delay_ps(vdd, &chip, &ntv_simd::device::GateSample::nominal());
+            let d = tech.gate_delay_ps(Volts(vdd), &chip, &ntv_simd::device::GateSample::nominal());
             prop_assert!(d > ff * 0.98 && d < ss * 1.02, "d={d} outside [{ff}, {ss}]");
         }
     }

@@ -7,6 +7,7 @@ use ntv_simd::mc::StreamRng;
 use ntv_simd::soda::kernels::{self, golden};
 use ntv_simd::soda::pe::{EnergyConfig, ProcessingElement};
 use ntv_simd::soda::{ErrorPolicy, FaultModel, SIMD_WIDTH};
+use ntv_simd::units::Volts;
 
 /// Build a fault model for a chip that has a handful of hard-faulty lanes:
 /// 90 nm at 0.55 V, clocked at the lane-delay quantile where ~3 of the
@@ -15,12 +16,12 @@ fn faulty_chip(spares: usize) -> FaultModel {
     let tech = TechModel::new(TechNode::Gp90);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
     let mut rng = StreamRng::from_seed(17);
-    let lanes = engine.sample_lane_delays_fo4(0.55, 4_000, &mut rng);
+    let lanes = engine.sample_lane_delays_fo4(Volts(0.55), 4_000, &mut rng);
     let q = ntv_simd::mc::Quantiles::from_samples(lanes);
     let t_clk_fo4 = q.quantile(1.0 - 3.0 / (128.0 + spares as f64));
-    let t_clk_ns = t_clk_fo4 * engine.fo4_unit_ps(0.55) / 1000.0;
+    let t_clk_ns = t_clk_fo4 * engine.fo4_unit_ps(Volts(0.55)) / 1000.0;
     loop {
-        let f = FaultModel::from_engine(&engine, 0.55, t_clk_ns, spares, 0.0, &mut rng);
+        let f = FaultModel::from_engine(&engine, Volts(0.55), t_clk_ns, spares, 0.0, &mut rng);
         let faults = f.faulty_lanes(0.5).len();
         if faults >= 1 && faults <= spares {
             return f;
@@ -147,7 +148,7 @@ fn energy_config_tracks_voltage() {
 
     let run_at = |vdd: f64| {
         let mut pe = ProcessingElement::new();
-        pe.set_energy_config(EnergyConfig::for_tech(&tech, vdd));
+        pe.set_energy_config(EnergyConfig::for_tech(&tech, Volts(vdd)));
         let _ = kernels::vector_add(&mut pe, &a, &b).expect("runs");
         pe.stats().fu_energy_pj
     };

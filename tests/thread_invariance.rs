@@ -12,6 +12,7 @@ use ntv_mc::CounterRng;
 use ntv_simd::core::margining::MarginStudy;
 use ntv_simd::core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_simd::device::{TechModel, TechNode};
+use ntv_simd::units::Volts;
 
 const SAMPLES: usize = 600;
 const THREADS: [usize; 3] = [1, 2, 8];
@@ -27,9 +28,9 @@ fn raw_sample_batches_are_thread_invariant() {
     let tech = TechModel::new(TechNode::Gp45);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
     let stream = CounterRng::new(2012, "invariance");
-    let reference = engine.sample_batch(0.55, &stream, 0..2_000, Executor::serial());
+    let reference = engine.sample_batch(Volts(0.55), &stream, 0..2_000, Executor::serial());
     for threads in THREADS {
-        let batch = engine.sample_batch(0.55, &stream, 0..2_000, Executor::new(threads));
+        let batch = engine.sample_batch(Volts(0.55), &stream, 0..2_000, Executor::new(threads));
         assert_eq!(batch.len(), reference.len());
         for (i, (a, b)) in reference.iter().zip(&batch).enumerate() {
             assert_bits(*a, *b, &format!("sample {i} at {threads} threads"));
@@ -119,14 +120,14 @@ fn margin_solver_bisection_is_thread_invariant() {
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
     let reference = MarginStudy::new(&engine)
         .with_executor(Executor::serial())
-        .solve(0.55, SAMPLES, 3);
+        .solve(Volts(0.55), SAMPLES, 3);
     for threads in THREADS {
         let sol = MarginStudy::new(&engine)
             .with_executor(Executor::new(threads))
-            .solve(0.55, SAMPLES, 3);
+            .solve(Volts(0.55), SAMPLES, 3);
         assert_bits(
-            reference.margin,
-            sol.margin,
+            reference.margin.get(),
+            sol.margin.get(),
             &format!("margin at {threads} threads"),
         );
         assert_bits(reference.power_overhead, sol.power_overhead, "power");
