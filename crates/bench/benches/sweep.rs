@@ -1,0 +1,72 @@
+//! Voltage-sweep solver throughput: Monte-Carlo bisection vs the analytic
+//! quantile fast path.
+//!
+//! Times the two end-to-end solvers the paper's tables hang off —
+//! `MarginStudy::solve` (Table 2) and `DseStudy::explore` (Table 3) —
+//! under both evaluation strategies. The MC variants run at the sample
+//! counts the experiment tests use; the analytic variants replace every
+//! q99 probe inside the bisection loops with an exact order-statistic
+//! quantile, so their cost is pure quadrature on cached operating points.
+//! Results feed `BENCH_sweep.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ntv_bench::experiments::TABLE_VOLTAGES;
+use ntv_core::dse::DseStudy;
+use ntv_core::margining::MarginStudy;
+use ntv_core::{DatapathConfig, DatapathEngine, Evaluation, Executor};
+use ntv_device::{TechModel, TechNode};
+use ntv_units::Volts;
+
+/// MC sample count for the margining solve (the Table 2 test scale).
+const MARGIN_SAMPLES: usize = 2_000;
+/// MC sample count for the DSE exploration (the Table 3 test scale).
+const DSE_SAMPLES: usize = 1_200;
+/// Table 3's spare-count candidates.
+const CANDIDATES: [u32; 7] = [0, 1, 2, 4, 8, 16, 26];
+
+fn bench_margin_solve(c: &mut Criterion) {
+    let tech = TechModel::new(TechNode::Gp90);
+    let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+    // Pre-build the swept operating points so both variants measure the
+    // solve itself, not the one-time Gauss–Hermite builds.
+    engine.prefetch(&TABLE_VOLTAGES.map(Volts), Executor::default());
+
+    let mut group = c.benchmark_group("sweep/margin_solve_gp90_0.50V");
+    group.bench_function("mc_2000", |b| {
+        let study = MarginStudy::new(&engine);
+        b.iter(|| std::hint::black_box(study.solve(Volts(0.50), MARGIN_SAMPLES, 1)));
+    });
+    group.bench_function("analytic", |b| {
+        let study = MarginStudy::new(&engine).with_evaluation(Evaluation::Analytic);
+        b.iter(|| std::hint::black_box(study.solve(Volts(0.50), MARGIN_SAMPLES, 1)));
+    });
+    group.finish();
+}
+
+fn bench_dse_explore(c: &mut Criterion) {
+    let tech = TechModel::new(TechNode::Gp45);
+    let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+    engine.prefetch(&[Volts(0.60)], Executor::default());
+
+    let mut group = c.benchmark_group("sweep/dse_explore_gp45_0.60V");
+    group.bench_function("mc_1200", |b| {
+        let dse = DseStudy::new(&engine);
+        b.iter(|| std::hint::black_box(dse.explore(Volts(0.60), &CANDIDATES, DSE_SAMPLES, 1)));
+    });
+    group.bench_function("analytic", |b| {
+        let dse = DseStudy::new(&engine).with_evaluation(Evaluation::Analytic);
+        b.iter(|| std::hint::black_box(dse.explore(Volts(0.60), &CANDIDATES, DSE_SAMPLES, 1)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = sweep;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_margin_solve, bench_dse_explore
+}
+criterion_main!(sweep);

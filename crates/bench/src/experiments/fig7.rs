@@ -1,8 +1,13 @@
 //! Fig 7: power-overhead comparison between structural duplication and
 //! voltage margining across the NTV band, for all four technology nodes.
+//!
+//! Solved on the analytic quantile path (exact order statistics, no MC
+//! noise); the sweep's operating points are prefetched in parallel.
+//! `samples`/`seed` are accepted for interface uniformity but do not
+//! affect the result.
 
-use ntv_core::compare::{compare_sweep, ComparisonPoint, Technique};
-use ntv_core::{DatapathConfig, DatapathEngine, Executor};
+use ntv_core::compare::{compare_sweep_with, ComparisonPoint, Technique};
+use ntv_core::{DatapathConfig, DatapathEngine, Evaluation, Executor};
 use ntv_device::{TechModel, TechNode};
 use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
@@ -53,13 +58,14 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig7Result {
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
             Fig7Panel {
                 node,
-                points: compare_sweep(
+                points: compare_sweep_with(
                     &engine,
                     &TABLE_VOLTAGES.map(Volts),
                     128,
                     samples,
                     seed,
                     exec,
+                    Evaluation::Analytic,
                 ),
             }
         })

@@ -6,7 +6,7 @@
 
 use ntv_core::dse::DseStudy;
 use ntv_core::margining::MarginStudy;
-use ntv_core::{DatapathConfig, DatapathEngine, Executor};
+use ntv_core::{DatapathConfig, DatapathEngine, Evaluation, Executor};
 use ntv_device::{TechModel, TechNode};
 use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
@@ -47,10 +47,15 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Fig8Result {
     let vdd = 0.60;
     let tech = TechModel::new(TechNode::Gp45);
     let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+    // Analytic grid: exact order-statistic quantiles, no MC noise
+    // (`samples`/`seed` are accepted for interface uniformity only).
     let target_ns = MarginStudy::new(&engine)
         .with_executor(exec)
+        .with_evaluation(Evaluation::Analytic)
         .target_delay_ns(Volts(vdd), samples, seed);
-    let dse = DseStudy::new(&engine).with_executor(exec);
+    let dse = DseStudy::new(&engine)
+        .with_executor(exec)
+        .with_evaluation(Evaluation::Analytic);
 
     let mut grid = Vec::new();
     for &spares in &[0u32, 2, 8] {

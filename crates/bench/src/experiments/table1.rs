@@ -1,8 +1,12 @@
 //! Table 1: required spare count and area/power overhead of structural
 //! duplication for the four nodes at 0.50–0.70 V.
+//!
+//! Solved on the analytic quantile path (exact order statistics, no MC
+//! noise); `samples`/`seed` are accepted for interface uniformity but do
+//! not affect the result.
 
 use ntv_core::duplication::DuplicationStudy;
-use ntv_core::{DatapathConfig, DatapathEngine, Executor};
+use ntv_core::{DatapathConfig, DatapathEngine, Evaluation, Executor};
 use ntv_device::{TechModel, TechNode};
 use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
@@ -55,7 +59,10 @@ pub fn run_with(samples: usize, seed: u64, exec: Executor) -> Table1Result {
     for &node in &TechNode::ALL {
         let tech = TechModel::new(node);
         let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
-        let study = DuplicationStudy::new(&engine).with_executor(exec);
+        engine.prefetch(&TABLE_VOLTAGES.map(Volts), exec);
+        let study = DuplicationStudy::new(&engine)
+            .with_executor(exec)
+            .with_evaluation(Evaluation::Analytic);
         for &vdd in &TABLE_VOLTAGES {
             let cell = match study.solve(Volts(vdd), 128, samples, seed) {
                 Ok(sol) => Table1Cell {

@@ -109,6 +109,7 @@ impl<'a> BodyBiasStudy<'a> {
         let config = *self.engine.config();
         // Unconditional normal fit of the biased path distribution, as in
         // VariationMode::PaperNormal (quadrature over systematic draws).
+        // ntv:allow(uncached-build): each bias probe rebuilds DeviceParams, and the shift is not part of the cache key
         let dist = crate::engine::PathDistribution::build(&biased, vdd, config.path_length);
         let stream = CounterRng::new(seed, "abb-eval");
         let n = config.critical_path_count();

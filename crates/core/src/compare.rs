@@ -14,6 +14,7 @@ use crate::duplication::DuplicationStudy;
 use crate::engine::DatapathEngine;
 use crate::exec::Executor;
 use crate::margining::MarginStudy;
+use crate::quantile::Evaluation;
 
 /// Which mitigation technique a comparison favours.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -60,7 +61,8 @@ impl ComparisonPoint {
     }
 }
 
-/// Compare both techniques at one operating point.
+/// Compare both techniques at one operating point (Monte-Carlo
+/// evaluation, byte-identical to the historical outputs).
 #[must_use]
 pub fn compare_at(
     engine: &DatapathEngine<'_>,
@@ -70,11 +72,37 @@ pub fn compare_at(
     seed: u64,
     exec: Executor,
 ) -> ComparisonPoint {
+    compare_at_with(
+        engine,
+        vdd,
+        max_spares,
+        samples,
+        seed,
+        exec,
+        Evaluation::MonteCarlo,
+    )
+}
+
+/// Compare both techniques at one operating point with an explicit
+/// [`Evaluation`]; with [`Evaluation::Analytic`] the solves are exact and
+/// `samples`/`seed` are ignored.
+#[must_use]
+pub fn compare_at_with(
+    engine: &DatapathEngine<'_>,
+    vdd: Volts,
+    max_spares: u32,
+    samples: usize,
+    seed: u64,
+    exec: Executor,
+    evaluation: Evaluation,
+) -> ComparisonPoint {
     let dup = DuplicationStudy::new(engine)
         .with_executor(exec)
+        .with_evaluation(evaluation)
         .solve(vdd, max_spares, samples, seed);
     let margin = MarginStudy::new(engine)
         .with_executor(exec)
+        .with_evaluation(evaluation)
         .solve(vdd, samples, seed);
     ComparisonPoint {
         vdd,
@@ -85,7 +113,8 @@ pub fn compare_at(
     }
 }
 
-/// One Fig 7 panel: comparison across a voltage sweep.
+/// One Fig 7 panel: comparison across a voltage sweep (Monte-Carlo
+/// evaluation).
 #[must_use]
 pub fn compare_sweep(
     engine: &DatapathEngine<'_>,
@@ -98,6 +127,26 @@ pub fn compare_sweep(
     voltages
         .iter()
         .map(|&v| compare_at(engine, v, max_spares, samples, seed, exec))
+        .collect()
+}
+
+/// One Fig 7 panel with an explicit [`Evaluation`]. The sweep's operating
+/// points are prefetched in parallel first, so even the analytic path
+/// never pays a Gauss–Hermite build inside its solve loops.
+#[must_use]
+pub fn compare_sweep_with(
+    engine: &DatapathEngine<'_>,
+    voltages: &[Volts],
+    max_spares: u32,
+    samples: usize,
+    seed: u64,
+    exec: Executor,
+    evaluation: Evaluation,
+) -> Vec<ComparisonPoint> {
+    engine.prefetch(voltages, exec);
+    voltages
+        .iter()
+        .map(|&v| compare_at_with(engine, v, max_spares, samples, seed, exec, evaluation))
         .collect()
 }
 
@@ -153,6 +202,34 @@ mod tests {
         for (p, v) in pts.iter().zip([Volts(0.6), Volts(0.65), Volts(0.7)]) {
             assert_eq!(p.vdd, v);
         }
+    }
+
+    #[test]
+    fn analytic_comparison_reaches_same_verdicts() {
+        let tech90 = TechModel::new(TechNode::Gp90);
+        let engine90 = DatapathEngine::new(&tech90, DatapathConfig::paper_default());
+        let hi = compare_at_with(
+            &engine90,
+            Volts(0.65),
+            128,
+            0,
+            0,
+            Executor::default(),
+            Evaluation::Analytic,
+        );
+        assert_eq!(hi.preferred(), Technique::Duplication, "{hi:?}");
+        let tech45 = TechModel::new(TechNode::Gp45);
+        let engine45 = DatapathEngine::new(&tech45, DatapathConfig::paper_default());
+        let lo = compare_sweep_with(
+            &engine45,
+            &[Volts(0.55)],
+            128,
+            0,
+            0,
+            Executor::default(),
+            Evaluation::Analytic,
+        );
+        assert_eq!(lo[0].preferred(), Technique::VoltageMargining, "{lo:?}");
     }
 
     #[test]

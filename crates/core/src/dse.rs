@@ -12,10 +12,11 @@ use ntv_mc::CounterRng;
 use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::DatapathEngine;
+use crate::engine::{DatapathEngine, VariationMode};
 use crate::exec::Executor;
 use crate::overhead::DietSodaBudget;
 use crate::perf;
+use crate::quantile::{ChipQuantileSolver, Evaluation};
 
 /// One row of Table 3: a (spares, margin) design choice and its cost.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,6 +35,7 @@ pub struct DseStudy<'a> {
     engine: &'a DatapathEngine<'a>,
     budget: DietSodaBudget,
     exec: Executor,
+    evaluation: Evaluation,
 }
 
 impl<'a> DseStudy<'a> {
@@ -44,6 +46,7 @@ impl<'a> DseStudy<'a> {
             engine,
             budget: DietSodaBudget::paper(),
             exec: Executor::default(),
+            evaluation: Evaluation::default(),
         }
     }
 
@@ -52,6 +55,16 @@ impl<'a> DseStudy<'a> {
     #[must_use]
     pub fn with_executor(mut self, exec: Executor) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// How q99 probes are evaluated: [`Evaluation::MonteCarlo`] (default,
+    /// byte-identical to the historical outputs) or
+    /// [`Evaluation::Analytic`] (exact order-statistic quantiles;
+    /// `samples`/`seed` arguments are ignored).
+    #[must_use]
+    pub fn with_evaluation(mut self, evaluation: Evaluation) -> Self {
+        self.evaluation = evaluation;
         self
     }
 
@@ -68,10 +81,18 @@ impl<'a> DseStudy<'a> {
         let lanes = self.engine.config().lanes;
         let physical = lanes + spares as usize;
         let fo4_ps = self.engine.tech().fo4_delay_ps(vdd_effective);
+        if self.evaluation == Evaluation::Analytic {
+            let solver = ChipQuantileSolver::new(self.engine);
+            return solver.spares_quantile_fo4(vdd_effective, spares, 0.99) * fo4_ps / 1000.0;
+        }
         // Chip `i` is `(seed, "dse-eval", i)`-addressed: common random
         // numbers across effective voltages, bit-identical for any thread
-        // count. Warm the per-vdd cache before forking.
-        let _ = self.engine.path_distribution(vdd_effective);
+        // count. Warm the per-vdd cache (and, for grid-sampling modes, the
+        // survival grid) before forking.
+        let dist = self.engine.path_distribution(vdd_effective);
+        if self.engine.mode() != VariationMode::PaperNormal {
+            dist.warm_grid();
+        }
         let stream = CounterRng::new(seed, "dse-eval");
         let mut worst_used: Vec<f64> = self.exec.map_indexed(samples as u64, |i| {
             let row = self
@@ -130,10 +151,11 @@ impl<'a> DseStudy<'a> {
         samples: usize,
         seed: u64,
     ) -> Vec<DesignChoice> {
-        let target_ns = {
-            let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed, self.exec);
-            base_fo4 * self.engine.tech().fo4_delay_ps(vdd) / 1000.0
+        let base_fo4 = match self.evaluation {
+            Evaluation::MonteCarlo => perf::baseline_q99_fo4(self.engine, samples, seed, self.exec),
+            Evaluation::Analytic => perf::baseline_q99_fo4_analytic(self.engine),
         };
+        let target_ns = base_fo4 * self.engine.tech().fo4_delay_ps(vdd) / 1000.0;
         spare_candidates
             .iter()
             .map(|&spares| {
@@ -220,6 +242,36 @@ mod tests {
             (via_dse / direct - 1.0).abs() < 0.03,
             "{via_dse} vs {direct}"
         );
+    }
+
+    #[test]
+    fn analytic_explore_matches_mc_design_point() {
+        let tech = TechModel::new(TechNode::Gp45);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let candidates = [0u32, 2, 8, 26];
+        let mc = DseStudy::new(&engine).explore(Volts(0.6), &candidates, 2400, 1);
+        let study = DseStudy::new(&engine).with_evaluation(Evaluation::Analytic);
+        let an = study.explore(Volts(0.6), &candidates, 0, 0);
+        for (m, a) in mc.iter().zip(&an) {
+            assert_eq!(m.spares, a.spares);
+            assert!(
+                (m.margin.get() - a.margin.get()).abs() < 3.0e-3,
+                "spares {}: MC {} vs analytic {}",
+                m.spares,
+                m.margin,
+                a.margin
+            );
+        }
+        // Margins still shrink with spares on the analytic path.
+        for w in an.windows(2) {
+            assert!(w[1].margin <= w[0].margin);
+        }
+        // And the analytic path is exactly reproducible regardless of the
+        // (ignored) sampling arguments.
+        let again = study.explore(Volts(0.6), &candidates, 123, 456);
+        for (x, y) in an.iter().zip(&again) {
+            assert_eq!(x.margin.get().to_bits(), y.margin.get().to_bits());
+        }
     }
 
     #[test]

@@ -17,10 +17,11 @@ use ntv_mc::{order, CounterRng, Quantiles};
 use ntv_units::Volts;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{ChipDelayDistribution, DatapathEngine};
+use crate::engine::{ChipDelayDistribution, DatapathEngine, VariationMode};
 use crate::exec::Executor;
 use crate::overhead::DietSodaBudget;
 use crate::perf;
+use crate::quantile::{ChipQuantileSolver, Evaluation};
 
 /// Lane-delay samples (FO4 units): one row per chip, `max_lanes` per row.
 ///
@@ -130,6 +131,7 @@ pub struct DuplicationStudy<'a> {
     engine: &'a DatapathEngine<'a>,
     budget: DietSodaBudget,
     exec: Executor,
+    evaluation: Evaluation,
 }
 
 impl<'a> DuplicationStudy<'a> {
@@ -140,6 +142,7 @@ impl<'a> DuplicationStudy<'a> {
             engine,
             budget: DietSodaBudget::paper(),
             exec: Executor::default(),
+            evaluation: Evaluation::default(),
         }
     }
 
@@ -150,6 +153,7 @@ impl<'a> DuplicationStudy<'a> {
             engine,
             budget,
             exec: Executor::default(),
+            evaluation: Evaluation::default(),
         }
     }
 
@@ -158,6 +162,16 @@ impl<'a> DuplicationStudy<'a> {
     #[must_use]
     pub fn with_executor(mut self, exec: Executor) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// How [`Self::solve`] evaluates q99: [`Evaluation::MonteCarlo`]
+    /// (default, byte-identical to the historical outputs) or
+    /// [`Evaluation::Analytic`] via [`Self::min_spares_for`]
+    /// (`samples`/`seed` arguments are then ignored).
+    #[must_use]
+    pub fn with_evaluation(mut self, evaluation: Evaluation) -> Self {
+        self.evaluation = evaluation;
         self
     }
 
@@ -174,8 +188,12 @@ impl<'a> DuplicationStudy<'a> {
         let max_lanes = lanes + max_spares as usize;
         // Chip `i`'s lane delays are addressed as `(seed, label, i)`, so the
         // matrix is bit-identical for any thread count. Warm the per-vdd
-        // distribution cache before forking.
-        let _ = self.engine.path_distribution(vdd);
+        // distribution cache (and, for grid-sampling modes, the survival
+        // grid) before forking.
+        let dist = self.engine.path_distribution(vdd);
+        if self.engine.mode() != VariationMode::PaperNormal {
+            dist.warm_grid();
+        }
         let stream = CounterRng::new(seed, "duplication-matrix");
         let rows: Vec<Vec<f64>> = self.exec.map_indexed(samples as u64, |i| {
             self.engine
@@ -229,6 +247,48 @@ impl<'a> DuplicationStudy<'a> {
         Ok(hi)
     }
 
+    /// Smallest α whose *exact* q99 (FO4) meets `target_q99_fo4`, by binary
+    /// search on the analytic order-statistic quantile — no sampling, no
+    /// matrix. The q99 is strictly decreasing in α (an extra spare can only
+    /// lower the retained order statistic), so the search invariant matches
+    /// [`Self::required_spares`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparesExceeded`] if even `max_spares` misses the target.
+    pub fn min_spares_for(
+        &self,
+        vdd: Volts,
+        target_q99_fo4: f64,
+        max_spares: u32,
+    ) -> Result<u32, SparesExceeded> {
+        let solver = ChipQuantileSolver::new(self.engine);
+        let q99_at = |alpha: u32| solver.spares_quantile_fo4(vdd, alpha, 0.99);
+
+        if q99_at(0) <= target_q99_fo4 {
+            return Ok(0);
+        }
+        let achieved = q99_at(max_spares);
+        if achieved > target_q99_fo4 {
+            return Err(SparesExceeded {
+                max_spares,
+                achieved_q99_fo4: achieved,
+                target_q99_fo4,
+            });
+        }
+        // Invariant: q99(lo) > target >= q99(hi).
+        let (mut lo, mut hi) = (0u32, max_spares);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if q99_at(mid) <= target_q99_fo4 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+
     /// Solve one Table 1 cell: spares needed at `vdd` to match the nominal
     /// baseline, with area/power overheads.
     ///
@@ -243,6 +303,19 @@ impl<'a> DuplicationStudy<'a> {
         samples: usize,
         seed: u64,
     ) -> Result<SpareSolution, SparesExceeded> {
+        if self.evaluation == Evaluation::Analytic {
+            let target = perf::baseline_q99_fo4_analytic(self.engine);
+            let spares = self.min_spares_for(vdd, target, max_spares)?;
+            let q99 = ChipQuantileSolver::new(self.engine).spares_quantile_fo4(vdd, spares, 0.99);
+            return Ok(SpareSolution {
+                vdd,
+                spares,
+                q99_fo4: q99,
+                target_q99_fo4: target,
+                area_overhead: self.budget.duplication_area_overhead(spares),
+                power_overhead: self.budget.duplication_power_overhead(spares),
+            });
+        }
         let target = perf::baseline_q99_fo4(self.engine, samples, seed, self.exec);
         let matrix = self.sample_matrix(vdd, max_spares, samples, seed);
         let spares = self.required_spares(&matrix, target)?;
@@ -359,6 +432,46 @@ mod tests {
             assert!(q <= prev, "alpha={alpha}: {q} > {prev}");
             prev = q;
         }
+    }
+
+    #[test]
+    fn analytic_solve_matches_mc_spares() {
+        let tech = study_engine(TechNode::Gp90);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let mc = DuplicationStudy::new(&engine)
+            .solve(Volts(0.55), 128, 4000, 2)
+            .expect("solvable")
+            .spares;
+        let study = DuplicationStudy::new(&engine).with_evaluation(Evaluation::Analytic);
+        let an = study.solve(Volts(0.55), 128, 0, 0).expect("solvable");
+        // Paper Table 1: 6 spares at 0.55 V in 90 nm; MC and analytic land
+        // within each other's confidence band.
+        assert!((3..=14).contains(&an.spares), "analytic {}", an.spares);
+        assert!(
+            an.spares.abs_diff(mc) <= 4,
+            "analytic {} vs MC {mc}",
+            an.spares
+        );
+        assert!(an.q99_fo4 <= an.target_q99_fo4);
+        // One fewer spare must miss the target (minimality, exactly).
+        if an.spares > 0 {
+            let short = study
+                .min_spares_for(Volts(0.55), an.target_q99_fo4, an.spares - 1)
+                .expect_err("must be infeasible one spare short");
+            assert!(short.achieved_q99_fo4 > short.target_q99_fo4);
+        }
+    }
+
+    #[test]
+    fn analytic_exceeds_budget_where_table1_says_so() {
+        let tech = study_engine(TechNode::Gp45);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let study = DuplicationStudy::new(&engine).with_evaluation(Evaluation::Analytic);
+        let err = study
+            .solve(Volts(0.50), 128, 0, 0)
+            .expect_err(">128 expected");
+        assert_eq!(err.max_spares, 128);
+        assert!(err.achieved_q99_fo4 > err.target_q99_fo4);
     }
 
     #[test]

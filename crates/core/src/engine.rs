@@ -31,8 +31,7 @@
 //! simulated chain delay divided by the chain length (e.g. 22.05 ns / 50 =
 //! 441 ps at 0.5 V in 90 nm), i.e. the distribution *mean* per stage.
 
-use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 
 use ntv_circuit::path_model::{PathModel, PathMoments};
 use ntv_device::{ChipSample, TechModel};
@@ -44,10 +43,17 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::DatapathConfig;
 use crate::exec::Executor;
+use crate::op_cache::OpPointCache;
 
 /// How process variation is correlated across the datapath, and what tail
 /// shape path delays have.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+///
+/// `Ord` follows declaration order; it exists so the mode can key the
+/// ordered maps of [`crate::op_cache::OpPointCache`] and carries no
+/// semantic meaning.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum VariationMode {
     /// The paper's methodology: every critical path is an independent
     /// normal draw with the chain distribution's mean and σ.
@@ -61,24 +67,92 @@ pub enum VariationMode {
     Hierarchical,
 }
 
-/// Precomputed unconditional path-delay distribution at one operating
-/// point: exact mean/σ (all modes) plus a survival grid (skewed mode).
+/// The survival grid of a [`PathDistribution`] plus its constant-time
+/// inverse-lookup acceleration structure, built lazily on first use.
 #[derive(Debug, Clone)]
-pub struct PathDistribution {
+struct SurvivalGrid {
     /// Delay grid (ps), ascending.
     xs: Vec<f64>,
     /// Survival function `P(delay > x)` at each grid point.
     sf: Vec<f64>,
+    /// `sf[i].ln()` precomputed, so the per-draw log-survival interpolation
+    /// costs one `ln` (of the query target) instead of three.
+    ln_sf: Vec<f64>,
+    /// Bucketed inverse index over `ln g`: `hint[b]` is the partition point
+    /// of `sf[i] > g` for the upper edge of bucket `b` — a lower bound for
+    /// every `g` in the bucket, making inversion O(1) per draw.
+    hint: Vec<u32>,
+}
+
+impl SurvivalGrid {
+    /// Buckets of the inverse index. The grid's log-survival slope is at
+    /// most ~0.24 per cell (12σ tail edge over a 20σ/1024 spacing), so with
+    /// 4096 buckets over the ~708-wide `ln g` range (bucket width ~0.17) a
+    /// lookup scans at most a couple of cells past its hint.
+    const HINT: usize = 4096;
+    /// Lower edge of the `ln g` bucket range; survival targets are floored
+    /// at `f64::MIN_POSITIVE` by every caller.
+    const LN_G_MIN: f64 = -708.396_418_532_264_1;
+
+    /// Bucket index for a survival target `g ∈ (0, 1)`.
+    fn bucket(g: f64) -> usize {
+        let t = (g.ln() - Self::LN_G_MIN) * (Self::HINT as f64 / -Self::LN_G_MIN);
+        // Negative t (g below the f64::MIN_POSITIVE floor) cannot occur for
+        // clamped callers; clamp anyway so a stray subnormal stays in range.
+        (t.max(0.0) as usize).min(Self::HINT - 1)
+    }
+
+    /// Partition point of the predicate `sf[i] > g`: the first index whose
+    /// survival is `<= g`. Equals `sf.partition_point(|&s| s > g)` exactly
+    /// — the hint only seeds the scan, and the backward leg absorbs the
+    /// ulp-level `ln`/`exp` round-trip in the bucket edges — but runs in
+    /// O(1) because a bucket spans at most a couple of grid cells.
+    fn partition(&self, g: f64) -> usize {
+        let mut i = self.hint[Self::bucket(g)] as usize;
+        while i > 0 && self.sf[i - 1] <= g {
+            i -= 1;
+        }
+        while i < self.sf.len() && self.sf[i] > g {
+            i += 1;
+        }
+        i
+    }
+}
+
+/// Precomputed unconditional path-delay distribution at one operating
+/// point: exact mean/σ (all modes) plus a lazily built survival grid
+/// (skewed/hierarchical draws and analytic tail queries).
+#[derive(Debug, Clone)]
+pub struct PathDistribution {
     mean_ps: f64,
     std_ps: f64,
+    /// Grid extent: `min(μ − 8σ)` / `max(μ + 12σ)` over the components.
+    lo_ps: f64,
+    hi_ps: f64,
+    /// Gauss–Hermite mixture components `(weight, mean_ps, std_ps)` over
+    /// the systematic draws; retained so the survival grid can be built on
+    /// demand instead of eagerly (the paper-normal mode never needs it).
+    comps: Vec<(f64, f64, f64)>,
+    grid: OnceLock<SurvivalGrid>,
 }
 
 impl PathDistribution {
     const GRID: usize = 1024;
-    const GH_VTH: usize = 24;
-    const GH_K: usize = 12;
+    /// Gauss–Hermite order for the systematic-ΔVth dimension (shared with
+    /// the analytic quantile solver so both integrate on the same grid).
+    pub(crate) const GH_VTH: usize = 24;
+    /// Gauss–Hermite order for the systematic current-factor dimension.
+    pub(crate) const GH_K: usize = 12;
 
     /// Build the distribution for a `length`-stage path at `vdd`.
+    ///
+    /// The mixture moments are computed eagerly (cheap: one conditional
+    /// CLT evaluation per Gauss–Hermite node); the 1024-point survival
+    /// grid is deferred until a grid-backed query first needs it. Callers
+    /// outside the operating-point cache should obtain distributions via
+    /// [`crate::op_cache::OpPointCache`] (enforced by the
+    /// `ntv::uncached-build` lint) so identical builds are shared
+    /// process-wide.
     #[must_use]
     pub fn build(tech: &TechModel, vdd: Volts, length: usize) -> Self {
         let params = tech.params();
@@ -116,42 +190,77 @@ impl PathDistribution {
         let mean_ps: f64 = comps.iter().map(|&(w, mu, _)| w * mu).sum();
         let second: f64 = comps.iter().map(|&(w, mu, s)| w * (mu * mu + s * s)).sum();
         let std_ps = (second - mean_ps * mean_ps).max(0.0).sqrt();
-        let lo = comps
+        let lo_ps = comps
             .iter()
             .map(|&(_, mu, s)| mu - 8.0 * s)
             .fold(f64::INFINITY, f64::min);
-        let hi = comps
+        let hi_ps = comps
             .iter()
             .map(|&(_, mu, s)| mu + 12.0 * s)
             .fold(f64::NEG_INFINITY, f64::max);
 
-        let xs: Vec<f64> = (0..Self::GRID)
-            .map(|i| lo + (hi - lo) * i as f64 / (Self::GRID - 1) as f64)
-            .collect();
-        let sf: Vec<f64> = xs
-            .iter()
-            .map(|&x| {
-                comps
-                    .iter()
-                    .map(|&(w, mu, s)| {
-                        if s > 0.0 {
-                            w * 0.5 * normal::erfc((x - mu) / (s * sqrt2))
-                        } else if x < mu {
-                            w
-                        } else {
-                            0.0
-                        }
-                    })
-                    .sum::<f64>()
-            })
-            .collect();
-
         Self {
-            xs,
-            sf,
             mean_ps,
             std_ps,
+            lo_ps,
+            hi_ps,
+            comps,
+            grid: OnceLock::new(),
         }
+    }
+
+    /// The lazily built survival grid. Deterministic: the grid is a pure
+    /// function of the build inputs, so first-use timing and thread
+    /// interleaving cannot change any value.
+    fn grid(&self) -> &SurvivalGrid {
+        self.grid.get_or_init(|| {
+            let sqrt2 = std::f64::consts::SQRT_2;
+            let (lo, hi) = (self.lo_ps, self.hi_ps);
+            let xs: Vec<f64> = (0..Self::GRID)
+                .map(|i| lo + (hi - lo) * i as f64 / (Self::GRID - 1) as f64)
+                .collect();
+            let sf: Vec<f64> = xs
+                .iter()
+                .map(|&x| {
+                    self.comps
+                        .iter()
+                        .map(|&(w, mu, s)| {
+                            if s > 0.0 {
+                                w * 0.5 * normal::erfc((x - mu) / (s * sqrt2))
+                            } else if x < mu {
+                                w
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum::<f64>()
+                })
+                .collect();
+            let ln_sf: Vec<f64> = sf.iter().map(|&s| s.ln()).collect();
+            // hint[b] = partition point of `sf[i] > g` at bucket b's upper
+            // edge: a lower bound for every smaller g in the bucket.
+            let hint: Vec<u32> = (0..SurvivalGrid::HINT)
+                .map(|b| {
+                    let ln_edge =
+                        SurvivalGrid::LN_G_MIN * (1.0 - (b + 1) as f64 / SurvivalGrid::HINT as f64);
+                    let edge = ln_edge.exp();
+                    sf.partition_point(|&s| s > edge) as u32
+                })
+                .collect();
+            SurvivalGrid {
+                xs,
+                sf,
+                ln_sf,
+                hint,
+            }
+        })
+    }
+
+    /// Force construction of the lazy survival grid (idempotent). Called
+    /// once before forking parallel sampling loops so workers never
+    /// contend on the one-time initialisation.
+    pub fn warm_grid(&self) {
+        let _ = self.grid();
     }
 
     /// Unconditional mean path delay (ps).
@@ -170,45 +279,81 @@ impl PathDistribution {
     /// Survival `P(delay > x)` by linear interpolation on the grid.
     #[must_use]
     pub fn survival(&self, x: f64) -> f64 {
-        if x <= self.xs[0] {
+        let grid = self.grid();
+        if x <= grid.xs[0] {
             return 1.0;
         }
-        if x >= *self.xs.last().expect("non-empty grid") {
+        if x >= *grid.xs.last().expect("non-empty grid") {
             return 0.0;
         }
-        let i = self.xs.partition_point(|&g| g <= x) - 1;
-        let t = (x - self.xs[i]) / (self.xs[i + 1] - self.xs[i]);
-        self.sf[i] * (1.0 - t) + self.sf[i + 1] * t
+        let i = grid.xs.partition_point(|&g| g <= x) - 1;
+        let t = (x - grid.xs[i]) / (grid.xs[i + 1] - grid.xs[i]);
+        grid.sf[i] * (1.0 - t) + grid.sf[i + 1] * t
     }
 
     /// Delay (ps) whose survival equals `g` (log-interpolated in the tail).
+    ///
+    /// O(1) per query: the bucketed inverse index finds the unique bracket
+    /// of the monotone predicate `sf[i] > g` without a binary search, and
+    /// the grid's log-survival values are precomputed, leaving a single
+    /// `ln(g)` per call. The interpolant is bit-identical to the original
+    /// binary-search-plus-4-`ln` formulation (pinned by test).
     #[must_use]
-    fn quantile_by_survival(&self, g: f64) -> f64 {
+    pub fn quantile_by_survival(&self, g: f64) -> f64 {
         debug_assert!(g > 0.0 && g < 1.0);
-        if g >= self.sf[0] {
-            return self.xs[0];
+        let grid = self.grid();
+        if g >= grid.sf[0] {
+            return grid.xs[0];
         }
-        let last = self.sf.len() - 1;
-        if g <= self.sf[last].max(f64::MIN_POSITIVE) && self.sf[last] <= 0.0 {
-            return self.xs[last];
+        let last = grid.sf.len() - 1;
+        if g <= grid.sf[last].max(f64::MIN_POSITIVE) && grid.sf[last] <= 0.0 {
+            return grid.xs[last];
+        }
+        // Unique bracket (lo, hi = lo + 1) with sf[lo] > g >= sf[hi],
+        // clamped to the final cell when g undershoots the whole grid —
+        // exactly what the former binary search converged to.
+        let pp = grid.partition(g);
+        let lo = pp.min(last) - 1;
+        let hi = lo + 1;
+        let (ga, gb) = (grid.sf[lo], grid.sf[hi]);
+        if gb <= 0.0 || ga <= gb {
+            return grid.xs[hi];
+        }
+        // Interpolate in log-survival: near-linear for Gaussian-class tails.
+        let t = (grid.ln_sf[lo] - g.ln()) / (grid.ln_sf[lo] - grid.ln_sf[hi]);
+        grid.xs[lo] + (grid.xs[hi] - grid.xs[lo]) * t.clamp(0.0, 1.0)
+    }
+
+    /// Reference implementation of [`Self::quantile_by_survival`] as it
+    /// stood before the O(1) inverse index: full binary search and `ln`
+    /// evaluated at query time. Kept only to pin bit-exactness.
+    #[cfg(test)]
+    fn quantile_by_survival_reference(&self, g: f64) -> f64 {
+        debug_assert!(g > 0.0 && g < 1.0);
+        let grid = self.grid();
+        if g >= grid.sf[0] {
+            return grid.xs[0];
+        }
+        let last = grid.sf.len() - 1;
+        if g <= grid.sf[last].max(f64::MIN_POSITIVE) && grid.sf[last] <= 0.0 {
+            return grid.xs[last];
         }
         // Binary search: sf is non-increasing.
         let (mut lo, mut hi) = (0usize, last);
         while hi - lo > 1 {
             let mid = (lo + hi) / 2;
-            if self.sf[mid] > g {
+            if grid.sf[mid] > g {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        let (ga, gb) = (self.sf[lo], self.sf[hi]);
+        let (ga, gb) = (grid.sf[lo], grid.sf[hi]);
         if gb <= 0.0 || ga <= gb {
-            return self.xs[hi];
+            return grid.xs[hi];
         }
-        // Interpolate in log-survival: near-linear for Gaussian-class tails.
         let t = (ga.ln() - g.ln()) / (ga.ln() - gb.ln());
-        self.xs[lo] + (self.xs[hi] - self.xs[lo]) * t.clamp(0.0, 1.0)
+        grid.xs[lo] + (grid.xs[hi] - grid.xs[lo]) * t.clamp(0.0, 1.0)
     }
 
     /// Sample one path delay (ps).
@@ -217,7 +362,7 @@ impl PathDistribution {
         self.quantile_by_survival((1.0 - u).max(f64::MIN_POSITIVE))
     }
 
-    /// Sample the maximum of `n` i.i.d. path delays (ps) in O(log grid).
+    /// Sample the maximum of `n` i.i.d. path delays (ps) in O(1).
     ///
     /// # Panics
     ///
@@ -225,9 +370,7 @@ impl PathDistribution {
     pub fn sample_max<R: SampleStream + ?Sized>(&self, n: usize, rng: &mut R) -> f64 {
         assert!(n > 0, "maximum of zero paths is undefined");
         let u = rng.uniform_open();
-        // Survival target of the max: 1 − u^(1/n), computed stably.
-        let g = (-(u.ln() / n as f64).exp_m1()).max(f64::MIN_POSITIVE);
-        self.quantile_by_survival(g)
+        self.quantile_by_survival(order::max_survival_target(u, n))
     }
 }
 
@@ -301,9 +444,10 @@ pub struct DatapathEngine<'a> {
     config: DatapathConfig,
     mode: VariationMode,
     path_model: PathModel<'a>,
-    // BTreeMap, not HashMap: iteration order never leaks into results and
-    // the per-vdd key count is tiny, so ordered lookups are effectively free.
-    cache: Mutex<BTreeMap<u64, Arc<PathDistribution>>>,
+    // Engines on a node's calibrated parameters share the process-wide
+    // operating-point cache; custom-parameter engines get a private one
+    // (the cache key does not encode DeviceParams).
+    cache: Arc<OpPointCache>,
 }
 
 impl<'a> DatapathEngine<'a> {
@@ -322,7 +466,7 @@ impl<'a> DatapathEngine<'a> {
             config,
             mode,
             path_model: PathModel::new(tech, config.path_length),
-            cache: Mutex::new(BTreeMap::new()),
+            cache: OpPointCache::shared_for(tech),
         }
     }
 
@@ -352,21 +496,26 @@ impl<'a> DatapathEngine<'a> {
     }
 
     /// The precomputed unconditional path distribution at `vdd`
-    /// (built on first use, then cached).
+    /// (built on first use, then shared through the operating-point cache
+    /// — process-wide for calibrated nodes, per-engine for custom
+    /// parameter sets).
     #[must_use]
     pub fn path_distribution(&self, vdd: Volts) -> Arc<PathDistribution> {
-        let key = vdd.get().to_bits();
-        let mut cache = self.cache.lock().expect("cache lock");
-        cache
-            .entry(key)
-            .or_insert_with(|| {
-                Arc::new(PathDistribution::build(
-                    self.tech,
-                    vdd,
-                    self.config.path_length,
-                ))
-            })
-            .clone()
+        self.cache
+            .get_or_build(self.tech, self.mode, vdd, self.config.path_length)
+    }
+
+    /// Pre-build the operating points of a voltage sweep in parallel on
+    /// `exec`, so the sweep itself never pays a Gauss–Hermite build or
+    /// survival-grid construction inside its timing loop.
+    pub fn prefetch(&self, voltages: &[Volts], exec: Executor) {
+        self.cache.prefetch(
+            self.tech,
+            self.mode,
+            self.config.path_length,
+            voltages,
+            exec,
+        );
     }
 
     /// Sample the delays (FO4 units) of `n_lanes` lanes on a fresh chip.
@@ -498,8 +647,12 @@ impl<'a> DatapathEngine<'a> {
         exec: Executor,
     ) -> Vec<f64> {
         // Warm the per-vdd distribution cache once, outside the fork, so
-        // workers never contend on (or double-build) it.
-        let _ = self.path_distribution(vdd);
+        // workers never contend on (or double-build) it; modes that draw
+        // through the survival grid need the grid itself warm too.
+        let dist = self.path_distribution(vdd);
+        if self.mode != VariationMode::PaperNormal {
+            dist.warm_grid();
+        }
         let start = range.start;
         exec.map_indexed(range.end - range.start, |i| {
             self.sample_chip_delay_fo4_at(vdd, stream, start + i)
@@ -549,6 +702,9 @@ impl<'a> DatapathEngine<'a> {
     ) -> ChipDelayDistribution {
         assert!(samples > 0, "need at least one Monte-Carlo sample");
         let dist = self.path_distribution(vdd);
+        if self.mode != VariationMode::PaperNormal {
+            dist.warm_grid();
+        }
         let fo4 = dist.mean_ps() / self.config.path_length as f64;
         let data = exec.map_indexed(samples as u64, |i| {
             let mut draws = stream.at(i);
@@ -828,6 +984,56 @@ mod tests {
         let par = engine.path_delay_distribution_par(Volts(0.6), 2000, &stream, Executor::new(4));
         assert_eq!(serial, par);
         assert!((serial.fo4_quantiles.median() / 50.0 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn inverse_cdf_fast_path_is_bit_exact() {
+        // The O(1) bucketed inverse index must reproduce the retired
+        // binary-search interpolant bit for bit, across the entire clamp
+        // range (f64::MIN_POSITIVE up to 1 − ε) and the survival targets
+        // the samplers actually generate.
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = engine_default(&tech);
+        for vdd in [Volts(0.5), Volts(1.0)] {
+            let dist = engine.path_distribution(vdd);
+            let check = |g: f64| {
+                assert_eq!(
+                    dist.quantile_by_survival(g).to_bits(),
+                    dist.quantile_by_survival_reference(g).to_bits(),
+                    "{vdd}: g={g:e}"
+                );
+            };
+            check(f64::MIN_POSITIVE);
+            check(1.0 - f64::EPSILON);
+            for i in 0..4000_i32 {
+                let t = f64::from(i) / 4000.0;
+                let g = (f64::MIN_POSITIVE.ln() * (1.0 - t) - f64::EPSILON * t).exp();
+                check(g.min(1.0 - f64::EPSILON));
+            }
+            let mut rng = StreamRng::from_seed(77);
+            for _ in 0..4000 {
+                let u = rng.uniform_open();
+                check((1.0 - u).max(f64::MIN_POSITIVE));
+                check(order::max_survival_target(u, 100));
+                check(order::max_survival_target(u, 12_800));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_max_routes_through_shared_survival_target() {
+        // PathDistribution::sample_max and the deduped helper must consume
+        // one uniform draw and agree bitwise on the resulting quantile.
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = engine_default(&tech);
+        let dist = engine.path_distribution(Volts(0.55));
+        let mut a = StreamRng::from_seed(123);
+        let mut b = StreamRng::from_seed(123);
+        for &n in &[1usize, 100, 12_800] {
+            let direct = dist.sample_max(n, &mut a);
+            let manual = dist.quantile_by_survival(order::max_survival_target(b.uniform_open(), n));
+            assert_eq!(direct.to_bits(), manual.to_bits(), "n={n}");
+        }
     }
 
     #[test]

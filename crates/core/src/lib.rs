@@ -55,13 +55,17 @@ pub mod engine;
 pub mod exec;
 pub mod frequency;
 pub mod margining;
+pub mod op_cache;
 pub mod overhead;
 pub mod perf;
 pub mod placement;
+pub mod quantile;
 pub mod sensitivity;
 pub mod yield_model;
 
 pub use config::DatapathConfig;
 pub use engine::{ChipDelayDistribution, DatapathEngine};
 pub use exec::Executor;
+pub use op_cache::OpPointCache;
 pub use overhead::DietSodaBudget;
+pub use quantile::{ChipQuantileSolver, Evaluation};

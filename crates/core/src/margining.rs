@@ -26,6 +26,7 @@ use crate::engine::DatapathEngine;
 use crate::exec::Executor;
 use crate::overhead::DietSodaBudget;
 use crate::perf;
+use crate::quantile::{ChipQuantileSolver, Evaluation};
 
 /// A solved voltage-margin design point (one Table 2 cell).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,6 +49,7 @@ pub struct MarginStudy<'a> {
     engine: &'a DatapathEngine<'a>,
     budget: DietSodaBudget,
     exec: Executor,
+    evaluation: Evaluation,
 }
 
 impl<'a> MarginStudy<'a> {
@@ -61,6 +63,7 @@ impl<'a> MarginStudy<'a> {
             engine,
             budget: DietSodaBudget::paper(),
             exec: Executor::default(),
+            evaluation: Evaluation::default(),
         }
     }
 
@@ -71,6 +74,7 @@ impl<'a> MarginStudy<'a> {
             engine,
             budget,
             exec: Executor::default(),
+            evaluation: Evaluation::default(),
         }
     }
 
@@ -82,11 +86,25 @@ impl<'a> MarginStudy<'a> {
         self
     }
 
+    /// How the q99 probes inside the solve loop are evaluated. The default
+    /// ([`Evaluation::MonteCarlo`]) reproduces the historical outputs
+    /// byte-for-byte; [`Evaluation::Analytic`] replaces every probe with
+    /// the exact order-statistic quantile (`samples`/`seed` arguments are
+    /// then ignored) and makes voltage sweeps noise-free and fast.
+    #[must_use]
+    pub fn with_evaluation(mut self, evaluation: Evaluation) -> Self {
+        self.evaluation = evaluation;
+        self
+    }
+
     /// The target chip delay (ns) for NTV operation at `vdd`:
     /// `fo4chipd@FV × FO4(vdd)`.
     #[must_use]
     pub fn target_delay_ns(&self, vdd: Volts, samples: usize, seed: u64) -> f64 {
-        let base_fo4 = perf::baseline_q99_fo4(self.engine, samples, seed, self.exec);
+        let base_fo4 = match self.evaluation {
+            Evaluation::MonteCarlo => perf::baseline_q99_fo4(self.engine, samples, seed, self.exec),
+            Evaluation::Analytic => perf::baseline_q99_fo4_analytic(self.engine),
+        };
         base_fo4 * self.engine.tech().fo4_delay_ps(vdd) / 1000.0
     }
 
@@ -95,10 +113,15 @@ impl<'a> MarginStudy<'a> {
     /// across voltages by construction.
     #[must_use]
     pub fn q99_ns_at(&self, vdd_effective: Volts, samples: usize, seed: u64) -> f64 {
-        let stream = CounterRng::new(seed, "margin-eval");
-        self.engine
-            .chip_delay_distribution_par(vdd_effective, samples, &stream, self.exec)
-            .q99_ns()
+        match self.evaluation {
+            Evaluation::MonteCarlo => {
+                let stream = CounterRng::new(seed, "margin-eval");
+                self.engine
+                    .chip_delay_distribution_par(vdd_effective, samples, &stream, self.exec)
+                    .q99_ns()
+            }
+            Evaluation::Analytic => ChipQuantileSolver::new(self.engine).q99_ns(vdd_effective),
+        }
     }
 
     /// Solve one Table 2 cell: the minimum margin at `vdd`, to 0.1 mV.
@@ -112,27 +135,34 @@ impl<'a> MarginStudy<'a> {
         const TOLERANCE: Volts = Volts(0.1e-3);
         let target_ns = self.target_delay_ns(vdd, samples, seed);
 
-        if self.q99_ns_at(vdd, samples, seed) <= target_ns {
+        // Every probe is a pure function of (seed, voltage), so values
+        // computed during the search are reused instead of re-evaluated.
+        let q0 = self.q99_ns_at(vdd, samples, seed);
+        if q0 <= target_ns {
             return MarginSolution {
                 vdd,
                 margin: Volts::ZERO,
                 target_ns,
-                achieved_ns: self.q99_ns_at(vdd, samples, seed),
+                achieved_ns: q0,
                 power_overhead: 0.0,
             };
         }
+        let q_max = self.q99_ns_at(vdd + Self::MAX_MARGIN, samples, seed);
         assert!(
-            self.q99_ns_at(vdd + Self::MAX_MARGIN, samples, seed) <= target_ns,
+            q_max <= target_ns,
             "voltage margin above {} required at {vdd} — outside the model's regime",
             Self::MAX_MARGIN
         );
 
-        // Invariant: q99(vdd+lo) > target >= q99(vdd+hi).
+        // Invariant: q99(vdd+lo) > target >= q99(vdd+hi) = achieved.
         let (mut lo, mut hi) = (Volts::ZERO, Self::MAX_MARGIN);
+        let mut achieved = q_max;
         while hi - lo > TOLERANCE {
             let mid = 0.5 * (lo + hi);
-            if self.q99_ns_at(vdd + mid, samples, seed) <= target_ns {
+            let q_mid = self.q99_ns_at(vdd + mid, samples, seed);
+            if q_mid <= target_ns {
                 hi = mid;
+                achieved = q_mid;
             } else {
                 lo = mid;
             }
@@ -141,7 +171,7 @@ impl<'a> MarginStudy<'a> {
             vdd,
             margin: hi,
             target_ns,
-            achieved_ns: self.q99_ns_at(vdd + hi, samples, seed),
+            achieved_ns: achieved,
             power_overhead: self.budget.margin_power_overhead(vdd, hi),
         }
     }
@@ -207,6 +237,30 @@ mod tests {
         // At the baseline voltage the target is met by construction
         // (same distribution up to MC noise).
         assert!(sol.margin < Volts(2e-3), "{}", sol.margin);
+    }
+
+    #[test]
+    fn analytic_solve_matches_mc_and_is_noise_free() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let mc = MarginStudy::new(&engine).solve(Volts(0.50), 4000, 1);
+        let study = MarginStudy::new(&engine).with_evaluation(Evaluation::Analytic);
+        let an = study.solve(Volts(0.50), 4000, 1);
+        // Same design point up to MC noise on the 4k-sample estimate.
+        assert!(
+            (an.margin.get() - mc.margin.get()).abs() < 2.0e-3,
+            "analytic {} vs MC {}",
+            an.margin,
+            mc.margin
+        );
+        // Noise-free: the analytic margin is exactly tight at 0.1 mV.
+        assert!(an.achieved_ns <= an.target_ns);
+        let back = study.q99_ns_at(an.vdd + an.margin - Volts(0.2e-3), 0, 0);
+        assert!(back > an.target_ns);
+        // samples/seed are ignored on the analytic path.
+        let again = study.solve(Volts(0.50), 17, 99);
+        assert_eq!(again.margin.get().to_bits(), an.margin.get().to_bits());
+        assert_eq!(again.achieved_ns.to_bits(), an.achieved_ns.to_bits());
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Process-wide operating-point cache for [`PathDistribution`] builds.
+//!
+//! Every sweep in the experiment suite probes the same handful of
+//! `(node, mode, path length, vdd)` operating points — Table 1 and Table 2
+//! alone revisit each voltage across four nodes, and the margining/DSE
+//! bisections land on identical probe voltages across experiment modules.
+//! Before this cache each [`crate::DatapathEngine`] owned a private map, so
+//! fifteen experiment modules repeated identical 24×12 Gauss–Hermite
+//! builds. [`OpPointCache`] shares them process-wide.
+//!
+//! # Keying and the custom-parameter escape hatch
+//!
+//! Entries are keyed by `(TechNode, VariationMode, path_length,
+//! vdd.to_bits())`. The key deliberately does **not** encode the full
+//! [`DeviceParams`] (hashing 14 floats per lookup would cost more than the
+//! lookup); instead, [`OpPointCache::shared_for`] hands the global cache
+//! only to engines whose parameters are exactly the node's calibrated set,
+//! and gives every custom-parameter engine (σ-scaling ablations, what-if
+//! studies) a private instance. [`OpPointCache::get_or_build`] re-asserts
+//! this invariant on the global instance, so a mis-shared cache panics
+//! rather than silently serving a wrong distribution.
+//!
+//! # Locking discipline
+//!
+//! Two-level: an `RwLock` guards only the key → cell map, and each cell is
+//! an `Arc<OnceLock<…>>` that owns the one-time build. The map lock is
+//! never held across a build, so concurrent builders of *different*
+//! operating points proceed in parallel, while racing builders of the
+//! *same* point block on that entry's `OnceLock` alone and observe a
+//! single shared distribution. Values are pure functions of the key (plus
+//! the calibrated parameters the key implies), so cache hits are
+//! bit-identical to fresh builds and the cache cannot perturb any
+//! deterministic-replay contract.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use ntv_device::{DeviceParams, TechModel, TechNode};
+use ntv_units::Volts;
+
+use crate::engine::{PathDistribution, VariationMode};
+use crate::exec::Executor;
+
+type Key = (TechNode, VariationMode, usize, u64);
+
+/// Shared cache of built [`PathDistribution`]s, one entry per operating
+/// point. See the module docs for keying and locking discipline.
+#[derive(Debug, Default)]
+pub struct OpPointCache {
+    entries: RwLock<BTreeMap<Key, Arc<OnceLock<Arc<PathDistribution>>>>>,
+}
+
+impl OpPointCache {
+    /// An empty private cache (for engines with non-calibrated parameters).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide cache shared by every engine running a node's
+    /// calibrated parameter set.
+    #[must_use]
+    pub fn global() -> &'static Arc<OpPointCache> {
+        static GLOBAL: OnceLock<Arc<OpPointCache>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(OpPointCache::new()))
+    }
+
+    /// The cache an engine over `tech` should use: the global instance when
+    /// `tech` carries its node's calibrated parameters, a fresh private one
+    /// otherwise (custom parameters are not part of the cache key).
+    #[must_use]
+    pub fn shared_for(tech: &TechModel) -> Arc<OpPointCache> {
+        if *tech.params() == DeviceParams::for_node(tech.node()) {
+            Arc::clone(Self::global())
+        } else {
+            Arc::new(Self::new())
+        }
+    }
+
+    /// The distribution for `(tech.node(), mode, path_length, vdd)`,
+    /// building it exactly once process-wide (per cache instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the global instance with a `tech` whose
+    /// parameters differ from the node's calibrated set — such engines
+    /// must use a private cache (see [`Self::shared_for`]).
+    #[must_use]
+    pub fn get_or_build(
+        &self,
+        tech: &TechModel,
+        mode: VariationMode,
+        vdd: Volts,
+        path_length: usize,
+    ) -> Arc<PathDistribution> {
+        assert!(
+            !std::ptr::eq(self, Arc::as_ptr(Self::global()))
+                || *tech.params() == DeviceParams::for_node(tech.node()),
+            "global OpPointCache used with custom device parameters for {:?}",
+            tech.node()
+        );
+        let key = (tech.node(), mode, path_length, vdd.get().to_bits());
+        let cell = self
+            .entries
+            .read()
+            .expect("op-point cache lock")
+            .get(&key)
+            .cloned();
+        let cell = match cell {
+            Some(cell) => cell,
+            None => Arc::clone(
+                self.entries
+                    .write()
+                    .expect("op-point cache lock")
+                    .entry(key)
+                    .or_default(),
+            ),
+        };
+        // Build outside both map locks; same-key racers park on this
+        // entry's OnceLock only.
+        // ntv:allow(uncached-build): the cache's own build site — every other caller shares it
+        Arc::clone(cell.get_or_init(|| Arc::new(PathDistribution::build(tech, vdd, path_length))))
+    }
+
+    /// Pre-build a sweep's operating points in parallel on `exec`, and for
+    /// grid-sampling modes also their survival grids, so the sweep itself
+    /// never pays a build. Idempotent; already-cached points cost a lookup.
+    pub fn prefetch(
+        &self,
+        tech: &TechModel,
+        mode: VariationMode,
+        path_length: usize,
+        voltages: &[Volts],
+        exec: Executor,
+    ) {
+        let _: Vec<()> = exec.map_indexed(voltages.len() as u64, |i| {
+            let dist = self.get_or_build(tech, mode, voltages[i as usize], path_length);
+            if mode != VariationMode::PaperNormal {
+                dist.warm_grid();
+            }
+        });
+    }
+
+    /// Number of cached operating points (fully built entries only).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+            .read()
+            .expect("op-point cache lock")
+            .values()
+            .filter(|cell| cell.get().is_some())
+            .count()
+    }
+
+    /// Whether the cache holds no fully built entry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatapathConfig;
+    use crate::engine::DatapathEngine;
+
+    #[test]
+    fn same_operating_point_is_shared_across_engines() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let a = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let b = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let da = a.path_distribution(Volts(0.7125));
+        let db = b.path_distribution(Volts(0.7125));
+        assert!(Arc::ptr_eq(&da, &db), "engines must share built entries");
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_entries() {
+        let tech = TechModel::new(TechNode::Gp45);
+        let short = DatapathEngine::new(&tech, DatapathConfig::new(128, 100, 10));
+        let long = DatapathEngine::new(&tech, DatapathConfig::new(128, 100, 50));
+        let ds = short.path_distribution(Volts(0.8));
+        let dl = long.path_distribution(Volts(0.8));
+        assert!(!Arc::ptr_eq(&ds, &dl));
+        assert!(dl.mean_ps() > ds.mean_ps());
+    }
+
+    #[test]
+    fn custom_parameters_use_a_private_cache() {
+        let defaults = TechModel::new(TechNode::Gp90);
+        let scaled = TechModel::from_params(
+            DeviceParams::builder(TechNode::Gp90)
+                .sigma_scale(2.0)
+                .build()
+                .expect("valid params"),
+        );
+        assert!(Arc::ptr_eq(
+            &OpPointCache::shared_for(&defaults),
+            OpPointCache::global()
+        ));
+        assert!(!Arc::ptr_eq(
+            &OpPointCache::shared_for(&scaled),
+            OpPointCache::global()
+        ));
+        // And the private cache serves values reflecting the custom σ.
+        let tech = TechModel::new(TechNode::Gp90);
+        let base = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let wide = DatapathEngine::new(&scaled, DatapathConfig::paper_default());
+        let d0 = base.path_distribution(Volts(0.6));
+        let d2 = wide.path_distribution(Volts(0.6));
+        assert!(d2.std_ps() > 1.5 * d0.std_ps());
+    }
+
+    #[test]
+    fn global_cache_rejects_custom_parameters() {
+        let scaled = TechModel::from_params(
+            DeviceParams::builder(TechNode::Gp45)
+                .sigma_scale(0.5)
+                .build()
+                .expect("valid params"),
+        );
+        let result = std::panic::catch_unwind(|| {
+            OpPointCache::global().get_or_build(&scaled, VariationMode::PaperNormal, Volts(0.6), 50)
+        });
+        assert!(result.is_err(), "mis-shared global cache must panic");
+    }
+
+    #[test]
+    fn cached_value_is_bit_identical_to_fresh_build() {
+        let tech = TechModel::new(TechNode::PtmHp22);
+        let cache = OpPointCache::new();
+        let cached = cache.get_or_build(&tech, VariationMode::SkewedIid, Volts(0.55), 50);
+        let fresh = PathDistribution::build(&tech, Volts(0.55), 50);
+        assert_eq!(cached.mean_ps().to_bits(), fresh.mean_ps().to_bits());
+        assert_eq!(cached.std_ps().to_bits(), fresh.std_ps().to_bits());
+        for g in [1e-6, 1e-3, 0.01, 0.5, 0.99] {
+            assert_eq!(
+                cached.quantile_by_survival(g).to_bits(),
+                fresh.quantile_by_survival(g).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_builds_every_operating_point_once() {
+        let tech = TechModel::new(TechNode::PtmHp32);
+        let cache = OpPointCache::new();
+        assert!(cache.is_empty());
+        let volts = [Volts(0.5), Volts(0.55), Volts(0.6), Volts(0.65)];
+        cache.prefetch(
+            &tech,
+            VariationMode::SkewedIid,
+            50,
+            &volts,
+            Executor::new(4),
+        );
+        assert_eq!(cache.len(), volts.len());
+        // Prefetched entries are returned, not rebuilt: pointer-equal.
+        let d = cache.get_or_build(&tech, VariationMode::SkewedIid, Volts(0.55), 50);
+        let d2 = cache.get_or_build(&tech, VariationMode::SkewedIid, Volts(0.55), 50);
+        assert!(Arc::ptr_eq(&d, &d2));
+        cache.prefetch(
+            &tech,
+            VariationMode::SkewedIid,
+            50,
+            &volts,
+            Executor::serial(),
+        );
+        assert_eq!(cache.len(), volts.len());
+    }
+}

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::DatapathEngine;
 use crate::exec::Executor;
+use crate::quantile::ChipQuantileSolver;
 
 /// One point of the Fig 4 sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,6 +42,14 @@ pub fn baseline_q99_fo4(
     engine
         .chip_delay_distribution_par(engine.tech().nominal_vdd(), samples, &stream, exec)
         .q99_fo4()
+}
+
+/// Analytic nominal-voltage baseline fo4chipd: the exact q99 from
+/// [`ChipQuantileSolver`], noise-free and sample-count-independent. The
+/// Monte-Carlo [`baseline_q99_fo4`] converges to this value.
+#[must_use]
+pub fn baseline_q99_fo4_analytic(engine: &DatapathEngine<'_>) -> f64 {
+    ChipQuantileSolver::new(engine).q99_fo4(engine.tech().nominal_vdd())
 }
 
 /// Performance drop at a single voltage.
@@ -171,6 +180,15 @@ mod tests {
             drops[0] < drops[1] && drops[0] < drops[2] && drops[3] > drops[2],
             "{drops:?}"
         );
+    }
+
+    #[test]
+    fn analytic_baseline_agrees_with_mc() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let mc = baseline_q99_fo4(&engine, 20_000, 7, Executor::default());
+        let an = baseline_q99_fo4_analytic(&engine);
+        assert!((mc / an - 1.0).abs() < 0.01, "mc {mc} analytic {an}");
     }
 
     #[test]

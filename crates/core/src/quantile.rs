@@ -1,0 +1,584 @@
+//! Exact chip-delay quantiles — the analytic fast path for voltage sweeps.
+//!
+//! Every headline number in the paper (Tables 1–4, Figs 7–11) is a q99
+//! chip-delay statistic swept over voltage × node × mitigation knob, and
+//! the margining/DSE solvers bisect on that statistic at every probe
+//! voltage. Monte-Carlo estimation inside a bisection loop multiplies
+//! `samples × probes` chip draws per sweep point; but the chip delay is a
+//! *maximum of exchangeable path delays*, so its CDF is available in
+//! closed form and the quantile the bisection needs can be evaluated
+//! exactly, noise-free, in microseconds:
+//!
+//! * **PaperNormal** — all `N = lanes × paths` path delays are i.i.d.
+//!   `N(μ, σ²)`, so `F_chip(x) = Φ((x−μ)/σ)^N` and the q-quantile is the
+//!   closed form `μ + σ·Φ⁻¹(q^{1/N})` (log-space root via
+//!   [`order::max_cdf_target`] — the same target the sampler draws through,
+//!   so analytic and Monte-Carlo agree in distribution by construction).
+//! * **SkewedIid** — paths are i.i.d. with the Gauss–Hermite mixture CDF
+//!   tabulated by [`PathDistribution`]; the quantile is one inverse-survival
+//!   lookup at `1 − q^{1/N}` ([`order::max_survival_target`]).
+//! * **Hierarchical** — paths are conditionally independent given the
+//!   chip-global draw `g` and each lane's regional draw. Integrating the
+//!   conditional normal-max CDF over both with Gauss–Hermite quadrature
+//!   gives
+//!   `F_chip(x) = E_g[ (E_f[ Φ((x − μ_g f)/(σ_g f))^paths ])^lanes ]`,
+//!   inverted by deterministic bisection.
+//!
+//! The same machinery yields the distribution of the chip delay *with α
+//! spare lanes* (the `lanes`-th smallest of `lanes + α` i.i.d. lane
+//! delays): a binomial order-statistic tail over the lane CDF, evaluated
+//! in log space so deep-tail lane probabilities do not underflow.
+//!
+//! Monte-Carlo stays the right tool where the *empirical sample paths*
+//! are the product — histograms (Figs 3, 5, 6), yield curves, and any
+//! statistic of a finite-sample estimator. Studies therefore default to
+//! [`Evaluation::MonteCarlo`] (byte-identical to the pre-solver outputs)
+//! and opt into [`Evaluation::Analytic`] explicitly.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::SQRT_2;
+
+use ntv_device::ChipSample;
+use ntv_mc::{normal, order, GaussHermite};
+use ntv_units::Volts;
+
+use crate::engine::{DatapathEngine, PathDistribution, VariationMode};
+
+/// How a study evaluates the chip-delay quantile its search loop probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Evaluation {
+    /// Counter-addressed Monte-Carlo sampling — the default, byte-identical
+    /// to the historical outputs, and required wherever the empirical
+    /// sample paths themselves are reported.
+    #[default]
+    MonteCarlo,
+    /// Exact quantiles from [`ChipQuantileSolver`] — noise-free and orders
+    /// of magnitude faster inside bisection loops.
+    Analytic,
+}
+
+/// Exact quantile evaluator for the chip-delay order statistics of one
+/// [`DatapathEngine`]. See the module docs for the per-mode closed forms.
+#[derive(Debug, Clone, Copy)]
+pub struct ChipQuantileSolver<'e, 't> {
+    engine: &'e DatapathEngine<'t>,
+}
+
+/// Relative bisection tolerance for CDF inversion: ~1e-12 leaves the
+/// result within a few ulps of the true quantile while keeping the
+/// iteration count bounded and deterministic.
+const INVERT_REL_TOL: f64 = 1e-12;
+
+/// Gauss–Hermite order for the regional (per-lane) log-normal delay
+/// factor; matches the 16-point rule `PathModel` uses for conditional
+/// moments.
+const GH_REGION: usize = 16;
+
+impl<'e, 't> ChipQuantileSolver<'e, 't> {
+    /// A solver borrowing `engine`'s operating-point cache and shape.
+    #[must_use]
+    pub fn new(engine: &'e DatapathEngine<'t>) -> Self {
+        Self { engine }
+    }
+
+    /// Exact p-quantile of the chip delay (slowest lane) in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the open interval (0, 1).
+    #[must_use]
+    pub fn chip_quantile_ps(&self, vdd: Volts, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
+        let config = self.engine.config();
+        let n = config.critical_path_count();
+        match self.engine.mode() {
+            VariationMode::PaperNormal => {
+                let dist = self.engine.path_distribution(vdd);
+                // Closed form: max of N i.i.d. normals.
+                dist.mean_ps() + dist.std_ps() * normal::quantile(order::max_cdf_target(p, n))
+            }
+            VariationMode::SkewedIid => {
+                let dist = self.engine.path_distribution(vdd);
+                // One inverse-survival lookup — the same interpolant the
+                // sampler draws through, evaluated at the fixed target.
+                dist.quantile_by_survival(order::max_survival_target(p, n))
+            }
+            VariationMode::Hierarchical => {
+                let mix = self.hier_mixture(vdd);
+                let paths = config.paths_per_lane as f64;
+                let lanes = config.lanes as f64;
+                let (lo, hi) = mix.bracket();
+                invert_monotone_cdf(p, lo, hi, |x| mix.chip_cdf(x, paths, lanes))
+            }
+        }
+    }
+
+    /// Exact p-quantile of the chip delay in FO4 units (the paper's
+    /// "fo4chipd" axis — path-distribution mean over the stage count).
+    #[must_use]
+    pub fn chip_quantile_fo4(&self, vdd: Volts, p: f64) -> f64 {
+        self.chip_quantile_ps(vdd, p) / self.engine.fo4_unit_ps(vdd)
+    }
+
+    /// Exact p-quantile of the chip delay in nanoseconds.
+    #[must_use]
+    pub fn chip_quantile_ns(&self, vdd: Volts, p: f64) -> f64 {
+        self.chip_quantile_ps(vdd, p) / 1_000.0
+    }
+
+    /// The 99 % chip-delay point in FO4 units (the paper's headline
+    /// statistic).
+    #[must_use]
+    pub fn q99_fo4(&self, vdd: Volts) -> f64 {
+        self.chip_quantile_fo4(vdd, 0.99)
+    }
+
+    /// The 99 % chip-delay point in nanoseconds.
+    #[must_use]
+    pub fn q99_ns(&self, vdd: Volts) -> f64 {
+        self.chip_quantile_ns(vdd, 0.99)
+    }
+
+    /// Exact p-quantile (ps) of the chip delay *with spares*: the
+    /// `lanes`-th smallest of `lanes + spares` lane delays (the α slowest
+    /// lanes are disabled at test time, §4.1).
+    ///
+    /// The order-statistic CDF is the binomial tail
+    /// `P(at least `lanes` of `lanes+spares` lane delays ≤ x)`, with the
+    /// lane CDF `F_path(x)^paths` evaluated per mode (conditionally, under
+    /// the quadrature, for `Hierarchical`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the open interval (0, 1).
+    #[must_use]
+    pub fn spares_quantile_ps(&self, vdd: Volts, spares: u32, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
+        if spares == 0 {
+            // Identical distribution; use the direct (often closed-form)
+            // chip quantile.
+            return self.chip_quantile_ps(vdd, p);
+        }
+        let config = self.engine.config();
+        let lanes = config.lanes;
+        let physical = lanes + spares as usize;
+        let paths = config.paths_per_lane as f64;
+        match self.engine.mode() {
+            VariationMode::PaperNormal => {
+                let dist = self.engine.path_distribution(vdd);
+                let (mu, s) = (dist.mean_ps(), dist.std_ps());
+                let (lo, hi) = (mu - 8.0 * s, mu + 12.0 * s);
+                invert_monotone_cdf(p, lo, hi, |x| {
+                    let (pl, sl) = lane_split(ln_normal_cdf((x - mu) / s), paths);
+                    binomial_tail(physical, lanes, pl, sl)
+                })
+            }
+            VariationMode::SkewedIid => {
+                let dist = self.engine.path_distribution(vdd);
+                let (lo, hi) = skewed_bracket(&dist);
+                invert_monotone_cdf(p, lo, hi, |x| {
+                    let (pl, sl) = lane_split((-dist.survival(x)).ln_1p(), paths);
+                    binomial_tail(physical, lanes, pl, sl)
+                })
+            }
+            VariationMode::Hierarchical => {
+                let mix = self.hier_mixture(vdd);
+                let (lo, hi) = mix.bracket();
+                invert_monotone_cdf(p, lo, hi, |x| mix.spares_cdf(x, paths, physical, lanes))
+            }
+        }
+    }
+
+    /// Exact p-quantile of the chip delay with spares, in FO4 units.
+    #[must_use]
+    pub fn spares_quantile_fo4(&self, vdd: Volts, spares: u32, p: f64) -> f64 {
+        self.spares_quantile_ps(vdd, spares, p) / self.engine.fo4_unit_ps(vdd)
+    }
+
+    /// The hierarchical conditional mixture at `vdd`: chip-global
+    /// components `(weight, μ_g ps, σ_g ps)` over the Gauss–Hermite grid of
+    /// `(ΔVth_g, ln k_g)` draws, and regional factors `(weight, f)` over
+    /// the log-normal lane delay factor `exp(S·ΔVth_r − ln k_r)`.
+    ///
+    /// Variance shares mirror `sample_chip_global` / `sample_region`:
+    /// chip-global σ scales by `√(1 − lane_fraction)`, regional by
+    /// `√lane_fraction`.
+    fn hier_mixture(&self, vdd: Volts) -> HierMixture {
+        let params = self.engine.tech().params();
+        let global_share = (1.0 - params.lane_fraction).sqrt();
+        let region_share = params.lane_fraction.sqrt();
+
+        let gh_v = GaussHermite::new(PathDistribution::GH_VTH);
+        let gh_k = GaussHermite::new(PathDistribution::GH_K);
+        const INV_PI: f64 = 1.0 / std::f64::consts::PI;
+        let sigma_vg = params.sigma_vth_systematic * global_share;
+        let sigma_kg = params.sigma_k_systematic * global_share;
+        let comps: Vec<(f64, f64, f64)> = gh_v
+            .nodes()
+            .iter()
+            .zip(gh_v.weights())
+            .flat_map(|(&xv, &wv)| {
+                let dv = sigma_vg * (SQRT_2 * xv);
+                let m = self.engine.path_moments(
+                    vdd,
+                    &ChipSample {
+                        dvth: dv,
+                        ln_k: 0.0,
+                    },
+                );
+                gh_k.nodes()
+                    .iter()
+                    .zip(gh_k.weights())
+                    .map(move |(&xk, &wk)| {
+                        let k = (-(SQRT_2 * sigma_kg * xk)).exp();
+                        (wv * wk * INV_PI, m.mean_ps * k, m.std_ps * k)
+                    })
+            })
+            .collect();
+
+        // ln f = S(vdd)·ΔVth_r − ln k_r is a sum of independent centred
+        // normals, hence normal with the combined variance.
+        let s = self.engine.tech().delay_vth_sensitivity(vdd);
+        let sv = s * (params.sigma_vth_systematic.get() * region_share);
+        let sk = params.sigma_k_systematic * region_share;
+        let s_f = (sv * sv + sk * sk).sqrt();
+        const INV_SQRT_PI: f64 = 0.564_189_583_547_756_3;
+        let gh_f = GaussHermite::new(GH_REGION);
+        let factors: Vec<(f64, f64)> = gh_f
+            .nodes()
+            .iter()
+            .zip(gh_f.weights())
+            .map(|(&xf, &wf)| (wf * INV_SQRT_PI, (SQRT_2 * s_f * xf).exp()))
+            .collect();
+
+        HierMixture { comps, factors }
+    }
+}
+
+/// Conditional mixture for the hierarchical chip-delay CDF: chip-global
+/// path-moment components × regional log-normal delay factors.
+struct HierMixture {
+    /// `(weight, μ ps, σ ps)` per chip-global Gauss–Hermite node pair.
+    comps: Vec<(f64, f64, f64)>,
+    /// `(weight, f)` per regional Gauss–Hermite node.
+    factors: Vec<(f64, f64)>,
+}
+
+impl HierMixture {
+    /// Initial bisection bracket covering the mixture's support out to the
+    /// same ±8σ/+12σ extent the survival grid uses, stretched by the
+    /// regional factor range.
+    fn bracket(&self) -> (f64, f64) {
+        let f_min = self
+            .factors
+            .iter()
+            .map(|&(_, f)| f)
+            .fold(f64::INFINITY, f64::min);
+        let f_max = self
+            .factors
+            .iter()
+            .map(|&(_, f)| f)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let lo = self
+            .comps
+            .iter()
+            .map(|&(_, mu, s)| (mu - 8.0 * s) * f_min)
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .comps
+            .iter()
+            .map(|&(_, mu, s)| (mu + 12.0 * s) * f_max)
+            .fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    }
+
+    /// Lane-delay CDF and survival given chip-global component `(μ, σ)`:
+    /// `E_f[Φ((x − μf)/(σf))^paths]`, with the survival side accumulated
+    /// through `expm1` so it keeps relative precision when the CDF is
+    /// within an ulp of 1.
+    fn lane_cdf_sf(&self, x: f64, mu: f64, s: f64, paths: f64) -> (f64, f64) {
+        let mut cdf = 0.0;
+        let mut sf = 0.0;
+        for &(wf, f) in &self.factors {
+            let ln_phi = ln_normal_cdf((x - mu * f) / (s * f));
+            let (pl, sl) = lane_split(ln_phi, paths);
+            cdf += wf * pl;
+            sf += wf * sl;
+        }
+        (cdf.clamp(0.0, 1.0), sf.clamp(0.0, 1.0))
+    }
+
+    /// Chip-delay CDF: `E_g[(lane CDF | g)^lanes]`.
+    fn chip_cdf(&self, x: f64, paths: f64, lanes: f64) -> f64 {
+        let mut total = 0.0;
+        for &(w, mu, s) in &self.comps {
+            let (cdf, _) = self.lane_cdf_sf(x, mu, s, paths);
+            total += w * cdf.powf(lanes);
+        }
+        total.clamp(0.0, 1.0)
+    }
+
+    /// CDF of the `lanes`-th smallest of `physical` lane delays:
+    /// `E_g[binomial tail of the conditional lane CDF]` (lanes are
+    /// conditionally i.i.d. given the chip-global draw).
+    fn spares_cdf(&self, x: f64, paths: f64, physical: usize, lanes: usize) -> f64 {
+        let mut total = 0.0;
+        for &(w, mu, s) in &self.comps {
+            let (cdf, sf) = self.lane_cdf_sf(x, mu, s, paths);
+            total += w * binomial_tail(physical, lanes, cdf, sf);
+        }
+        total.clamp(0.0, 1.0)
+    }
+}
+
+/// `ln Φ(z)` computed through the survival side so it keeps full relative
+/// precision for large positive `z`, where `Φ(z).ln()` would round to −0.
+fn ln_normal_cdf(z: f64) -> f64 {
+    // Φ(z) = 1 − Q(z) with Q(z) = erfc(z/√2)/2 ∈ [0, 1].
+    (-(0.5 * normal::erfc(z / SQRT_2))).ln_1p()
+}
+
+/// Lane-delay CDF and survival from the log path CDF: `p = F_path^paths`
+/// and its complement, each computed at its own stable end
+/// (`exp` / `−expm1`).
+fn lane_split(ln_f_path: f64, paths: f64) -> (f64, f64) {
+    let ln_p = paths * ln_f_path;
+    (ln_p.exp(), -ln_p.exp_m1())
+}
+
+/// Survival-grid bisection bracket: the grid extent itself.
+fn skewed_bracket(dist: &PathDistribution) -> (f64, f64) {
+    (
+        dist.mean_ps() - 8.0 * dist.std_ps(),
+        dist.mean_ps() + 12.0 * dist.std_ps(),
+    )
+}
+
+/// `P(at least k of m ≤ x)` for i.i.d. events with probability `p`
+/// (survival `s = 1 − p` passed separately so each side keeps its own
+/// precision): `Σ_{j=k}^{m} C(m,j) pʲ s^{m−j}`, accumulated in log space.
+///
+/// # Panics
+///
+/// Panics (debug) if `k` is outside `1..=m`.
+fn binomial_tail(m: usize, k: usize, p: f64, s: f64) -> f64 {
+    debug_assert!(k >= 1 && k <= m, "order statistic rank out of range");
+    if s <= 0.0 {
+        return 1.0; // every lane is ≤ x almost surely
+    }
+    if p <= 0.0 {
+        return 0.0;
+    }
+    let (ln_p, ln_s) = (p.ln(), s.ln());
+    // ln C(m, k), then the ratio recurrence C(m, j+1) = C(m, j)·(m−j)/(j+1).
+    let mut ln_c = 0.0;
+    for i in 1..=k {
+        ln_c += ((m - k + i) as f64 / i as f64).ln();
+    }
+    let mut total = 0.0;
+    for j in k..=m {
+        total += (ln_c + j as f64 * ln_p + (m - j) as f64 * ln_s).exp();
+        if j < m {
+            ln_c += ((m - j) as f64 / (j + 1) as f64).ln();
+        }
+    }
+    total.min(1.0)
+}
+
+/// Invert a monotone CDF by deterministic bisection: the smallest `x` (to
+/// relative tolerance [`INVERT_REL_TOL`]) with `cdf(x) ≥ p`.
+///
+/// The initial bracket is expanded geometrically if it does not straddle
+/// `p` (defensive — the analytic brackets cover all practical quantiles).
+fn invert_monotone_cdf(p: f64, mut lo: f64, mut hi: f64, cdf: impl Fn(f64) -> f64) -> f64 {
+    debug_assert!(lo < hi, "empty bisection bracket");
+    let mut width = hi - lo;
+    let mut guard = 0;
+    while cdf(hi) < p && guard < 64 {
+        hi += width;
+        width *= 2.0;
+        guard += 1;
+    }
+    let mut width = hi - lo;
+    while cdf(lo) >= p && guard < 128 {
+        lo -= width;
+        width *= 2.0;
+        guard += 1;
+    }
+    for _ in 0..200 {
+        if hi - lo <= INVERT_REL_TOL * hi.abs().max(1.0) {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if cdf(mid) >= p {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatapathConfig;
+    use ntv_device::{TechModel, TechNode};
+
+    fn solver_quantiles(mode: VariationMode, vdd: Volts) -> (f64, f64) {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
+        let solver = ChipQuantileSolver::new(&engine);
+        (
+            solver.chip_quantile_ps(vdd, 0.5),
+            solver.chip_quantile_ps(vdd, 0.99),
+        )
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_finite() {
+        for mode in [
+            VariationMode::PaperNormal,
+            VariationMode::SkewedIid,
+            VariationMode::Hierarchical,
+        ] {
+            for vdd in [Volts(0.5), Volts(1.0)] {
+                let (q50, q99) = solver_quantiles(mode, vdd);
+                assert!(q50.is_finite() && q99.is_finite(), "{mode:?} {vdd}");
+                assert!(q99 > q50, "{mode:?} {vdd}: q99 {q99} <= q50 {q50}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_normal_matches_closed_form() {
+        let tech = TechModel::new(TechNode::Gp45);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let solver = ChipQuantileSolver::new(&engine);
+        let dist = engine.path_distribution(Volts(0.6));
+        let n = engine.config().critical_path_count();
+        let q = solver.chip_quantile_ps(Volts(0.6), 0.99);
+        let expect =
+            dist.mean_ps() + dist.std_ps() * normal::quantile(order::max_cdf_target(0.99, n));
+        assert_eq!(q.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn chip_quantile_is_monotone_in_p_and_n() {
+        let tech = TechModel::new(TechNode::PtmHp22);
+        for mode in [
+            VariationMode::PaperNormal,
+            VariationMode::SkewedIid,
+            VariationMode::Hierarchical,
+        ] {
+            let wide = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
+            let narrow = DatapathEngine::with_mode(&tech, DatapathConfig::new(8, 100, 50), mode);
+            let ws = ChipQuantileSolver::new(&wide);
+            let ns = ChipQuantileSolver::new(&narrow);
+            let vdd = Volts(0.55);
+            assert!(ws.chip_quantile_ps(vdd, 0.99) > ws.chip_quantile_ps(vdd, 0.5));
+            // More parallel paths push the max right.
+            assert!(
+                ws.chip_quantile_ps(vdd, 0.5) > ns.chip_quantile_ps(vdd, 0.5),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spares_quantile_decreases_with_spares() {
+        let tech = TechModel::new(TechNode::Gp45);
+        for mode in [
+            VariationMode::PaperNormal,
+            VariationMode::SkewedIid,
+            VariationMode::Hierarchical,
+        ] {
+            let engine = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
+            let solver = ChipQuantileSolver::new(&engine);
+            let vdd = Volts(0.6);
+            let mut prev = f64::INFINITY;
+            for spares in [0u32, 2, 8, 26] {
+                let q = solver.spares_quantile_ps(vdd, spares, 0.99);
+                assert!(q.is_finite());
+                assert!(q < prev, "{mode:?} spares {spares}: {q} !< {prev}");
+                prev = q;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_spares_equals_chip_quantile() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
+        let solver = ChipQuantileSolver::new(&engine);
+        assert_eq!(
+            solver.spares_quantile_ps(Volts(0.5), 0, 0.99).to_bits(),
+            solver.chip_quantile_ps(Volts(0.5), 0.99).to_bits()
+        );
+    }
+
+    #[test]
+    fn one_lane_spares_tail_matches_power_form() {
+        // With one physical lane the binomial tail degenerates to the lane
+        // CDF itself, so the spares path must agree with the chip path.
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::with_mode(
+            &tech,
+            DatapathConfig::new(1, 100, 50),
+            VariationMode::PaperNormal,
+        );
+        let solver = ChipQuantileSolver::new(&engine);
+        let dist = engine.path_distribution(Volts(0.7));
+        let direct = solver.chip_quantile_ps(Volts(0.7), 0.9);
+        // Invert the spares CDF machinery at spares = 1, lanes = 1: the
+        // median of min(2 lanes) sits strictly below the 1-lane quantile.
+        let min2 = solver.spares_quantile_ps(Volts(0.7), 1, 0.9);
+        assert!(min2 < direct);
+        assert!(min2 > dist.mean_ps() - 8.0 * dist.std_ps());
+    }
+
+    #[test]
+    fn binomial_tail_matches_direct_sum() {
+        // Small case checked against the literal binomial sum.
+        let (m, k, p) = (6usize, 4usize, 0.3f64);
+        let s = 1.0 - p;
+        let mut direct = 0.0;
+        for j in k..=m {
+            let c: f64 = (1..=m).map(|i| i as f64).product::<f64>()
+                / ((1..=j).map(|i| i as f64).product::<f64>()
+                    * (1..=(m - j)).map(|i| i as f64).product::<f64>());
+            direct += c * p.powi(j as i32) * s.powi((m - j) as i32);
+        }
+        let fast = binomial_tail(m, k, p, s);
+        assert!((fast - direct).abs() < 1e-14, "{fast} vs {direct}");
+    }
+
+    #[test]
+    fn binomial_tail_edges() {
+        assert_eq!(binomial_tail(128, 128, 0.0, 1.0), 0.0);
+        assert_eq!(binomial_tail(128, 128, 1.0, 0.0), 1.0);
+        // k = m reduces to p^m in log space.
+        let t = binomial_tail(100, 100, 0.999, 0.001);
+        assert!((t - 0.999f64.powi(100)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_normal_cdf_keeps_tail_precision() {
+        // Deep upper tail: ln Φ(8) ≈ −Q(8); the naive ln(Φ) rounds to 0.
+        let q = 0.5 * normal::erfc(8.0 / SQRT_2);
+        let l = ln_normal_cdf(8.0);
+        assert!(l < 0.0, "must stay strictly negative: {l}");
+        assert!((l + q).abs() < 1e-3 * q);
+        // Deep lower tail → −∞ rather than NaN.
+        assert_eq!(ln_normal_cdf(-60.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn invert_monotone_cdf_recovers_normal_quantile() {
+        let q = invert_monotone_cdf(0.99, -6.0, 6.0, normal::cdf);
+        assert!((q - normal::quantile(0.99)).abs() < 1e-9);
+        // Bracket expansion: start with a bracket that misses the target.
+        let q2 = invert_monotone_cdf(0.99, -0.1, 0.1, normal::cdf);
+        assert!((q2 - normal::quantile(0.99)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Analytic-vs-Monte-Carlo equivalence suite.
+//!
+//! [`ChipQuantileSolver`] claims to compute the *exact* quantiles of the
+//! same chip-delay distribution the Monte-Carlo engine samples. This suite
+//! pins that claim across every variation mode, a coarse and a scaled
+//! node, and the full voltage range of the paper's sweeps: the analytic
+//! q50/q99 must sit within 3 bootstrap standard errors of a 50 000-sample
+//! Monte-Carlo estimate — the strongest statement a finite sample can
+//! certify, and tight enough to catch any unit slip, wrong variance
+//! share, or quadrature mis-specification.
+
+use ntv_core::engine::VariationMode;
+use ntv_core::{ChipQuantileSolver, DatapathConfig, DatapathEngine, Executor};
+use ntv_device::{TechModel, TechNode};
+use ntv_mc::{bootstrap, order, CounterRng, StreamRng};
+use ntv_units::Volts;
+
+const SAMPLES: usize = 50_000;
+const RESAMPLES: usize = 200;
+
+/// Monte-Carlo quantile estimate with a bootstrapped standard error.
+fn mc_quantile(samples: &[f64], p: f64, rng: &mut StreamRng) -> (f64, f64) {
+    let idx = (p * (samples.len() - 1) as f64).round() as usize;
+    let ci = bootstrap::bootstrap_ci(samples, RESAMPLES, 0.95, rng, |v| {
+        order::kth_smallest(v, idx)
+    });
+    // A 95% percentile interval spans ±1.96 SE around the estimate.
+    (ci.estimate, ci.width() / 3.92)
+}
+
+fn check_mode_node_voltage(mode: VariationMode, node: TechNode, vdd: Volts, seed: u64) {
+    let tech = TechModel::new(node);
+    let engine = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
+    let solver = ChipQuantileSolver::new(&engine);
+
+    let stream = CounterRng::new(seed, "equivalence");
+    let samples = engine.sample_batch(vdd, &stream, 0..SAMPLES as u64, Executor::default());
+
+    let mut boot = StreamRng::from_seed(seed ^ 0x5eed);
+    for p in [0.5, 0.99] {
+        let (mc, se) = mc_quantile(&samples, p, &mut boot);
+        let analytic = solver.chip_quantile_fo4(vdd, p);
+        assert!(
+            (analytic - mc).abs() <= 3.0 * se,
+            "{mode:?} {node:?} {vdd} q{:.0}: analytic {analytic} vs MC {mc} ± {se} (3σ)",
+            p * 100.0
+        );
+    }
+}
+
+macro_rules! equivalence_case {
+    ($name:ident, $mode:ident, $node:ident, $mv:literal, $seed:literal) => {
+        #[test]
+        fn $name() {
+            check_mode_node_voltage(
+                VariationMode::$mode,
+                TechNode::$node,
+                Volts(f64::from($mv) / 1000.0),
+                $seed,
+            );
+        }
+    };
+}
+
+// PaperNormal × {Gp90, PtmHp22} × {0.4, 0.55, 1.0} V
+equivalence_case!(paper_normal_gp90_400mv, PaperNormal, Gp90, 400, 11);
+equivalence_case!(paper_normal_gp90_550mv, PaperNormal, Gp90, 550, 12);
+equivalence_case!(paper_normal_gp90_1000mv, PaperNormal, Gp90, 1000, 13);
+equivalence_case!(paper_normal_ptm22_400mv, PaperNormal, PtmHp22, 400, 14);
+equivalence_case!(paper_normal_ptm22_550mv, PaperNormal, PtmHp22, 550, 15);
+equivalence_case!(paper_normal_ptm22_1000mv, PaperNormal, PtmHp22, 1000, 16);
+
+// SkewedIid × {Gp90, PtmHp22} × {0.4, 0.55, 1.0} V
+equivalence_case!(skewed_iid_gp90_400mv, SkewedIid, Gp90, 400, 21);
+equivalence_case!(skewed_iid_gp90_550mv, SkewedIid, Gp90, 550, 22);
+equivalence_case!(skewed_iid_gp90_1000mv, SkewedIid, Gp90, 1000, 23);
+equivalence_case!(skewed_iid_ptm22_400mv, SkewedIid, PtmHp22, 400, 24);
+equivalence_case!(skewed_iid_ptm22_550mv, SkewedIid, PtmHp22, 550, 25);
+equivalence_case!(skewed_iid_ptm22_1000mv, SkewedIid, PtmHp22, 1000, 26);
+
+// Hierarchical × {Gp90, PtmHp22} × {0.4, 0.55, 1.0} V
+equivalence_case!(hierarchical_gp90_400mv, Hierarchical, Gp90, 400, 31);
+equivalence_case!(hierarchical_gp90_550mv, Hierarchical, Gp90, 550, 32);
+equivalence_case!(hierarchical_gp90_1000mv, Hierarchical, Gp90, 1000, 33);
+equivalence_case!(hierarchical_ptm22_400mv, Hierarchical, PtmHp22, 400, 34);
+equivalence_case!(hierarchical_ptm22_550mv, Hierarchical, PtmHp22, 550, 35);
+equivalence_case!(hierarchical_ptm22_1000mv, Hierarchical, PtmHp22, 1000, 36);

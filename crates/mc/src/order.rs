@@ -48,11 +48,54 @@ pub fn sample_max_normal<R: SampleStream + ?Sized>(
         return mean;
     }
     let u = rng.uniform_open();
+    mean + std_dev * normal::quantile(max_cdf_target(u, n))
+}
+
+/// CDF target `u^{1/n}` of the maximum of `n` i.i.d. draws, computed in log
+/// space and clamped into the open interval quantile functions accept.
+///
+/// If `U ~ Uniform(0,1)` then `F⁻¹(U^{1/n})` is distributed as the maximum
+/// of `n` i.i.d. variables with CDF `F`; the same expression with a fixed
+/// probability `p` in place of `U` gives the exact `p`-quantile of the
+/// maximum. The log-space form stays accurate for `n` up to 10⁹ and for
+/// subnormal `u`, where a naive `u.powf(1.0 / n)` loses all precision.
+///
+/// The dual survival-side target is [`max_survival_target`]; the two are
+/// deliberately *not* derived from one another (`1 − x` would destroy the
+/// sub-epsilon resolution each side carries near its own end).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn max_cdf_target(u: f64, n: usize) -> f64 {
+    assert!(n > 0, "maximum of zero variables is undefined");
+    debug_assert!(u > 0.0 && u < 1.0, "probability must lie in (0,1)");
     // u^(1/n) computed in log space to stay accurate for large n.
     let p = (u.ln() / n as f64).exp();
     // Guard against p rounding to exactly 1.0 for tiny n and u ≈ 1.
     let p = p.min(1.0 - f64::EPSILON);
-    mean + std_dev * normal::quantile(p.max(f64::MIN_POSITIVE))
+    p.max(f64::MIN_POSITIVE)
+}
+
+/// Survival target `1 − u^{1/n}` of the maximum of `n` i.i.d. draws,
+/// computed stably via `−expm1(ln(u)/n)` and floored at the smallest
+/// positive normal so inverse-survival lookups never receive exact zero.
+///
+/// For large `n`, `1 − u^{1/n} ≈ −ln(u)/n` shrinks far below `f64::EPSILON`;
+/// the `expm1` form keeps full relative precision there where computing
+/// `1.0 − max_cdf_target(u, n)` would cancel to zero. This is the shared
+/// implementation of the survival-side max trick used by grid-based
+/// inverse-survival samplers.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn max_survival_target(u: f64, n: usize) -> f64 {
+    assert!(n > 0, "maximum of zero variables is undefined");
+    debug_assert!(u > 0.0 && u < 1.0, "probability must lie in (0,1)");
+    (-(u.ln() / n as f64).exp_m1()).max(f64::MIN_POSITIVE)
 }
 
 /// k-th smallest element (0-based) of a sample, by partial selection.
@@ -182,5 +225,76 @@ mod tests {
     fn max_of_zero_vars_rejected() {
         let mut rng = StreamRng::from_seed(0);
         let _ = sample_max_normal(&mut rng, 0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn max_targets_are_complementary_for_moderate_inputs() {
+        for &n in &[1usize, 2, 7, 100, 12_800] {
+            for &u in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+                let p = max_cdf_target(u, n);
+                let g = max_survival_target(u, n);
+                assert!(p > 0.0 && p < 1.0);
+                assert!(g > 0.0 && g < 1.0);
+                assert!((p + g - 1.0).abs() < 1e-14, "n={n} u={u}: {p} + {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_survival_target_keeps_precision_at_extreme_n() {
+        // 1 − u^{1/n} ≈ −ln(u)/n for huge n; the expm1 form keeps full
+        // relative precision where the naive 1.0 − powf subtraction is
+        // quantised to half-ulps of 1.0 (~7 significant digits at n = 10⁹).
+        for &n in &[1_000_000usize, 1_000_000_000] {
+            let g = max_survival_target(0.5, n);
+            let expect = std::f64::consts::LN_2 / n as f64;
+            assert!((g / expect - 1.0).abs() < 1e-6, "n={n}: {g} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn max_cdf_target_handles_subnormal_u() {
+        // Smallest positive subnormal: ln is finite, so the log-space root
+        // is exact where powf underflows its intermediate.
+        let u = f64::from_bits(1);
+        let p = max_cdf_target(u, 10);
+        assert!(p > 0.0 && p.is_finite());
+        assert!((p.ln() - u.ln() / 10.0).abs() < 1e-12 * u.ln().abs());
+        let g = max_survival_target(u, 10);
+        assert!(g > 1.0 - 1e-12 && g <= 1.0);
+    }
+
+    #[test]
+    fn max_targets_are_clamped_into_the_open_interval() {
+        // u → 1⁻ with n = 1 would round the CDF target to exactly 1.0
+        // without the clamp, and the survival floor keeps grid lookups off
+        // exact zero.
+        let u = 1.0 - f64::EPSILON / 2.0;
+        assert!(max_cdf_target(u, 1) <= 1.0 - f64::EPSILON);
+        assert!(max_survival_target(u, 1) >= f64::MIN_POSITIVE);
+        assert!(max_cdf_target(f64::MIN_POSITIVE, 1) >= f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn max_targets_are_monotone_in_u() {
+        for &n in &[1usize, 100, 12_800] {
+            let mut prev_p = 0.0;
+            let mut prev_g = 1.0;
+            for i in 1..200 {
+                let u = f64::from(i) / 200.0;
+                let p = max_cdf_target(u, n);
+                let g = max_survival_target(u, n);
+                assert!(p >= prev_p, "cdf target not monotone at n={n} u={u}");
+                assert!(g <= prev_g, "survival target not monotone at n={n} u={u}");
+                prev_p = p;
+                prev_g = g;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "maximum of zero")]
+    fn max_survival_target_rejects_zero_n() {
+        let _ = max_survival_target(0.5, 0);
     }
 }

@@ -92,6 +92,10 @@ impl FileClass {
             RuleId::WallClock => matches!(self, Library | Tool),
             RuleId::HashContainer => matches!(self, Library | Tool),
             RuleId::Unwrap | RuleId::Panic => matches!(self, Library | Tool),
+            // Result-producing code (library and experiment crates) must
+            // share Gauss–Hermite builds through the operating-point cache;
+            // harnesses may construct throwaway distributions.
+            RuleId::UncachedBuild => matches!(self, Library | FileClass::Bench),
         }
     }
 }
@@ -379,6 +383,7 @@ pub fn lint_source(rel: &Path, source: &str, policy: &Policy) -> Vec<Diagnostic>
                     | RuleId::HashContainer
                     | RuleId::WallClock
                     | RuleId::BareUnit
+                    | RuleId::UncachedBuild
             )
         {
             continue;

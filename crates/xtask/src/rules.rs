@@ -49,6 +49,10 @@ pub enum RuleId {
     /// Bare `f64` (or f64 tuple) carrying a physical unit in a public
     /// library signature — use the `ntv-units` newtypes instead.
     BareUnit,
+    /// Direct `PathDistribution::build` outside the operating-point cache —
+    /// identical Gauss–Hermite builds must be shared via
+    /// `ntv_core::OpPointCache` (`get_or_build` / `prefetch`).
+    UncachedBuild,
     /// Malformed `ntv:allow(..)` waiver comment (missing rule or reason).
     BadWaiver,
 }
@@ -65,6 +69,7 @@ impl RuleId {
         RuleId::Unwrap,
         RuleId::Panic,
         RuleId::BareUnit,
+        RuleId::UncachedBuild,
         RuleId::BadWaiver,
     ];
 
@@ -81,6 +86,7 @@ impl RuleId {
             RuleId::Unwrap => "ntv::unwrap",
             RuleId::Panic => "ntv::panic",
             RuleId::BareUnit => "ntv::bare-unit",
+            RuleId::UncachedBuild => "ntv::uncached-build",
             RuleId::BadWaiver => "ntv::bad-waiver",
         }
     }
@@ -98,6 +104,7 @@ impl RuleId {
             RuleId::Unwrap => "unwrap",
             RuleId::Panic => "panic",
             RuleId::BareUnit => "bare-unit",
+            RuleId::UncachedBuild => "uncached-build",
             RuleId::BadWaiver => "bad-waiver",
         }
     }
@@ -153,6 +160,13 @@ impl RuleId {
                  `ntv-units` newtypes (`Volts`, `Seconds`, `Hertz`, `Watts`, \
                  `Kelvin`) so unit mix-ups fail to compile; scale-suffixed \
                  names (`_ps`, `_mv`, `_fo4`, ...) stay `f64` by convention"
+            }
+            RuleId::UncachedBuild => {
+                "obtain path distributions through `ntv_core::OpPointCache` \
+                 (`get_or_build`, or `DatapathEngine::path_distribution` / \
+                 `prefetch`) so identical Gauss–Hermite builds are shared \
+                 process-wide; direct `PathDistribution::build` repeats the \
+                 quadrature per call site"
             }
             RuleId::BadWaiver => {
                 "waivers must name a rule and give a reason: \
@@ -235,6 +249,12 @@ pub fn scan(tokens: &[Token]) -> Vec<Hit> {
                     message: format!("`{ident}!` in library code"),
                 });
             }
+            "PathDistribution" if path_call(tokens, i, "build") => hits.push(Hit {
+                rule: RuleId::UncachedBuild,
+                line: tok.line,
+                message: "direct `PathDistribution::build` outside the operating-point cache"
+                    .to_string(),
+            }),
             "unreachable" if is_macro_invocation(tokens, i) && macro_args_empty(tokens, i) => {
                 hits.push(Hit {
                     rule: RuleId::Panic,
@@ -541,6 +561,23 @@ mod tests {
     #[test]
     fn macro_definitions_are_not_invocations() {
         assert!(rules_hit("macro_rules! panic { () => {} }").is_empty());
+    }
+
+    #[test]
+    fn detects_uncached_distribution_builds() {
+        assert_eq!(
+            rules_hit("let d = PathDistribution::build(&tech, vdd, n);"),
+            vec![RuleId::UncachedBuild]
+        );
+        assert_eq!(
+            rules_hit("let d = crate::engine::PathDistribution::build(&tech, vdd, n);"),
+            vec![RuleId::UncachedBuild]
+        );
+        // The sanctioned accessors never name the constructor.
+        assert!(rules_hit("let d = engine.path_distribution(vdd);").is_empty());
+        assert!(rules_hit("let d = cache.get_or_build(&tech, vdd, n);").is_empty());
+        // Mentioning the type without calling `::build` is fine.
+        assert!(rules_hit("fn f(d: &PathDistribution) -> f64 { d.mean_ps() }").is_empty());
     }
 
     fn sig_hits(src: &str) -> Vec<Hit> {

@@ -1,0 +1,8 @@
+//! Fixture: direct `PathDistribution::build` in result-producing code must
+//! trigger `ntv::uncached-build` — identical Gauss–Hermite builds belong in
+//! the shared operating-point cache.
+
+pub fn q99_ps(tech: &TechModel, vdd: Volts, path_length: usize) -> f64 {
+    let dist = PathDistribution::build(tech, vdd, path_length);
+    dist.quantile_by_survival(0.01)
+}

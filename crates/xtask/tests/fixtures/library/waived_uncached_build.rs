@@ -1,0 +1,7 @@
+//! Fixture: a reasoned `ntv:allow(uncached-build)` waiver silences the rule
+//! at a sanctioned construction site.
+
+pub fn build_uncacheable(tech: &TechModel, vdd: Volts, path_length: usize) -> PathDistribution {
+    // ntv:allow(uncached-build): per-call params have no cache identity
+    PathDistribution::build(tech, vdd, path_length)
+}

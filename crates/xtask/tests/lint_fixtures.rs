@@ -42,6 +42,7 @@ fn each_bad_library_fixture_triggers_its_rule() {
         ("library/bad_unwrap.rs", RuleId::Unwrap),
         ("library/bad_panic.rs", RuleId::Panic),
         ("library/bad_bare_unit.rs", RuleId::BareUnit),
+        ("library/bad_uncached_build.rs", RuleId::UncachedBuild),
         ("library/bad_waiver.rs", RuleId::BadWaiver),
     ];
     for (rel, rule) in cases {
@@ -74,6 +75,23 @@ fn bare_unit_fixture_flags_every_shape_and_waiver_silences() {
         lint_rules("library/waived_bare_unit.rs"),
         vec![],
         "library/waived_bare_unit.rs"
+    );
+}
+
+#[test]
+fn uncached_build_waiver_silences_and_harness_is_exempt() {
+    assert_eq!(
+        lint_rules("library/waived_uncached_build.rs"),
+        vec![],
+        "library/waived_uncached_build.rs"
+    );
+    // Harness code may build throwaway distributions without a waiver.
+    let source =
+        std::fs::read_to_string(fixture("library/bad_uncached_build.rs")).expect("fixture exists");
+    let harness_rel = Path::new("crates/core/tests/scratch.rs");
+    assert!(
+        engine::lint_source(harness_rel, &source, &Policy::default()).is_empty(),
+        "harness files are exempt from ntv::uncached-build"
     );
 }
 
