@@ -91,6 +91,7 @@ pub fn analyze(netlist: &Netlist, delays: &[f64]) -> StaResult {
             .iter()
             .map(|&f| (f, arrival[f.index()]))
             .max_by(|a, b| a.1.total_cmp(&b.1))
+            // ntv:allow(panic-path): every GateKind constructor wires at least one fan-in
             .expect("logic gates have at least one fan-in");
         arrival[id.index()] = worst_arrival + delays[id.index()];
         critical_fanin[id.index()] = Some(worst_in);
@@ -100,6 +101,7 @@ pub fn analyze(netlist: &Netlist, delays: &[f64]) -> StaResult {
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
+        // ntv:allow(panic-path): arrival holds one slot per gate and netlists have ≥1 gate
         .expect("non-empty netlist");
 
     let mut path = Vec::new();

@@ -283,7 +283,7 @@ impl PathDistribution {
         if x <= grid.xs[0] {
             return 1.0;
         }
-        if x >= *grid.xs.last().expect("non-empty grid") {
+        if x >= grid.xs[grid.xs.len() - 1] {
             return 0.0;
         }
         let i = grid.xs.partition_point(|&g| g <= x) - 1;

@@ -107,6 +107,7 @@ impl Executor {
                 .map(|&(start, len)| scope.spawn(move || (start..start + len).map(f).collect()))
                 .collect();
             for handle in handles {
+                // ntv:allow(panic-path): re-raises a worker's own panic; join fails no other way
                 chunks.push(handle.join().expect("executor worker panicked"));
             }
         });

@@ -103,6 +103,7 @@ impl OpPointCache {
         let cell = self
             .entries
             .read()
+            // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
             .expect("op-point cache lock")
             .get(&key)
             .cloned();
@@ -111,6 +112,7 @@ impl OpPointCache {
             None => Arc::clone(
                 self.entries
                     .write()
+                    // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
                     .expect("op-point cache lock")
                     .entry(key)
                     .or_default(),
@@ -146,6 +148,7 @@ impl OpPointCache {
     pub fn len(&self) -> usize {
         self.entries
             .read()
+            // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
             .expect("op-point cache lock")
             .values()
             .filter(|cell| cell.get().is_some())

@@ -79,6 +79,7 @@ impl TechModel {
     /// to construct checked custom parameters.
     #[must_use]
     pub fn from_params(params: DeviceParams) -> Self {
+        // ntv:allow(panic-path): documented panic (see `# Panics`); the builder is the checked path
         params.validate().expect("device parameters must be valid");
         Self { params }
     }

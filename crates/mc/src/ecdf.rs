@@ -47,6 +47,7 @@ impl Ecdf {
     /// [`Ecdf::try_from_samples`] to handle those as errors.
     #[must_use]
     pub fn from_samples(samples: Vec<f64>) -> Self {
+        // ntv:allow(panic-path): documented panicking convenience; `try_from_samples` is the total API
         Self::try_from_samples(samples).expect("ecdf requires a non-empty finite sample")
     }
 

@@ -77,8 +77,10 @@ impl GaussHermite {
             }
             assert!(converged, "Gauss-Hermite Newton iteration did not converge");
             nodes[i] = z;
+            // ntv:allow(panic-path): n-1-i < n because i < ceil(n/2), and both vecs hold n slots
             nodes[n - 1 - i] = -z;
             weights[i] = 2.0 / (pp * pp);
+            // ntv:allow(panic-path): same mirror-index bound as the nodes store above
             weights[n - 1 - i] = weights[i];
         }
         Self { nodes, weights }

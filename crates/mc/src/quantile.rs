@@ -52,6 +52,7 @@ impl Quantiles {
     /// [`Quantiles::try_from_samples`] to handle those as errors.
     #[must_use]
     pub fn from_samples(samples: Vec<f64>) -> Self {
+        // ntv:allow(panic-path): documented panicking convenience; `try_from_samples` is the total API
         Self::try_from_samples(samples).expect("quantiles require a non-empty finite sample")
     }
 
@@ -114,7 +115,7 @@ impl Quantiles {
     /// Largest sample.
     #[must_use]
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        self.sorted[self.sorted.len() - 1]
     }
 
     /// Borrow the sorted sample.

@@ -138,6 +138,7 @@ impl FaultModel {
     /// Panics if `lane` is out of range.
     #[must_use]
     pub fn error_probability(&self, lane: usize) -> f64 {
+        // ntv:allow(panic-path): documented panic (see `# Panics`); lanes are machine-fixed at 128
         self.error_prob[lane]
     }
 

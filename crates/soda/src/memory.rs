@@ -101,6 +101,7 @@ impl SimdMemory {
     ) -> Result<[i16; BANK_WIDTH], AccessOutOfRange> {
         Self::check_bank(bank)?;
         Self::check_row(row)?;
+        // ntv:allow(panic-path): bank and row validated by the checks above
         Ok(self.banks[bank][row])
     }
 
@@ -125,6 +126,7 @@ impl SimdMemory {
                 limit: BANK_WIDTH,
             });
         }
+        // ntv:allow(panic-path): bank and row validated by the checks above
         self.banks[bank][row].copy_from_slice(data);
         Ok(())
     }
@@ -252,6 +254,7 @@ impl ScalarMemory {
                 limit: SCALAR_WORDS,
             });
         }
+        // ntv:allow(panic-path): addr validated against SCALAR_WORDS above
         self.words[addr] = value;
         Ok(())
     }

@@ -291,8 +291,13 @@ impl ProcessingElement {
     }
 
     /// Read a scalar register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
     #[must_use]
     pub fn sreg(&self, index: usize) -> i16 {
+        // ntv:allow(panic-path): documented panic (see `# Panics`); the register file is machine-fixed
         self.sregs[index]
     }
 
@@ -422,6 +427,7 @@ impl ProcessingElement {
             | Instr::VUn { .. }
             | Instr::VSel { .. }
             | Instr::VMac { .. }
+            // ntv:allow(panic-path): execute() routes every FU instruction to apply_fu first
             | Instr::VMacRead { .. } => unreachable!("FU instructions handled above"),
         }
         Ok(())
@@ -544,6 +550,7 @@ impl ProcessingElement {
                     }
                 }
             }
+            // ntv:allow(panic-path): apply_fu's only caller filters to FU instructions
             _ => unreachable!("only FU instructions reach apply_fu"),
         }
     }

@@ -158,6 +158,7 @@ impl LaneMap {
             });
         }
         Ok(Self {
+            // ntv:allow(panic-path): healthy.len() >= logical checked just above
             to_physical: healthy[..logical].to_vec(),
             physical,
         })
@@ -182,6 +183,7 @@ impl LaneMap {
     /// Panics if `l` is out of range.
     #[must_use]
     pub fn physical(&self, l: usize) -> usize {
+        // ntv:allow(panic-path): documented panic (see `# Panics`); map width equals logical_lanes()
         self.to_physical[l]
     }
 
@@ -298,6 +300,7 @@ impl XramCrossbar {
             slot < self.configs.len(),
             "no stored shuffle configuration in slot {slot}"
         );
+        // ntv:allow(panic-path): slot bound asserted just above; `try_shuffle` is the total API
         self.configs[slot].apply(data)
     }
 }

@@ -7,6 +7,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::graph;
 use crate::lexer::{self, Token};
 use crate::parser;
 use crate::rules::{self, RuleId};
@@ -79,16 +80,26 @@ impl FileClass {
         }
         match rule {
             // OS entropy and NaN-unsafe orderings poison experiments no
-            // matter where they live, tests and benches included.
-            RuleId::ThreadRng | RuleId::PartialCmpUnwrap | RuleId::BadWaiver => true,
+            // matter where they live, tests and benches included; a rotted
+            // waiver is likewise a lie wherever it lives.
+            RuleId::ThreadRng
+            | RuleId::PartialCmpUnwrap
+            | RuleId::BadWaiver
+            | RuleId::DeadWaiver => true,
             // Stateful generators are a library-crate concern: harnesses may
             // hold a `StreamRng` for legacy sequential checks, but result
             // code must go through the counter-based API. Environment reads
             // are likewise library-only (harnesses may take CLI/env knobs).
             // Unit newtypes likewise police the cross-crate API surface
             // only: harness and bench code deliberately holds raw `f64`
-            // grids and wraps at the call boundary.
-            RuleId::StatefulRng | RuleId::EnvRead | RuleId::BareUnit => matches!(self, Library),
+            // grids and wraps at the call boundary. The call-graph rules
+            // (public-API reachability, lock discipline) police library
+            // internals, which harness/bench consumers cannot change.
+            RuleId::StatefulRng
+            | RuleId::EnvRead
+            | RuleId::BareUnit
+            | RuleId::PanicPath
+            | RuleId::LockDiscipline => matches!(self, Library),
             RuleId::WallClock => matches!(self, Library | Tool),
             RuleId::HashContainer => matches!(self, Library | Tool),
             RuleId::Unwrap | RuleId::Panic => matches!(self, Library | Tool),
@@ -285,14 +296,24 @@ fn test_regions(tokens: &[Token]) -> TestRegions {
     regions
 }
 
+/// One `ntv:allow(rule): reason` directive, with usage tracking so
+/// `--check-waivers` can report waivers that suppress nothing.
+#[derive(Debug)]
+struct WaiverEntry {
+    rule: RuleId,
+    /// Comment line; the waiver covers this line and the next.
+    line: u32,
+    /// Set when the waiver suppresses at least one hit this run.
+    used: bool,
+}
+
 /// Lines waived per rule by `// ntv:allow(rule, ...): reason` comments.
 ///
 /// A waiver covers its own line and the following line, so it can trail the
 /// offending expression or sit on the line above it.
 #[derive(Debug, Default)]
 struct Waivers {
-    /// (rule, covered line)
-    entries: Vec<(RuleId, u32)>,
+    entries: Vec<WaiverEntry>,
     /// Malformed waivers become diagnostics themselves.
     bad: Vec<(u32, String)>,
 }
@@ -329,8 +350,11 @@ fn parse_waivers(comments: &[lexer::Comment]) -> Waivers {
         let mut any = false;
         for name in names.split(',') {
             if let Some(rule) = RuleId::from_waiver_name(name) {
-                w.entries.push((rule, c.line));
-                w.entries.push((rule, c.line + 1));
+                w.entries.push(WaiverEntry {
+                    rule,
+                    line: c.line,
+                    used: false,
+                });
                 any = true;
             } else {
                 w.bad
@@ -345,81 +369,254 @@ fn parse_waivers(comments: &[lexer::Comment]) -> Waivers {
 }
 
 impl Waivers {
-    fn covers(&self, rule: RuleId, line: u32) -> bool {
-        self.entries.iter().any(|&(r, l)| r == rule && l == line)
+    /// Does a waiver cover `(rule, line)`? Marks every matching waiver as
+    /// used — the suppression *and* its bookkeeping in one step.
+    fn cover(&mut self, rule: RuleId, line: u32) -> bool {
+        let mut any = false;
+        for e in &mut self.entries {
+            if e.rule == rule && (e.line == line || e.line + 1 == line) {
+                e.used = true;
+                any = true;
+            }
+        }
+        any
+    }
+}
+
+/// Per-invocation switches that are not policy (severities) or scope (file
+/// classes): extra analyses the caller opts into.
+#[derive(Debug, Default, Clone)]
+pub struct LintOptions {
+    /// Report `ntv:allow(..)` waivers that suppressed zero findings this
+    /// run as `ntv::dead-waiver` diagnostics (`xtask lint --check-waivers`).
+    pub check_waivers: bool,
+}
+
+/// Everything the engine knows about one file mid-run.
+struct FileState {
+    rel: PathBuf,
+    class: FileClass,
+    lexed: lexer::LexedFile,
+    parsed: parser::ParsedFile,
+    regions: TestRegions,
+    waivers: Waivers,
+    diags: Vec<Diagnostic>,
+}
+
+/// Filter one raw hit through class → test-region → waiver → policy and
+/// record the surviving diagnostic. Waiver bookkeeping happens here: a
+/// waiver is "used" iff it suppresses a hit its class/region let through.
+fn apply_hit(st: &mut FileState, hit: rules::Hit, policy: &Policy) {
+    if !st.class.rule_applies(hit.rule) {
+        return;
+    }
+    // Test modules inside library crates follow harness rules for
+    // panic hygiene and hash containers (assertions are the point).
+    if st.regions.contains(hit.line)
+        && matches!(
+            hit.rule,
+            RuleId::Unwrap
+                | RuleId::Panic
+                | RuleId::HashContainer
+                | RuleId::WallClock
+                | RuleId::BareUnit
+                | RuleId::UncachedBuild
+                | RuleId::PanicPath
+                | RuleId::LockDiscipline
+        )
+    {
+        return;
+    }
+    if st.waivers.cover(hit.rule, hit.line) {
+        return;
+    }
+    let severity = policy.severity(hit.rule, &st.rel);
+    if severity == Severity::Allow {
+        return;
+    }
+    st.diags.push(Diagnostic {
+        rule: hit.rule,
+        severity,
+        file: st.rel.clone(),
+        line: hit.line,
+        message: hit.message,
+    });
+}
+
+/// Lint a set of files as one analysis unit.
+///
+/// The per-file token and signature rules run file-locally exactly as
+/// before; the call-graph rules (`ntv::panic-path`, `ntv::lock-discipline`)
+/// see every Library-class file in `files` at once, so reachability crosses
+/// module and crate boundaries. Input order does not matter: files are
+/// sorted by path before analysis and diagnostics come back sorted by
+/// (file, line, rule).
+#[must_use]
+pub fn lint_sources(
+    files: &[(PathBuf, String)],
+    policy: &Policy,
+    options: &LintOptions,
+) -> LintReport {
+    let mut states: Vec<FileState> = files
+        .iter()
+        .filter_map(|(rel, source)| {
+            let class = FileClass::classify(rel);
+            if class == FileClass::Skip {
+                return None;
+            }
+            let lexed = lexer::lex(source);
+            let parsed = parser::parse(&lexed);
+            let regions = test_regions(&lexed.tokens);
+            let waivers = parse_waivers(&lexed.comments);
+            Some(FileState {
+                rel: rel.clone(),
+                class,
+                lexed,
+                parsed,
+                regions,
+                waivers,
+                diags: Vec::new(),
+            })
+        })
+        .collect();
+    states.sort_by(|a, b| a.rel.cmp(&b.rel));
+
+    // Per-file rules.
+    for st in &mut states {
+        let mut hits = rules::scan(&st.lexed.tokens);
+        if st.class.rule_applies(RuleId::BareUnit) {
+            hits.extend(rules::scan_signatures(&st.parsed));
+        }
+        for hit in hits {
+            apply_hit(st, hit, policy);
+        }
+    }
+
+    // Call-graph rules over the Library-class subset.
+    let lib_idx: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.class == FileClass::Library)
+        .map(|(i, _)| i)
+        .collect();
+    if !lib_idx.is_empty() {
+        let sem_hits = {
+            let sem_files: Vec<graph::SemFile> = lib_idx
+                .iter()
+                .map(|&i| {
+                    let s = &states[i];
+                    graph::SemFile {
+                        rel: &s.rel,
+                        tokens: &s.lexed.tokens,
+                        parsed: &s.parsed,
+                        test_ranges: &s.regions.ranges,
+                    }
+                })
+                .collect();
+            let g = graph::Graph::build(&sem_files);
+            let mut hits = g.panic_path_hits();
+            hits.extend(g.lock_discipline_hits(&sem_files));
+            hits
+        };
+        for (fi, hit) in sem_hits {
+            apply_hit(&mut states[lib_idx[fi]], hit, policy);
+        }
+    }
+
+    // Waiver hygiene: malformed waivers always, dead waivers on request.
+    for st in &mut states {
+        if !st.class.rule_applies(RuleId::BadWaiver) {
+            continue;
+        }
+        let bad = std::mem::take(&mut st.waivers.bad);
+        for (line, why) in bad {
+            let severity = policy.severity(RuleId::BadWaiver, &st.rel);
+            if severity == Severity::Allow {
+                continue;
+            }
+            st.diags.push(Diagnostic {
+                rule: RuleId::BadWaiver,
+                severity,
+                file: st.rel.clone(),
+                line,
+                message: why,
+            });
+        }
+    }
+    if options.check_waivers {
+        for st in &mut states {
+            report_dead_waivers(st, policy);
+        }
+    }
+
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    for st in states {
+        report.diagnostics.extend(st.diags);
+    }
+    report.sort();
+    report
+}
+
+/// Emit `ntv::dead-waiver` for every waiver that suppressed nothing.
+///
+/// A dead waiver can itself be waived — `// ntv:allow(dead-waiver): <why>`
+/// on the line above keeps e.g. fixture waivers alive intentionally — and a
+/// `dead-waiver` waiver is "used" exactly when it shields another waiver,
+/// so the meta-level cannot rot either. Waivers inside `#[cfg(test)]`
+/// regions are ignored: most rules don't fire there, so their waivers
+/// legitimately suppress nothing.
+fn report_dead_waivers(st: &mut FileState, policy: &Policy) {
+    let severity = policy.severity(RuleId::DeadWaiver, &st.rel);
+    if severity == Severity::Allow {
+        return;
+    }
+    let n = st.waivers.entries.len();
+    let mut dead: Vec<usize> = Vec::new();
+    for i in 0..n {
+        let e = &st.waivers.entries[i];
+        if e.used || e.rule == RuleId::DeadWaiver || st.regions.contains(e.line) {
+            continue;
+        }
+        let line = e.line;
+        let shielded = st.waivers.entries.iter_mut().any(|d| {
+            let covers = d.rule == RuleId::DeadWaiver && (d.line == line || d.line + 1 == line);
+            if covers {
+                d.used = true;
+            }
+            covers
+        });
+        if !shielded {
+            dead.push(i);
+        }
+    }
+    for i in dead {
+        let e = &st.waivers.entries[i];
+        st.diags.push(Diagnostic {
+            rule: RuleId::DeadWaiver,
+            severity,
+            file: st.rel.clone(),
+            line: e.line,
+            message: format!(
+                "waiver `ntv:allow({})` suppresses no finding",
+                e.rule.short_name()
+            ),
+        });
     }
 }
 
 /// Lint one file's source text.
 ///
 /// `rel` is the workspace-relative path used for classification, policy
-/// lookup and display. Returns only `Deny`/`Warn` diagnostics.
+/// lookup and display. Returns only `Deny`/`Warn` diagnostics. The
+/// call-graph rules see this file in isolation — cross-file reachability
+/// needs [`lint_sources`] / [`lint_workspace`].
 #[must_use]
 pub fn lint_source(rel: &Path, source: &str, policy: &Policy) -> Vec<Diagnostic> {
-    let class = FileClass::classify(rel);
-    if class == FileClass::Skip {
-        return Vec::new();
-    }
-    let lexed = lexer::lex(source);
-    let regions = test_regions(&lexed.tokens);
-    let waivers = parse_waivers(&lexed.comments);
-
-    let mut out = Vec::new();
-    let mut hits = rules::scan(&lexed.tokens);
-    if class.rule_applies(RuleId::BareUnit) {
-        hits.extend(rules::scan_signatures(&parser::parse(&lexed)));
-    }
-    for hit in hits {
-        if !class.rule_applies(hit.rule) {
-            continue;
-        }
-        // Test modules inside library crates follow harness rules for
-        // panic hygiene and hash containers (assertions are the point).
-        if regions.contains(hit.line)
-            && matches!(
-                hit.rule,
-                RuleId::Unwrap
-                    | RuleId::Panic
-                    | RuleId::HashContainer
-                    | RuleId::WallClock
-                    | RuleId::BareUnit
-                    | RuleId::UncachedBuild
-            )
-        {
-            continue;
-        }
-        if waivers.covers(hit.rule, hit.line) {
-            continue;
-        }
-        let severity = policy.severity(hit.rule, rel);
-        if severity == Severity::Allow {
-            continue;
-        }
-        out.push(Diagnostic {
-            rule: hit.rule,
-            severity,
-            file: rel.to_path_buf(),
-            line: hit.line,
-            message: hit.message,
-        });
-    }
-    if class.rule_applies(RuleId::BadWaiver) {
-        for (line, why) in waivers.bad {
-            let severity = policy.severity(RuleId::BadWaiver, rel);
-            if severity == Severity::Allow {
-                continue;
-            }
-            out.push(Diagnostic {
-                rule: RuleId::BadWaiver,
-                severity,
-                file: rel.to_path_buf(),
-                line,
-                message: why,
-            });
-        }
-    }
-    out.sort_by_key(|d| (d.line, d.rule));
-    out
+    let files = [(rel.to_path_buf(), source.to_string())];
+    lint_sources(&files, policy, &LintOptions::default()).diagnostics
 }
 
 /// Recursively collect every `.rs` file under `root`, skipping `target`,
@@ -453,17 +650,21 @@ pub fn collect_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
 /// same tree render byte-identical reports regardless of filesystem
 /// enumeration order.
 pub fn lint_workspace(root: &Path, policy: &Policy) -> io::Result<LintReport> {
-    let mut report = LintReport::default();
+    lint_workspace_with(root, policy, &LintOptions::default())
+}
+
+/// [`lint_workspace`] with explicit [`LintOptions`].
+pub fn lint_workspace_with(
+    root: &Path,
+    policy: &Policy,
+    options: &LintOptions,
+) -> io::Result<LintReport> {
+    let mut files = Vec::new();
     for path in collect_rust_files(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        let source = fs::read_to_string(&path)?;
-        report.files_scanned += 1;
-        report
-            .diagnostics
-            .extend(lint_source(&rel, &source, policy));
+        files.push((rel, fs::read_to_string(&path)?));
     }
-    report.sort();
-    Ok(report)
+    Ok(lint_sources(&files, policy, options))
 }
 
 /// Outcome of a lint run.

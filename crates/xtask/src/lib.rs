@@ -21,18 +21,29 @@
 //! * Rules ([`rules`]) produce raw hits; the policy layer ([`engine`])
 //!   decides where they apply (library vs bench vs harness vs tool code),
 //!   applies `#[cfg(test)]` carve-outs, severity overrides and waivers, and
-//!   renders diagnostics (human-readable or `--format json`).
+//!   renders diagnostics (human-readable, `--format json`, or
+//!   `--format sarif` for code-scanning upload).
+//! * A semantic layer sits on top of the per-file pass: [`resolve`] builds
+//!   a workspace symbol table with name-shaped (soundly over-approximate)
+//!   path resolution, [`graph`] assembles the call graph and runs
+//!   reachability, powering `ntv::panic-path` and `ntv::lock-discipline`;
+//!   the engine tracks waiver usage so `--check-waivers` can deny waivers
+//!   that suppress nothing.
 //! * Fixtures under `tests/fixtures/` pin every rule's behaviour — each bad
 //!   fixture must keep tripping its diagnostic, and the clean fixture plus
 //!   the real workspace must stay quiet.
 
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod parser;
+pub mod resolve;
 pub mod rules;
+pub mod sarif;
 
 pub use engine::{
-    lint_source, lint_workspace, Diagnostic, FileClass, LintReport, Override, Policy, Severity,
+    lint_source, lint_sources, lint_workspace, lint_workspace_with, Diagnostic, FileClass,
+    LintOptions, LintReport, Override, Policy, Severity,
 };
 pub use rules::RuleId;
 

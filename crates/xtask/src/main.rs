@@ -2,8 +2,9 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use xtask::{engine, Policy, RuleId, Severity};
+use xtask::{engine, sarif, Policy, RuleId, Severity};
 
 const USAGE: &str = "\
 usage: cargo xtask <command>
@@ -19,9 +20,14 @@ lint options:
   --rule <name>    only report the named rule (repeatable; short or
                    ntv::-prefixed names)
   --quiet          print only the summary line
-  --format <fmt>   output format: text (default) or json — json emits a
-                   stable (file, line, rule)-sorted array on stdout and the
-                   summary on stderr
+  --format <fmt>   output format: text (default), json, or sarif — json
+                   emits a stable (file, line, rule)-sorted array, sarif a
+                   SARIF 2.1.0 document, both on stdout with the summary on
+                   stderr; both are byte-identical across runs
+  --check-waivers  additionally deny `ntv:allow(..)` waivers that suppress
+                   zero findings (dead waivers)
+  --bench-out <p>  write {files_scanned, diagnostics, wall_ms} JSON to <p>
+                   after linting (perf baseline for the call-graph pass)
 
 exit status: 0 clean, 1 deny-level diagnostics found, 2 usage or I/O error";
 
@@ -48,12 +54,15 @@ fn main() -> ExitCode {
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 fn lint(args: &[String]) -> ExitCode {
     let mut warn_only = false;
     let mut quiet = false;
+    let mut check_waivers = false;
     let mut format = Format::Text;
+    let mut bench_out: Option<PathBuf> = None;
     let mut only_rules: Vec<RuleId> = Vec::new();
     let mut paths: Vec<PathBuf> = Vec::new();
 
@@ -75,11 +84,20 @@ fn lint(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--check-waivers" => check_waivers = true,
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 _ => {
-                    eprintln!("xtask lint: --format needs `text` or `json`");
+                    eprintln!("xtask lint: --format needs `text`, `json` or `sarif`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--bench-out" => match it.next() {
+                Some(p) => bench_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask lint: --bench-out needs a path");
                     return ExitCode::from(2);
                 }
             },
@@ -92,9 +110,12 @@ fn lint(args: &[String]) -> ExitCode {
     }
 
     let policy = Policy::default();
+    let options = engine::LintOptions { check_waivers };
     let root = xtask::workspace_root();
+    // ntv:allow(wall-clock): timing the linter itself is --bench-out's job
+    let t0 = Instant::now();
     let report = if paths.is_empty() {
-        match engine::lint_workspace(&root, &policy) {
+        match engine::lint_workspace_with(&root, &policy, &options) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("xtask lint: cannot scan {}: {e}", root.display());
@@ -102,7 +123,10 @@ fn lint(args: &[String]) -> ExitCode {
             }
         }
     } else {
-        let mut report = engine::LintReport::default();
+        // Explicit paths are linted as one analysis unit, so cross-file
+        // call-graph rules see all of them; the engine's path sort keeps a
+        // report byte-identical however the file list was assembled.
+        let mut files = Vec::new();
         for path in &paths {
             let source = match std::fs::read_to_string(path) {
                 Ok(s) => s,
@@ -111,17 +135,12 @@ fn lint(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            let rel = path.strip_prefix(&root).unwrap_or(path);
-            report.files_scanned += 1;
-            report
-                .diagnostics
-                .extend(engine::lint_source(rel, &source, &policy));
+            let rel = path.strip_prefix(&root).unwrap_or(path).to_path_buf();
+            files.push((rel, source));
         }
-        // Explicit paths sort the same way the workspace walk does, so a
-        // report is byte-identical however the file list was assembled.
-        report.sort();
-        report
+        engine::lint_sources(&files, &policy, &options)
     };
+    let wall_ms = t0.elapsed().as_millis();
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
@@ -138,11 +157,27 @@ fn lint(args: &[String]) -> ExitCode {
         shown.push(diag);
     }
 
-    if format == Format::Json {
-        println!("{}", render_json(&shown));
-    } else if !quiet {
-        for diag in &shown {
-            println!("{diag}\n");
+    match format {
+        Format::Json => println!("{}", render_json(&shown)),
+        Format::Sarif => print!("{}", sarif::render(&shown)),
+        Format::Text => {
+            if !quiet {
+                for diag in &shown {
+                    println!("{diag}\n");
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &bench_out {
+        let bench = format!(
+            "{{\n  \"files_scanned\": {},\n  \"diagnostics\": {},\n  \"wall_ms\": {wall_ms}\n}}\n",
+            report.files_scanned,
+            shown.len(),
+        );
+        if let Err(e) = std::fs::write(path, bench) {
+            eprintln!("xtask lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
         }
     }
 
@@ -152,11 +187,11 @@ fn lint(args: &[String]) -> ExitCode {
         if warnings == 1 { "" } else { "s" },
         report.files_scanned,
     );
-    // In json mode stdout is reserved for the (machine-read) report.
-    if format == Format::Json {
-        eprintln!("{summary}");
-    } else {
+    // In machine-read formats stdout is reserved for the report.
+    if format == Format::Text {
         println!("{summary}");
+    } else {
+        eprintln!("{summary}");
     }
     if errors > 0 && !warn_only {
         ExitCode::FAILURE

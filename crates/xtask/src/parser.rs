@@ -49,6 +49,9 @@ pub struct FnSig {
     pub doc: String,
     /// Self-type name when declared inside an `impl` block.
     pub in_impl: Option<String>,
+    /// Half-open token-index span of the body block (including both braces),
+    /// or `None` for bodiless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
 }
 
 /// A struct declaration header.
@@ -275,7 +278,7 @@ fn skip_generics(tokens: &[Token], open: usize) -> usize {
 }
 
 /// From an opening `(`/`[`/`{` at `i`, return the index just past its match.
-fn skip_balanced(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn skip_balanced(tokens: &[Token], open: usize) -> usize {
     let Some(first) = tokens.get(open) else {
         return open;
     };
@@ -495,6 +498,21 @@ fn parse_fn(
         ret = Some(render(&tokens[ret_start..k]));
     }
 
+    // Body span: scan past any `where` clause to the opening brace. A `;`
+    // first means a bodiless declaration (trait method, extern fn).
+    let mut b = k;
+    while let Some(t) = tokens.get(b) {
+        if t.is_punct('{') || t.is_punct(';') {
+            break;
+        }
+        b += 1;
+    }
+    let body = if tokens.get(b).is_some_and(|t| t.is_punct('{')) {
+        Some((b, skip_balanced(tokens, b)))
+    } else {
+        None
+    };
+
     // Doc block: contiguous `///` run ending on the line above the item head
     // (visibility / attributes included in "head").
     let doc = if doc_lines.contains(&start_line.saturating_sub(1)) {
@@ -518,9 +536,79 @@ fn parse_fn(
             ret,
             doc,
             in_impl,
+            body,
         }),
         params_end,
     )
+}
+
+/// One call expression found inside a function body.
+///
+/// Extraction is token-shaped, not type-aware: `Volts(0.9)` (a tuple-struct
+/// literal) and `Some(x)` (an enum constructor) come back as "calls" too —
+/// the [resolver](crate::resolve) simply finds no function symbol for them.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called name: the method name or the path's final segment.
+    pub name: String,
+    /// Immediate path qualifier (`Type` in `Type::name(..)`), if any.
+    /// `Self` is left as written; the resolver substitutes the impl type.
+    pub qualifier: Option<String>,
+    /// True for `.name(..)` method-call position.
+    pub is_method: bool,
+    /// 1-based source line of the name token.
+    pub line: u32,
+    /// Token index of the name (for hold-region checks in `graph`).
+    pub tok: usize,
+}
+
+/// Keywords that look like `ident (` in expression position but are not
+/// calls (`match (a, b)`, `while (cond)`, `return (x)`, ...).
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "break", "continue", "in", "as", "let",
+    "else", "move", "fn", "unsafe", "where", "impl", "dyn", "ref", "mut",
+];
+
+/// Extract every call site in the half-open token span `span`.
+///
+/// Macro *invocations* (`name!(..)`) are not calls — the `!` breaks the
+/// `ident (` shape — but the tokens of their arguments are still walked, so
+/// calls nested inside `assert!(..)` and friends are found. Function values
+/// passed without parentheses (`map(Self::helper)`) are not extracted; the
+/// call graph is an under-approximation there (documented in DESIGN §10).
+#[must_use]
+pub fn calls_in(tokens: &[Token], span: (usize, usize)) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in span.0..span.1.min(tokens.len()) {
+        let Some(name) = tokens[i].ident() else {
+            continue;
+        };
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+        if prev.and_then(Token::ident) == Some("fn") {
+            continue; // a nested `fn name(..)` definition
+        }
+        let is_method = prev.is_some_and(|t| t.is_punct('.'));
+        let qualifier =
+            if !is_method && i >= 3 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':') {
+                tokens[i - 3].ident().map(str::to_owned)
+            } else {
+                None
+            };
+        out.push(CallSite {
+            name: name.to_owned(),
+            qualifier,
+            is_method,
+            line: tokens[i].line,
+            tok: i,
+        });
+    }
+    out
 }
 
 /// Split a parameter-list token slice on top-level commas and extract

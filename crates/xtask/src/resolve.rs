@@ -1,0 +1,298 @@
+//! Symbol table and cross-crate path resolution for the semantic lint layer.
+//!
+//! The workspace is offline (no `syn`, no rustc metadata), so resolution is
+//! name-shaped rather than type-checked, and deliberately **over-approximate
+//! in a sound direction** for reachability analysis:
+//!
+//! * a method call `.m(..)` resolves to *every* workspace method named `m`
+//!   (receiver types are unknown at token level);
+//! * a qualified call `A::m(..)` resolves to methods of impl type `A` when
+//!   any exist, then to functions declared in a module named `A`, then falls
+//!   back to every symbol named `m`;
+//! * a free call `m(..)` resolves to every free function named `m`;
+//! * calls into `std` / vendored crates resolve to nothing and drop out.
+//!
+//! Over-approximation can only *add* edges to the call graph, so a panic
+//! site deemed reachable might in truth be dead — the waiver mechanism
+//! absorbs that — but a truly reachable site is never missed through
+//! resolution (function values passed without parentheses are the one
+//! documented under-approximation, see [`parser::calls_in`]).
+//!
+//! [`parser::calls_in`]: crate::parser::calls_in
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::parser::{CallSite, ParsedFile};
+
+/// Index into [`SymbolTable::symbols`].
+pub type SymbolId = usize;
+
+/// One function declaration somewhere in the analyzed file set.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    /// Index of the declaring file in the analysis input order.
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Self type when declared inside an `impl` block.
+    pub impl_ty: Option<String>,
+    /// `pub` exactly (not `pub(crate)` / `pub(super)`).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Body token span in the declaring file's token stream, if any.
+    pub body: Option<(usize, usize)>,
+    /// Index of this symbol's signature in its file's `ParsedFile::fns`.
+    pub sig: usize,
+    /// Fully qualified display path, e.g.
+    /// `ntv_core::op_cache::OpPointCache::get_or_build`.
+    pub fq: String,
+}
+
+/// All function symbols of an analysis run, with name and module indices.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every symbol, ordered by (file index, source line) — the input file
+    /// list is sorted by path, so symbol ids are path-deterministic.
+    pub symbols: Vec<Symbol>,
+    /// name → symbol ids (ascending).
+    by_name: BTreeMap<String, Vec<SymbolId>>,
+    /// module segment (e.g. `op_cache`) → file indices claiming it.
+    module_files: BTreeMap<String, Vec<usize>>,
+}
+
+/// The module display path of a workspace-relative file:
+/// `crates/core/src/op_cache.rs` → `["ntv_core", "op_cache"]`.
+#[must_use]
+pub fn module_path(rel: &Path) -> Vec<String> {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    let mut segs: Vec<&str> = p.trim_end_matches(".rs").split('/').collect();
+    // `crates/<dir>/src/<mod>` → crate ident + module; root `src/<mod>`
+    // is the top-level crate. Anything else (tests, fixtures) keeps its
+    // path segments as pseudo-modules so display stays unambiguous.
+    let crate_ident = if segs.first() == Some(&"crates") && segs.len() >= 2 {
+        let dir = segs[1];
+        segs.drain(..2);
+        match dir {
+            "xtask" => "xtask".to_string(),
+            other => format!("ntv_{other}"),
+        }
+    } else {
+        "ntv_simd".to_string()
+    };
+    if segs.first() == Some(&"src") {
+        segs.remove(0);
+    }
+    let mut out = vec![crate_ident];
+    for s in segs {
+        if s == "lib" || s == "mod" || s == "main" {
+            continue;
+        }
+        out.push(s.to_string());
+    }
+    out
+}
+
+/// One file's parse products handed to the symbol table:
+/// (file index, workspace-relative path, parsed declarations, test regions).
+pub type FileInput<'a> = (usize, &'a Path, &'a ParsedFile, &'a [(u32, u32)]);
+
+impl SymbolTable {
+    /// Build the table from parsed files (same order as the analysis input).
+    /// Functions starting inside `#[cfg(test)]` regions are excluded: test
+    /// symbols are neither roots nor carriers of library findings.
+    #[must_use]
+    pub fn build(files: &[FileInput<'_>]) -> Self {
+        let mut table = SymbolTable::default();
+        for &(file, rel, parsed, test_ranges) in files {
+            let module = module_path(rel);
+            for (sig, f) in parsed.fns.iter().enumerate() {
+                if test_ranges.iter().any(|&(a, b)| (a..=b).contains(&f.line)) {
+                    continue;
+                }
+                let mut fq = module.join("::");
+                if let Some(ty) = &f.in_impl {
+                    fq.push_str("::");
+                    fq.push_str(ty);
+                }
+                fq.push_str("::");
+                fq.push_str(&f.name);
+                let id = table.symbols.len();
+                table.symbols.push(Symbol {
+                    file,
+                    name: f.name.clone(),
+                    impl_ty: f.in_impl.clone(),
+                    is_pub: f.is_pub,
+                    line: f.line,
+                    body: f.body,
+                    sig,
+                    fq,
+                });
+                table.by_name.entry(f.name.clone()).or_default().push(id);
+            }
+            if let Some(stem) = module.last() {
+                table
+                    .module_files
+                    .entry(stem.clone())
+                    .or_default()
+                    .push(file);
+            }
+        }
+        table
+    }
+
+    /// Resolve a call site to candidate symbols (ascending, deduplicated).
+    ///
+    /// `enclosing_impl` is the impl type of the calling function, used to
+    /// substitute `Self::..` qualifiers.
+    #[must_use]
+    pub fn resolve(&self, call: &CallSite, enclosing_impl: Option<&str>) -> Vec<SymbolId> {
+        self.resolve_with_confidence(call, enclosing_impl).0
+    }
+
+    /// [`resolve`](Self::resolve), additionally reporting whether the
+    /// resolution is *confident*: a type- or module-qualified match, or a
+    /// name unique in the workspace. Over-approximate (non-confident) edges
+    /// — a method name with many impls, an unknown qualifier like
+    /// `Arc::new` — are sound for reachability (they only add paths) but
+    /// would drown precision-sensitive analyses like lock discipline in
+    /// false positives, so those consume confident edges only.
+    #[must_use]
+    pub fn resolve_with_confidence(
+        &self,
+        call: &CallSite,
+        enclosing_impl: Option<&str>,
+    ) -> (Vec<SymbolId>, bool) {
+        let Some(named) = self.by_name.get(&call.name) else {
+            return (Vec::new(), true);
+        };
+        if call.is_method {
+            // Any workspace method of this name; receiver types are unknown
+            // at token level, so this is only confident when unambiguous.
+            let methods: Vec<SymbolId> = named
+                .iter()
+                .copied()
+                .filter(|&id| self.symbols[id].impl_ty.is_some())
+                .collect();
+            let confident = methods.len() == 1;
+            return (methods, confident);
+        }
+        if let Some(q) = &call.qualifier {
+            let q = if q == "Self" {
+                enclosing_impl.unwrap_or("Self")
+            } else {
+                q.as_str()
+            };
+            let of_type: Vec<SymbolId> = named
+                .iter()
+                .copied()
+                .filter(|&id| self.symbols[id].impl_ty.as_deref() == Some(q))
+                .collect();
+            if !of_type.is_empty() {
+                return (of_type, true);
+            }
+            if let Some(files) = self.module_files.get(q) {
+                let in_module: Vec<SymbolId> = named
+                    .iter()
+                    .copied()
+                    .filter(|&id| files.contains(&self.symbols[id].file))
+                    .collect();
+                if !in_module.is_empty() {
+                    return (in_module, true);
+                }
+            }
+            // Unknown qualifier (std path, re-export): fall back to every
+            // symbol of this name — over-approximate, never miss.
+            return (named.clone(), false);
+        }
+        // Free call: free functions of this name (unambiguous when unique).
+        let free: Vec<SymbolId> = named
+            .iter()
+            .copied()
+            .filter(|&id| self.symbols[id].impl_ty.is_none())
+            .collect();
+        let confident = free.len() == 1;
+        (free, confident)
+    }
+
+    /// Symbol ids of public functions, ascending — the reachability roots.
+    #[must_use]
+    pub fn public_roots(&self) -> Vec<SymbolId> {
+        (0..self.symbols.len())
+            .filter(|&id| self.symbols[id].is_pub)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    #[test]
+    fn module_paths_follow_workspace_layout() {
+        let m = |p: &str| module_path(Path::new(p)).join("::");
+        assert_eq!(m("crates/core/src/op_cache.rs"), "ntv_core::op_cache");
+        assert_eq!(m("crates/mc/src/lib.rs"), "ntv_mc");
+        assert_eq!(m("src/lib.rs"), "ntv_simd");
+        assert_eq!(
+            m("crates/xtask/tests/fixtures/library/graph_helper.rs"),
+            "xtask::tests::fixtures::library::graph_helper"
+        );
+    }
+
+    #[test]
+    fn resolution_prefers_type_then_module_then_name() {
+        let a = parse(&lex(
+            "pub struct Cache;\nimpl Cache {\n    pub fn get(&self) -> u32 { 1 }\n}\npub fn free_get() -> u32 { get() }\nfn get() -> u32 { 2 }",
+        ));
+        let b = parse(&lex("pub fn risky() -> u32 { 3 }"));
+        let empty: &[(u32, u32)] = &[];
+        let table = SymbolTable::build(&[
+            (0, Path::new("crates/core/src/cache.rs"), &a, empty),
+            (1, Path::new("crates/core/src/helper.rs"), &b, empty),
+        ]);
+        assert_eq!(table.symbols.len(), 4);
+
+        let call = |name: &str, qualifier: Option<&str>, is_method: bool| CallSite {
+            name: name.to_string(),
+            qualifier: qualifier.map(str::to_owned),
+            is_method,
+            line: 1,
+            tok: 0,
+        };
+        // Method call: every method of that name, no free fns.
+        let m = table.resolve(&call("get", None, true), None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(table.symbols[m[0]].impl_ty.as_deref(), Some("Cache"));
+        // Qualified by impl type.
+        let t = table.resolve(&call("get", Some("Cache"), false), None);
+        assert_eq!(t, m);
+        // Qualified by module stem.
+        let by_mod = table.resolve(&call("risky", Some("helper"), false), None);
+        assert_eq!(by_mod.len(), 1);
+        assert_eq!(table.symbols[by_mod[0]].fq, "ntv_core::helper::risky");
+        // Free call: the free fn only.
+        let f = table.resolve(&call("get", None, false), None);
+        assert_eq!(f.len(), 1);
+        assert!(table.symbols[f[0]].impl_ty.is_none());
+        // Self:: substitutes the enclosing impl type.
+        let s = table.resolve(&call("get", Some("Self"), false), Some("Cache"));
+        assert_eq!(s, m);
+        // Unknown names resolve to nothing.
+        assert!(table.resolve(&call("sqrt", None, true), None).is_empty());
+    }
+
+    #[test]
+    fn test_region_symbols_are_excluded() {
+        let p = parse(&lex(
+            "pub fn real() {}\nmod tests {\n    pub fn fake() {}\n}",
+        ));
+        let ranges = [(2u32, 4u32)];
+        let table = SymbolTable::build(&[(0, Path::new("crates/mc/src/x.rs"), &p, &ranges)]);
+        assert_eq!(table.symbols.len(), 1);
+        assert_eq!(table.symbols[0].name, "real");
+    }
+}

@@ -55,6 +55,18 @@ pub enum RuleId {
     UncachedBuild,
     /// Malformed `ntv:allow(..)` waiver comment (missing rule or reason).
     BadWaiver,
+    /// Panicking operation (`.expect(..)`, message-carrying
+    /// `unreachable!(..)`, slice indexing by a caller-supplied parameter)
+    /// reachable from a public Library-class API — found by the
+    /// [`graph`](crate::graph) call-graph pass, not token scanning.
+    PanicPath,
+    /// Lock guard held across a call into lock-acquiring code, a second
+    /// acquisition, or the Gauss–Hermite build path — the discipline that
+    /// keeps `ntv_core::op_cache` deadlock-free and build-outside-lock.
+    LockDiscipline,
+    /// An `ntv:allow(..)` waiver that suppresses zero findings (reported
+    /// only under `xtask lint --check-waivers`, so waivers cannot rot).
+    DeadWaiver,
 }
 
 impl RuleId {
@@ -71,6 +83,9 @@ impl RuleId {
         RuleId::BareUnit,
         RuleId::UncachedBuild,
         RuleId::BadWaiver,
+        RuleId::PanicPath,
+        RuleId::LockDiscipline,
+        RuleId::DeadWaiver,
     ];
 
     /// Full diagnostic name, e.g. `ntv::unwrap`.
@@ -88,6 +103,9 @@ impl RuleId {
             RuleId::BareUnit => "ntv::bare-unit",
             RuleId::UncachedBuild => "ntv::uncached-build",
             RuleId::BadWaiver => "ntv::bad-waiver",
+            RuleId::PanicPath => "ntv::panic-path",
+            RuleId::LockDiscipline => "ntv::lock-discipline",
+            RuleId::DeadWaiver => "ntv::dead-waiver",
         }
     }
 
@@ -106,6 +124,9 @@ impl RuleId {
             RuleId::BareUnit => "bare-unit",
             RuleId::UncachedBuild => "uncached-build",
             RuleId::BadWaiver => "bad-waiver",
+            RuleId::PanicPath => "panic-path",
+            RuleId::LockDiscipline => "lock-discipline",
+            RuleId::DeadWaiver => "dead-waiver",
         }
     }
 
@@ -171,6 +192,23 @@ impl RuleId {
             RuleId::BadWaiver => {
                 "waivers must name a rule and give a reason: \
                  `// ntv:allow(<rule>): <reason>`"
+            }
+            RuleId::PanicPath => {
+                "this panic is reachable from a public API, so a malformed \
+                 input can abort a full Monte-Carlo sweep mid-grid; return \
+                 `Result`, bound the index through an accessor, or waive \
+                 with the invariant that makes the panic unreachable"
+            }
+            RuleId::LockDiscipline => {
+                "never hold a map lock across a build or another \
+                 acquisition: take the guard in a statement-scoped \
+                 temporary, clone the per-entry `Arc<OnceLock>`, and build \
+                 outside the lock (the `ntv_core::op_cache` pattern)"
+            }
+            RuleId::DeadWaiver => {
+                "this waiver suppresses no finding — the code it excused \
+                 was fixed or moved; delete the comment so the waiver \
+                 inventory stays honest"
             }
         }
     }

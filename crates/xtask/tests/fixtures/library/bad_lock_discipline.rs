@@ -1,0 +1,16 @@
+//! Fixture: a lock guard held across a call into another lock-acquiring
+//! function → `ntv::lock-discipline`.
+
+use std::sync::Mutex;
+
+static REGISTRY: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+static JOURNAL: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+fn journal_append(entry: u64) {
+    JOURNAL.lock().expect("journal lock").push(entry);
+}
+
+fn register(entry: u64) {
+    let guard = REGISTRY.lock().expect("registry lock");
+    journal_append(entry + guard.len() as u64);
+}

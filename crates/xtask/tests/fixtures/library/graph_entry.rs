@@ -1,0 +1,8 @@
+//! Fixture (cross-file pair with `graph_helper.rs`): the public entry
+//! point lives here, the panicking helper in the other file. Linted alone
+//! this file is clean — only when both files share one analysis unit can
+//! `ntv::panic-path` connect the call edge.
+
+pub fn entry(values: &[f64]) -> f64 {
+    helper_pick(values)
+}

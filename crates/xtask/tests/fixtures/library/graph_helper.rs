@@ -1,0 +1,7 @@
+//! Fixture (cross-file pair with `graph_entry.rs`): a crate-private helper
+//! whose `.expect(..)` is only reachable through the other file's public
+//! entry point — clean alone, flagged when linted as a pair.
+
+pub(crate) fn helper_pick(values: &[f64]) -> f64 {
+    values.first().copied().expect("entry validates non-emptiness")
+}

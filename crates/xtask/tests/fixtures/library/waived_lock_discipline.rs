@@ -1,0 +1,17 @@
+//! Fixture: an `ntv:allow(lock-discipline)` waiver silences the rule where
+//! a global lock order makes the nested acquisition safe.
+
+use std::sync::Mutex;
+
+static REGISTRY: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+static JOURNAL: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+fn journal_append(entry: u64) {
+    JOURNAL.lock().expect("journal lock").push(entry);
+}
+
+fn register(entry: u64) {
+    let guard = REGISTRY.lock().expect("registry lock");
+    // ntv:allow(lock-discipline): registry-before-journal order is global
+    journal_append(entry + guard.len() as u64);
+}

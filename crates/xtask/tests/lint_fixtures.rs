@@ -44,6 +44,8 @@ fn each_bad_library_fixture_triggers_its_rule() {
         ("library/bad_bare_unit.rs", RuleId::BareUnit),
         ("library/bad_uncached_build.rs", RuleId::UncachedBuild),
         ("library/bad_waiver.rs", RuleId::BadWaiver),
+        ("library/bad_panic_path.rs", RuleId::PanicPath),
+        ("library/bad_lock_discipline.rs", RuleId::LockDiscipline),
     ];
     for (rel, rule) in cases {
         let rules = lint_rules(rel);
@@ -92,6 +94,98 @@ fn uncached_build_waiver_silences_and_harness_is_exempt() {
     assert!(
         engine::lint_source(harness_rel, &source, &Policy::default()).is_empty(),
         "harness files are exempt from ntv::uncached-build"
+    );
+}
+
+#[test]
+fn panic_path_fixture_flags_every_shape_and_waivers_silence() {
+    let source =
+        std::fs::read_to_string(fixture("library/bad_panic_path.rs")).expect("fixture exists");
+    let ws_rel = Path::new("crates/xtask/tests/fixtures/library/bad_panic_path.rs");
+    let diags = engine::lint_source(ws_rel, &source, &Policy::default());
+    // The helper's expect, the messaged unreachable!, and the param index.
+    assert_eq!(diags.len(), 3, "{diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == RuleId::PanicPath));
+    assert!(
+        diags.iter().any(|d| d.message.contains("::pick`")
+            && d.message.contains("public API")
+            && d.message.contains("::head`")),
+        "{diags:#?}"
+    );
+
+    assert_eq!(
+        lint_rules("library/waived_panic_path.rs"),
+        vec![],
+        "library/waived_panic_path.rs"
+    );
+    assert_eq!(
+        lint_rules("library/waived_lock_discipline.rs"),
+        vec![],
+        "library/waived_lock_discipline.rs"
+    );
+}
+
+/// Cross-file reachability: each half of the pair is clean alone; linted
+/// together, the public entry point in one file makes the `.expect(..)` in
+/// the other a `ntv::panic-path` finding.
+#[test]
+fn cross_file_pair_connects_only_when_linted_together() {
+    assert_eq!(lint_rules("library/graph_entry.rs"), vec![]);
+    assert_eq!(lint_rules("library/graph_helper.rs"), vec![]);
+
+    let files: Vec<(PathBuf, String)> = ["graph_entry.rs", "graph_helper.rs"]
+        .iter()
+        .map(|name| {
+            let source = std::fs::read_to_string(fixture(&format!("library/{name}")))
+                .expect("fixture exists");
+            let ws_rel = Path::new("crates/xtask/tests/fixtures/library").join(name);
+            (ws_rel, source)
+        })
+        .collect();
+    let report = engine::lint_sources(&files, &Policy::default(), &engine::LintOptions::default());
+    assert_eq!(report.diagnostics.len(), 1, "{:#?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RuleId::PanicPath);
+    assert!(d.file.ends_with("graph_helper.rs"), "{d:?}");
+    assert!(
+        d.message.contains("::helper_pick`")
+            && d.message.contains("public API")
+            && d.message.contains("::entry`"),
+        "{d:?}"
+    );
+}
+
+/// Dead waivers are silent by default, reported under `--check-waivers`,
+/// and an `ntv:allow(dead-waiver)` shield keeps an intentional one quiet.
+#[test]
+fn dead_waivers_only_fire_under_check_waivers() {
+    let check = engine::LintOptions {
+        check_waivers: true,
+    };
+    let load = |name: &str| -> Vec<(PathBuf, String)> {
+        let source =
+            std::fs::read_to_string(fixture(&format!("library/{name}"))).expect("fixture exists");
+        vec![(
+            Path::new("crates/xtask/tests/fixtures/library").join(name),
+            source,
+        )]
+    };
+
+    assert_eq!(lint_rules("library/bad_dead_waiver.rs"), vec![]);
+    let report = engine::lint_sources(&load("bad_dead_waiver.rs"), &Policy::default(), &check);
+    assert_eq!(report.diagnostics.len(), 1, "{:#?}", report.diagnostics);
+    assert_eq!(report.diagnostics[0].rule, RuleId::DeadWaiver);
+    assert!(
+        report.diagnostics[0].message.contains("ntv:allow(unwrap)"),
+        "{:?}",
+        report.diagnostics[0]
+    );
+
+    let shielded = engine::lint_sources(&load("waived_dead_waiver.rs"), &Policy::default(), &check);
+    assert!(
+        shielded.diagnostics.is_empty(),
+        "shield must silence the rule: {:#?}",
+        shielded.diagnostics
     );
 }
 
@@ -214,4 +308,120 @@ fn json_format_is_stable_and_machine_readable() {
         .output()
         .expect("xtask runs");
     assert_eq!(String::from_utf8_lossy(&clean.stdout).trim(), "[]");
+}
+
+/// `--format sarif` emits a SARIF 2.1.0 log that is byte-identical across
+/// runs and agrees with the JSON report on (file, line, rule).
+#[test]
+fn sarif_format_is_stable_and_complete() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let run = |format: &str| {
+        Command::new(bin)
+            .args(["lint", "--format", format, "--warn-only"])
+            .arg(fixture("library/bad_bare_unit.rs"))
+            .arg(fixture("library/bad_unwrap.rs"))
+            .output()
+            .expect("xtask runs")
+    };
+
+    let a = run("sarif");
+    let b = run("sarif");
+    assert_eq!(a.stdout, b.stdout, "sarif log must be byte-identical");
+    let sarif = String::from_utf8(a.stdout).expect("utf-8 sarif");
+    assert!(
+        sarif.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""),
+        "{sarif}"
+    );
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"name\": \"ntv-xtask-lint\""), "{sarif}");
+    // Full rule catalog, including the semantic rules.
+    for rule in RuleId::ALL {
+        assert!(
+            sarif.contains(&format!("\"id\": \"{}\"", rule.name())),
+            "{}",
+            rule.name()
+        );
+    }
+
+    // Results agree with the JSON report on (file, line, rule).
+    let json = String::from_utf8(run("json").stdout).expect("utf-8 json");
+    let mut json_keys: Vec<(String, u32, String)> = Vec::new();
+    for obj in json.split("{\"file\":").skip(1) {
+        let field = |key: &str| -> String {
+            let tail = obj.split(&format!("\"{key}\":")).nth(1).unwrap_or(obj);
+            tail.trim_start_matches([' ', '"'])
+                .split(['"', ',', '}'])
+                .next()
+                .unwrap_or_default()
+                .to_string()
+        };
+        let file = obj
+            .trim_start_matches([' ', '"'])
+            .split('"')
+            .next()
+            .expect("split yields at least one piece")
+            .to_string();
+        json_keys.push((file, field("line").parse().unwrap_or(0), field("rule")));
+    }
+    assert!(!json_keys.is_empty());
+    let sarif_results = sarif.matches("\"ruleId\"").count();
+    assert_eq!(sarif_results, json_keys.len(), "result counts must agree");
+    for (file, line, rule) in &json_keys {
+        assert!(sarif.contains(&format!("\"ruleId\": \"{rule}\"")), "{rule}");
+        assert!(sarif.contains(&format!("\"uri\": \"{file}\"")), "{file}");
+        assert!(sarif.contains(&format!("\"startLine\": {line}")), "{line}");
+    }
+
+    // A clean lint still emits a valid log with an empty results array.
+    let clean = Command::new(bin)
+        .args(["lint", "--format", "sarif"])
+        .arg(fixture("library/clean.rs"))
+        .output()
+        .expect("xtask runs");
+    let clean_sarif = String::from_utf8_lossy(&clean.stdout);
+    assert!(clean_sarif.contains("\"results\": []"), "{clean_sarif}");
+}
+
+/// `--check-waivers` flips the exit code on a dead waiver and stays 0 when
+/// every waiver is live (the workspace itself must satisfy that).
+#[test]
+fn check_waivers_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+
+    let dead = Command::new(bin)
+        .args(["lint", "--check-waivers", "--quiet"])
+        .arg(fixture("library/bad_dead_waiver.rs"))
+        .output()
+        .expect("xtask runs");
+    assert_eq!(dead.status.code(), Some(1), "dead waiver must exit 1");
+
+    let without = Command::new(bin)
+        .args(["lint", "--quiet"])
+        .arg(fixture("library/bad_dead_waiver.rs"))
+        .output()
+        .expect("xtask runs");
+    assert_eq!(
+        without.status.code(),
+        Some(0),
+        "dead waivers are advisory without the flag"
+    );
+
+    let shielded = Command::new(bin)
+        .args(["lint", "--check-waivers", "--quiet"])
+        .arg(fixture("library/waived_dead_waiver.rs"))
+        .output()
+        .expect("xtask runs");
+    assert_eq!(shielded.status.code(), Some(0), "shielded waiver must pass");
+
+    let workspace = Command::new(bin)
+        .args(["lint", "--check-waivers", "--quiet"])
+        .current_dir(xtask::workspace_root())
+        .output()
+        .expect("xtask runs");
+    assert_eq!(
+        workspace.status.code(),
+        Some(0),
+        "workspace has a dead waiver:\n{}",
+        String::from_utf8_lossy(&workspace.stdout)
+    );
 }
