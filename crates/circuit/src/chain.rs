@@ -75,12 +75,10 @@ impl<'a> ChainMc<'a> {
         chip: &ChipSample,
         rng: &mut R,
     ) -> f64 {
-        (0..self.length)
-            .map(|_| {
-                let gate = self.tech.sample_gate(rng);
-                self.tech.gate_delay_ps(vdd, chip, &gate)
-            })
-            .sum()
+        ntv_mc::reduce::sum_ordered((0..self.length).map(|_| {
+            let gate = self.tech.sample_gate(rng);
+            self.tech.gate_delay_ps(vdd, chip, &gate)
+        }))
     }
 
     /// Sample the chain delay (ps), drawing a fresh chip (cross-chip

@@ -187,8 +187,9 @@ impl PathDistribution {
             })
             .collect();
 
-        let mean_ps: f64 = comps.iter().map(|&(w, mu, _)| w * mu).sum();
-        let second: f64 = comps.iter().map(|&(w, mu, s)| w * (mu * mu + s * s)).sum();
+        let mean_ps = ntv_mc::reduce::sum_ordered(comps.iter().map(|&(w, mu, _)| w * mu));
+        let second =
+            ntv_mc::reduce::sum_ordered(comps.iter().map(|&(w, mu, s)| w * (mu * mu + s * s)));
         let std_ps = (second - mean_ps * mean_ps).max(0.0).sqrt();
         let lo_ps = comps
             .iter()
@@ -222,18 +223,15 @@ impl PathDistribution {
             let sf: Vec<f64> = xs
                 .iter()
                 .map(|&x| {
-                    self.comps
-                        .iter()
-                        .map(|&(w, mu, s)| {
-                            if s > 0.0 {
-                                w * 0.5 * normal::erfc((x - mu) / (s * sqrt2))
-                            } else if x < mu {
-                                w
-                            } else {
-                                0.0
-                            }
-                        })
-                        .sum::<f64>()
+                    ntv_mc::reduce::sum_ordered(self.comps.iter().map(|&(w, mu, s)| {
+                        if s > 0.0 {
+                            w * 0.5 * normal::erfc((x - mu) / (s * sqrt2))
+                        } else if x < mu {
+                            w
+                        } else {
+                            0.0
+                        }
+                    }))
                 })
                 .collect();
             let ln_sf: Vec<f64> = sf.iter().map(|&s| s.ln()).collect();
@@ -244,6 +242,7 @@ impl PathDistribution {
                     let ln_edge =
                         SurvivalGrid::LN_G_MIN * (1.0 - (b + 1) as f64 / SurvivalGrid::HINT as f64);
                     let edge = ln_edge.exp();
+                    // ntv:allow(lossy-cast): partition_point ≤ GRID = 1024, far inside u32
                     sf.partition_point(|&s| s > edge) as u32
                 })
                 .collect();

@@ -83,7 +83,9 @@ pub fn binomial_cdf(n: u32, p: f64, k: u32) -> f64 {
     let mut cdf = pmf;
     for i in 0..k {
         let i_f = f64::from(i);
+        // ntv:allow(reduction-order): binomial pmf ratio recurrence — the product order is the definition
         pmf *= (f64::from(n) - i_f) / (i_f + 1.0) * (p / q);
+        // ntv:allow(reduction-order): running CDF over the loop-carried pmf; cannot be split without materializing terms
         cdf += pmf;
     }
     cdf.min(1.0)

@@ -297,24 +297,20 @@ impl HierMixture {
     /// through `expm1` so it keeps relative precision when the CDF is
     /// within an ulp of 1.
     fn lane_cdf_sf(&self, x: f64, mu: f64, s: f64, paths: f64) -> (f64, f64) {
-        let mut cdf = 0.0;
-        let mut sf = 0.0;
-        for &(wf, f) in &self.factors {
+        let (cdf, sf) = ntv_mc::reduce::sum2_ordered(self.factors.iter().map(|&(wf, f)| {
             let ln_phi = ln_normal_cdf((x - mu * f) / (s * f));
             let (pl, sl) = lane_split(ln_phi, paths);
-            cdf += wf * pl;
-            sf += wf * sl;
-        }
+            (wf * pl, wf * sl)
+        }));
         (cdf.clamp(0.0, 1.0), sf.clamp(0.0, 1.0))
     }
 
     /// Chip-delay CDF: `E_g[(lane CDF | g)^lanes]`.
     fn chip_cdf(&self, x: f64, paths: f64, lanes: f64) -> f64 {
-        let mut total = 0.0;
-        for &(w, mu, s) in &self.comps {
+        let total = ntv_mc::reduce::sum_ordered(self.comps.iter().map(|&(w, mu, s)| {
             let (cdf, _) = self.lane_cdf_sf(x, mu, s, paths);
-            total += w * cdf.powf(lanes);
-        }
+            w * cdf.powf(lanes)
+        }));
         total.clamp(0.0, 1.0)
     }
 
@@ -322,11 +318,10 @@ impl HierMixture {
     /// `E_g[binomial tail of the conditional lane CDF]` (lanes are
     /// conditionally i.i.d. given the chip-global draw).
     fn spares_cdf(&self, x: f64, paths: f64, physical: usize, lanes: usize) -> f64 {
-        let mut total = 0.0;
-        for &(w, mu, s) in &self.comps {
+        let total = ntv_mc::reduce::sum_ordered(self.comps.iter().map(|&(w, mu, s)| {
             let (cdf, sf) = self.lane_cdf_sf(x, mu, s, paths);
-            total += w * binomial_tail(physical, lanes, cdf, sf);
-        }
+            w * binomial_tail(physical, lanes, cdf, sf)
+        }));
         total.clamp(0.0, 1.0)
     }
 }
@@ -373,12 +368,15 @@ fn binomial_tail(m: usize, k: usize, p: f64, s: f64) -> f64 {
     // ln C(m, k), then the ratio recurrence C(m, j+1) = C(m, j)·(m−j)/(j+1).
     let mut ln_c = 0.0;
     for i in 1..=k {
+        // ntv:allow(reduction-order): ln C(m,k) ratio recurrence — terms are defined by the running value, not reorderable
         ln_c += ((m - k + i) as f64 / i as f64).ln();
     }
     let mut total = 0.0;
     for j in k..=m {
+        // ntv:allow(reduction-order): each term reads the loop-carried ln_c recurrence, so the sum cannot be split without materializing the coefficients
         total += (ln_c + j as f64 * ln_p + (m - j) as f64 * ln_s).exp();
         if j < m {
+            // ntv:allow(reduction-order): binomial-coefficient ratio recurrence, order is the definition
             ln_c += ((m - j) as f64 / (j + 1) as f64).ln();
         }
     }
@@ -395,6 +393,7 @@ fn invert_monotone_cdf(p: f64, mut lo: f64, mut hi: f64, cdf: impl Fn(f64) -> f6
     let mut width = hi - lo;
     let mut guard = 0;
     while cdf(hi) < p && guard < 64 {
+        // ntv:allow(reduction-order): geometric bracket expansion, not a reduction — each step doubles the stride
         hi += width;
         width *= 2.0;
         guard += 1;

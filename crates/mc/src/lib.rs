@@ -26,7 +26,9 @@
 //!   i.i.d. normals in O(1), Blom scores),
 //! * [`qmc`] — a Halton low-discrepancy stream for variance-reduced
 //!   quantile estimation,
-//! * [`bootstrap`] — percentile-bootstrap confidence intervals.
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals,
+//! * [`reduce`] — fixed-order and Neumaier-compensated f64 summation, the
+//!   sanctioned shapes for the `ntv::reduction-order` lint.
 //!
 //! # Example
 //!
@@ -49,6 +51,7 @@ pub mod order;
 pub mod qmc;
 pub mod quadrature;
 pub mod quantile;
+pub mod reduce;
 pub mod rng;
 pub mod stats;
 
@@ -57,5 +60,6 @@ pub use error::SampleError;
 pub use histogram::Histogram;
 pub use quadrature::GaussHermite;
 pub use quantile::Quantiles;
+pub use reduce::{sum2_ordered, sum_compensated, sum_ordered};
 pub use rng::{CounterDraws, CounterRng, SampleStream, StreamRng};
 pub use stats::Summary;

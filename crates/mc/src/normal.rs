@@ -244,15 +244,26 @@ mod tests {
 
     #[test]
     fn pdf_integrates_to_one() {
-        // Simpson's rule over [-8, 8].
+        // Simpson's rule over [-8, 8], accumulated with the sanctioned
+        // fixed-order reducer. The legacy `+=` loop is kept below to pin the
+        // migration bit-identical.
         let n = 4000;
         let h = 16.0 / f64::from(n);
-        let mut sum = pdf(-8.0) + pdf(8.0);
+        let endpoints = pdf(-8.0) + pdf(8.0);
+        // The endpoint term leads the fold so the order matches the legacy
+        // `sum = endpoints; sum += term` loop exactly.
+        let sum = crate::reduce::sum_ordered(std::iter::once(endpoints).chain((1..n).map(|i| {
+            let x = -8.0 + f64::from(i) * h;
+            (if i % 2 == 1 { 4.0 } else { 2.0 }) * pdf(x)
+        })));
+        assert!((sum * h / 3.0 - 1.0).abs() < 1e-10);
+
+        let mut legacy = endpoints;
         for i in 1..n {
             let x = -8.0 + f64::from(i) * h;
-            sum += if i % 2 == 1 { 4.0 } else { 2.0 } * pdf(x);
+            legacy += if i % 2 == 1 { 4.0 } else { 2.0 } * pdf(x);
         }
-        assert!((sum * h / 3.0 - 1.0).abs() < 1e-10);
+        assert_eq!(sum.to_bits(), legacy.to_bits());
     }
 
     #[test]

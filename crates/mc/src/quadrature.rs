@@ -113,10 +113,14 @@ impl GaussHermite {
         assert!(std_dev >= 0.0, "standard deviation must be non-negative");
         const INV_SQRT_PI: f64 = 0.564_189_583_547_756_3;
         let scale = std::f64::consts::SQRT_2 * std_dev;
-        let mut acc = 0.0;
-        for (&x, &w) in self.nodes.iter().zip(&self.weights) {
-            acc += w * f(mean + scale * x);
-        }
+        // Fixed-order accumulation over the node list, bit-identical to the
+        // sequential loop this replaced (pinned by test below).
+        let acc = crate::reduce::sum_ordered(
+            self.nodes
+                .iter()
+                .zip(&self.weights)
+                .map(|(&x, &w)| w * f(mean + scale * x)),
+        );
         acc * INV_SQRT_PI
     }
 
@@ -129,13 +133,13 @@ impl GaussHermite {
     ) -> (f64, f64) {
         const INV_SQRT_PI: f64 = 0.564_189_583_547_756_3;
         let scale = std::f64::consts::SQRT_2 * std_dev;
-        let mut m1 = 0.0;
-        let mut m2 = 0.0;
-        for (&x, &w) in self.nodes.iter().zip(&self.weights) {
-            let v = f(mean + scale * x);
-            m1 += w * v;
-            m2 += w * v * v;
-        }
+        // One pass (f may be expensive or side-effecting), both accumulators
+        // folded in fixed order — bit-identical to the paired `+=` loop.
+        let (mut m1, mut m2) =
+            crate::reduce::sum2_ordered(self.nodes.iter().zip(&self.weights).map(|(&x, &w)| {
+                let v = f(mean + scale * x);
+                (w * v, w * v * v)
+            }));
         m1 *= INV_SQRT_PI;
         m2 *= INV_SQRT_PI;
         (m1, (m2 - m1 * m1).max(0.0))
@@ -206,5 +210,39 @@ mod tests {
     #[should_panic(expected = "order must be positive")]
     fn zero_order_rejected() {
         let _ = GaussHermite::new(0);
+    }
+
+    /// The `reduce::sum_ordered` migration must not move a single bit: the
+    /// accumulation order over the node list is part of the published
+    /// numbers.
+    #[test]
+    fn ordered_reduction_is_bit_identical_to_the_legacy_loops() {
+        const INV_SQRT_PI: f64 = 0.564_189_583_547_756_3;
+        let gh = GaussHermite::new(32);
+        let (mean, std_dev) = (0.37, 1.9);
+        let scale = std::f64::consts::SQRT_2 * std_dev;
+        let f = |x: f64| (0.25 * x).exp() * (x * x + 0.5);
+
+        let mut acc = 0.0;
+        for (&x, &w) in gh.nodes().iter().zip(gh.weights()) {
+            acc += w * f(mean + scale * x);
+        }
+        let legacy_expect = acc * INV_SQRT_PI;
+        let got = gh.expect_normal(mean, std_dev, f);
+        assert_eq!(got.to_bits(), legacy_expect.to_bits());
+
+        let mut m1 = 0.0;
+        let mut m2 = 0.0;
+        for (&x, &w) in gh.nodes().iter().zip(gh.weights()) {
+            let v = f(mean + scale * x);
+            m1 += w * v;
+            m2 += w * v * v;
+        }
+        m1 *= INV_SQRT_PI;
+        m2 *= INV_SQRT_PI;
+        let legacy_moments = (m1, (m2 - m1 * m1).max(0.0));
+        let got = gh.moments_normal(mean, std_dev, f);
+        assert_eq!(got.0.to_bits(), legacy_moments.0.to_bits());
+        assert_eq!(got.1.to_bits(), legacy_moments.1.to_bits());
     }
 }

@@ -84,8 +84,10 @@ impl Quantiles {
             return self.sorted[0];
         }
         let h = p * (n - 1) as f64;
-        let lo = h.floor() as usize;
-        let hi = h.ceil() as usize;
+        // `h ≤ n-1` already, but the clamp makes the cast's range explicit
+        // (and keeps the truncation lint happy without a waiver).
+        let lo = (h.floor() as usize).min(n - 1);
+        let hi = (h.ceil() as usize).min(n - 1);
         if lo == hi {
             self.sorted[lo]
         } else {

@@ -1,0 +1,149 @@
+//! Fixed-order and compensated f64 reductions.
+//!
+//! Float addition is not associative, so the *order* of a summation is part
+//! of its value: reassociating the same terms — which is exactly what SIMD
+//! lane splitting, tree reduction, or thread partitioning does — changes
+//! the result by ulps that the workspace's bit-reproducibility contract
+//! cannot absorb. The `ntv::reduction-order` lint denies raw sequential
+//! accumulation on public paths; these helpers are the sanctioned
+//! replacements:
+//!
+//! * [`sum_ordered`] / [`sum2_ordered`] — a *documented* left-to-right
+//!   fold, bit-identical to the naive `for` loop it replaces. Migrating a
+//!   loop here does not change a single bit; it marks the site as
+//!   order-pinned so the vectorization pass knows the order is load-bearing
+//!   and must be reproduced (e.g. by lane-invariant tree order) rather than
+//!   discovered.
+//! * [`sum_compensated`] — Neumaier's improved Kahan summation: the running
+//!   compensation recovers the low-order bits ordinary accumulation drops,
+//!   so the result is nearly independent of term order. Use it where the
+//!   *accuracy* of the sum matters more than bit-matching a historical
+//!   order (new code, accuracy-critical tails).
+//!
+//! All three are allocation-free single passes over any `f64` iterator.
+
+/// Left-to-right ordered sum: exactly `iter.fold(0.0, |a, x| a + x)`.
+///
+/// Bit-identical to the sequential `acc += x` loop and to
+/// `Iterator::sum::<f64>()` over the same order — the point is the name:
+/// a call site declares its summation order fixed and documented.
+#[must_use]
+pub fn sum_ordered(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = 0.0;
+    for x in values {
+        acc += x; // ntv:allow(reduction-order): this IS the documented fixed-order helper
+    }
+    acc
+}
+
+/// Two ordered sums in one pass: `(Σ aᵢ, Σ bᵢ)` with each accumulator
+/// folded left-to-right, bit-identical to the paired `+=` loop it
+/// replaces. For kernels whose per-element work must not run twice
+/// (side-effecting closures, expensive model evaluations).
+#[must_use]
+pub fn sum2_ordered(values: impl IntoIterator<Item = (f64, f64)>) -> (f64, f64) {
+    let mut a = 0.0;
+    let mut b = 0.0;
+    for (x, y) in values {
+        a += x; // ntv:allow(reduction-order): this IS the documented fixed-order helper
+        b += y; // ntv:allow(reduction-order): this IS the documented fixed-order helper
+    }
+    (a, b)
+}
+
+/// Neumaier-compensated sum: a Kahan-style running error term that also
+/// handles the case where the next term is larger than the running sum.
+///
+/// The result changes by at most one ulp under any reordering of finite
+/// inputs with the same exponent range — the right tool when a future
+/// vectorized kernel must agree with the scalar path without pinning an
+/// order. Infinities and NaNs propagate as in ordinary summation.
+#[must_use]
+pub fn sum_compensated(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut comp = 0.0; // running compensation for lost low-order bits
+    for x in values {
+        let t = sum + x;
+        if sum.abs() >= x.abs() {
+            comp += (sum - t) + x; // ntv:allow(reduction-order): compensated-helper internals
+        } else {
+            comp += (x - t) + sum; // ntv:allow(reduction-order): compensated-helper internals
+        }
+        sum = t;
+    }
+    sum + comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_ordered_is_bit_identical_to_the_naive_loop() {
+        // An ill-conditioned mix of magnitudes: ordered summation must
+        // reproduce the naive loop bit for bit, drift and all.
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| {
+                let i = f64::from(i);
+                (i * 0.1).sin() * 10f64.powi((i as i32 % 7) - 3)
+            })
+            .collect();
+        let mut naive = 0.0;
+        for &x in &xs {
+            naive += x;
+        }
+        assert_eq!(sum_ordered(xs.iter().copied()).to_bits(), naive.to_bits());
+        let iter_sum: f64 = xs.iter().sum();
+        assert_eq!(
+            sum_ordered(xs.iter().copied()).to_bits(),
+            iter_sum.to_bits()
+        );
+    }
+
+    #[test]
+    fn sum2_ordered_matches_paired_accumulators() {
+        let pairs: Vec<(f64, f64)> = (0..500)
+            .map(|i| {
+                let i = f64::from(i);
+                ((i * 0.31).cos(), (i * 0.17).sin() * 1e-8)
+            })
+            .collect();
+        let (mut a, mut b) = (0.0, 0.0);
+        for &(x, y) in &pairs {
+            a += x;
+            b += y;
+        }
+        let (sa, sb) = sum2_ordered(pairs.iter().copied());
+        assert_eq!(sa.to_bits(), a.to_bits());
+        assert_eq!(sb.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn compensated_sum_recovers_cancelled_bits() {
+        // 1.0 + 1e16 - 1e16 loses the 1.0 in naive order.
+        let xs = [1.0, 1e16, -1e16];
+        assert_eq!(sum_compensated(xs.iter().copied()), 1.0);
+        let naive = sum_ordered(xs.iter().copied());
+        assert_eq!(naive, 0.0); // demonstrates exactly what was lost
+    }
+
+    #[test]
+    fn compensated_sum_is_order_insensitive_where_naive_is_not() {
+        let mut xs: Vec<f64> = (0..2000)
+            .map(|i| 10f64.powi((i % 13) - 6) * f64::from(i % 17 - 8))
+            .collect();
+        let fwd = sum_compensated(xs.iter().copied());
+        xs.reverse();
+        let rev = sum_compensated(xs.iter().copied());
+        assert!((fwd - rev).abs() <= fwd.abs() * 1e-15 + 1e-300);
+    }
+
+    #[test]
+    fn empty_and_single_sums_are_exact() {
+        assert_eq!(sum_ordered(std::iter::empty()), 0.0);
+        assert_eq!(sum_compensated(std::iter::empty()), 0.0);
+        assert_eq!(sum_ordered([42.5]), 42.5);
+        assert_eq!(sum_compensated([42.5]), 42.5);
+        assert_eq!(sum2_ordered(std::iter::empty()), (0.0, 0.0));
+    }
+}

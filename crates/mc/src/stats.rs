@@ -199,16 +199,16 @@ pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "paired samples must have equal length");
     assert!(x.len() >= 2, "correlation needs at least two samples");
     let n = x.len() as f64;
-    let mx = x.iter().sum::<f64>() / n;
-    let my = y.iter().sum::<f64>() / n;
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
-    for (&a, &b) in x.iter().zip(y) {
-        sxy += (a - mx) * (b - my);
-        sxx += (a - mx) * (a - mx);
-        syy += (b - my) * (b - my);
-    }
+    let mx = crate::reduce::sum_ordered(x.iter().copied()) / n;
+    let my = crate::reduce::sum_ordered(y.iter().copied()) / n;
+    // Each accumulator folds left-to-right over the same pairing as the
+    // legacy three-accumulator loop, so every sum is bit-identical to it.
+    let sxy = crate::reduce::sum_ordered(x.iter().zip(y).map(|(&a, &b)| (a - mx) * (b - my)));
+    let (sxx, syy) = crate::reduce::sum2_ordered(
+        x.iter()
+            .zip(y)
+            .map(|(&a, &b)| ((a - mx) * (a - mx), (b - my) * (b - my))),
+    );
     if sxx == 0.0 || syy == 0.0 {
         0.0
     } else {

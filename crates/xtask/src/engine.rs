@@ -7,6 +7,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::dataflow;
 use crate::graph;
 use crate::lexer::{self, Token};
 use crate::parser;
@@ -95,11 +96,18 @@ impl FileClass {
             // grids and wraps at the call boundary. The call-graph rules
             // (public-API reachability, lock discipline) police library
             // internals, which harness/bench consumers cannot change.
+            // The numeric-dataflow family polices result-producing library
+            // code: reduction order and cast truncation only corrupt
+            // *results*, and harness/bench/tool code is full of benign
+            // display-width casts and timing sums.
             RuleId::StatefulRng
             | RuleId::EnvRead
             | RuleId::BareUnit
             | RuleId::PanicPath
-            | RuleId::LockDiscipline => matches!(self, Library),
+            | RuleId::LockDiscipline
+            | RuleId::ReductionOrder
+            | RuleId::LossyCast
+            | RuleId::UnitEscape => matches!(self, Library),
             RuleId::WallClock => matches!(self, Library | Tool),
             RuleId::HashContainer => matches!(self, Library | Tool),
             RuleId::Unwrap | RuleId::Panic => matches!(self, Library | Tool),
@@ -390,6 +398,9 @@ pub struct LintOptions {
     /// Report `ntv:allow(..)` waivers that suppressed zero findings this
     /// run as `ntv::dead-waiver` diagnostics (`xtask lint --check-waivers`).
     pub check_waivers: bool,
+    /// Produce the batch-readiness JSON worklist (`xtask lint --report
+    /// batch-readiness`) in [`LintReport::batch_readiness`].
+    pub batch_readiness: bool,
 }
 
 /// Everything the engine knows about one file mid-run.
@@ -423,6 +434,9 @@ fn apply_hit(st: &mut FileState, hit: rules::Hit, policy: &Policy) {
                 | RuleId::UncachedBuild
                 | RuleId::PanicPath
                 | RuleId::LockDiscipline
+                | RuleId::ReductionOrder
+                | RuleId::LossyCast
+                | RuleId::UnitEscape
         )
     {
         return;
@@ -487,6 +501,9 @@ pub fn lint_sources(
         if st.class.rule_applies(RuleId::BareUnit) {
             hits.extend(rules::scan_signatures(&st.parsed));
         }
+        if st.class.rule_applies(RuleId::LossyCast) {
+            hits.extend(dataflow::file_hits(&st.lexed.tokens, &st.parsed));
+        }
         for hit in hits {
             apply_hit(st, hit, policy);
         }
@@ -499,6 +516,7 @@ pub fn lint_sources(
         .filter(|(_, s)| s.class == FileClass::Library)
         .map(|(i, _)| i)
         .collect();
+    let mut batch_readiness = None;
     if !lib_idx.is_empty() {
         let sem_hits = {
             let sem_files: Vec<graph::SemFile> = lib_idx
@@ -516,6 +534,10 @@ pub fn lint_sources(
             let g = graph::Graph::build(&sem_files);
             let mut hits = g.panic_path_hits();
             hits.extend(g.lock_discipline_hits(&sem_files));
+            hits.extend(dataflow::reduction_hits(&g, &sem_files));
+            if options.batch_readiness {
+                batch_readiness = Some(dataflow::batch_readiness_report(&g, &sem_files));
+            }
             hits
         };
         for (fi, hit) in sem_hits {
@@ -551,6 +573,7 @@ pub fn lint_sources(
 
     let mut report = LintReport {
         files_scanned: files.len(),
+        batch_readiness,
         ..LintReport::default()
     };
     for st in states {
@@ -674,6 +697,9 @@ pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// The batch-readiness JSON worklist, when
+    /// [`LintOptions::batch_readiness`] was set.
+    pub batch_readiness: Option<String>,
 }
 
 impl LintReport {

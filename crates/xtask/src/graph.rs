@@ -248,6 +248,33 @@ impl Graph {
         self.witness[sym] != usize::MAX
     }
 
+    /// The witness public root that makes `sym` reachable, if any (the
+    /// lowest-id public function with a call path to `sym`).
+    #[must_use]
+    pub fn witness_root(&self, sym: SymbolId) -> Option<SymbolId> {
+        (self.witness[sym] != usize::MAX).then(|| self.witness[sym])
+    }
+
+    /// Forward closure: every symbol reachable from `roots` (including the
+    /// roots themselves), ascending — deterministic for report generation.
+    #[must_use]
+    pub fn reach_from(&self, roots: &[SymbolId]) -> Vec<SymbolId> {
+        let mut seen = vec![false; self.table.symbols.len()];
+        let mut queue: Vec<SymbolId> = roots.to_vec();
+        for &r in roots {
+            seen[r] = true;
+        }
+        while let Some(s) = queue.pop() {
+            for &t in &self.edges[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    queue.push(t);
+                }
+            }
+        }
+        (0..seen.len()).filter(|&i| seen[i]).collect()
+    }
+
     /// All `ntv::panic-path` hits, as (file index, hit), in symbol order.
     #[must_use]
     pub fn panic_path_hits(&self) -> Vec<(usize, Hit)> {

@@ -29,8 +29,12 @@ pub enum TokenKind {
     Ident(String),
     /// Single punctuation character (`::` arrives as two `:` tokens).
     Punct(char),
-    /// String / char / numeric literal; content deliberately discarded.
-    Literal,
+    /// String / char / numeric literal. Numeric literals carry their source
+    /// text (the dataflow layer needs to tell `1.0` from `1`, and to match
+    /// `.0` field projections); string/char literals carry an empty string —
+    /// their content is deliberately discarded so message text can never
+    /// trip a rule.
+    Literal(String),
 }
 
 impl Token {
@@ -41,6 +45,46 @@ impl Token {
             TokenKind::Ident(s) => Some(s),
             _ => None,
         }
+    }
+
+    /// The literal source text, if this token is a (numeric) literal.
+    #[must_use]
+    pub fn literal(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Literal(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is a numeric literal with float shape: a decimal
+    /// point, an exponent, or an explicit `f32`/`f64` suffix.
+    #[must_use]
+    pub fn is_float_literal(&self) -> bool {
+        let Some(text) = self.literal() else {
+            return false;
+        };
+        let Some(first) = text.chars().next() else {
+            return false;
+        };
+        if !first.is_ascii_digit() {
+            return false;
+        }
+        if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+            return false;
+        }
+        // An integer suffix settles the type even though `usize`/`isize`
+        // contain the letter `e` (the exponent check below must not see it).
+        const INT_SUFFIXES: [&str; 12] = [
+            "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+        ];
+        if INT_SUFFIXES.iter().any(|s| text.ends_with(s)) {
+            return false;
+        }
+        text.contains('.')
+            || text.contains('e')
+            || text.contains('E')
+            || text.ends_with("f32")
+            || text.ends_with("f64")
     }
 
     /// Whether this token is the punctuation character `c`.
@@ -187,7 +231,7 @@ impl Lexer {
             }
         }
         self.out.tokens.push(Token {
-            kind: TokenKind::Literal,
+            kind: TokenKind::Literal(String::new()),
             line,
         });
     }
@@ -248,7 +292,7 @@ impl Lexer {
             }
         }
         self.out.tokens.push(Token {
-            kind: TokenKind::Literal,
+            kind: TokenKind::Literal(String::new()),
             line,
         });
     }
@@ -277,7 +321,7 @@ impl Lexer {
                 }
             }
             self.out.tokens.push(Token {
-                kind: TokenKind::Literal,
+                kind: TokenKind::Literal(String::new()),
                 line,
             });
         }
@@ -299,6 +343,7 @@ impl Lexer {
 
     fn number(&mut self) {
         let line = self.line;
+        let start = self.pos;
         // Digits plus underscores, type suffixes (`1u64`), hex (`0xff`), and
         // exponents (`1e-6`). A `.` joins the number only when followed by a
         // digit, so `0..n` and `x.iter()` keep their punctuation.
@@ -318,8 +363,9 @@ impl Lexer {
                 break;
             }
         }
+        let text: String = self.chars[start..self.pos].iter().collect();
         self.out.tokens.push(Token {
-            kind: TokenKind::Literal,
+            kind: TokenKind::Literal(text),
             line,
         });
     }

@@ -26,6 +26,12 @@ lint options:
                    stderr; both are byte-identical across runs
   --check-waivers  additionally deny `ntv:allow(..)` waivers that suppress
                    zero findings (dead waivers)
+  --report <name>  emit a machine-readable analysis report on stdout
+                   (summary and diagnostics go to stderr). Reports:
+                   batch-readiness — the vectorization worklist: every fn
+                   reachable from a public `sample_*` root with its f64
+                   reduction sites classified order-sensitive / order-free;
+                   byte-identical across runs
   --bench-out <p>  write {files_scanned, diagnostics, wall_ms} JSON to <p>
                    after linting (perf baseline for the call-graph pass)
 
@@ -61,6 +67,7 @@ fn lint(args: &[String]) -> ExitCode {
     let mut warn_only = false;
     let mut quiet = false;
     let mut check_waivers = false;
+    let mut batch_readiness = false;
     let mut format = Format::Text;
     let mut bench_out: Option<PathBuf> = None;
     let mut only_rules: Vec<RuleId> = Vec::new();
@@ -85,6 +92,13 @@ fn lint(args: &[String]) -> ExitCode {
                 }
             },
             "--check-waivers" => check_waivers = true,
+            "--report" => match it.next().map(String::as_str) {
+                Some("batch-readiness") => batch_readiness = true,
+                _ => {
+                    eprintln!("xtask lint: --report needs `batch-readiness`");
+                    return ExitCode::from(2);
+                }
+            },
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
@@ -110,7 +124,10 @@ fn lint(args: &[String]) -> ExitCode {
     }
 
     let policy = Policy::default();
-    let options = engine::LintOptions { check_waivers };
+    let options = engine::LintOptions {
+        check_waivers,
+        batch_readiness,
+    };
     let root = xtask::workspace_root();
     // ntv:allow(wall-clock): timing the linter itself is --bench-out's job
     let t0 = Instant::now();
@@ -157,13 +174,24 @@ fn lint(args: &[String]) -> ExitCode {
         shown.push(diag);
     }
 
-    match format {
-        Format::Json => println!("{}", render_json(&shown)),
-        Format::Sarif => print!("{}", sarif::render(&shown)),
-        Format::Text => {
-            if !quiet {
-                for diag in &shown {
-                    println!("{diag}\n");
+    // With --report, stdout is reserved for the report; diagnostics and
+    // the summary move to stderr so piping/redirecting stays clean.
+    if let Some(rep) = &report.batch_readiness {
+        print!("{rep}");
+        if !quiet && format == Format::Text {
+            for diag in &shown {
+                eprintln!("{diag}\n");
+            }
+        }
+    } else {
+        match format {
+            Format::Json => println!("{}", render_json(&shown)),
+            Format::Sarif => print!("{}", sarif::render(&shown)),
+            Format::Text => {
+                if !quiet {
+                    for diag in &shown {
+                        println!("{diag}\n");
+                    }
                 }
             }
         }
@@ -188,7 +216,7 @@ fn lint(args: &[String]) -> ExitCode {
         report.files_scanned,
     );
     // In machine-read formats stdout is reserved for the report.
-    if format == Format::Text {
+    if format == Format::Text && report.batch_readiness.is_none() {
         println!("{summary}");
     } else {
         eprintln!("{summary}");

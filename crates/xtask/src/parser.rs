@@ -349,7 +349,7 @@ fn visibility_before(tokens: &[Token], i: usize, _doc_lines: &[u32]) -> (bool, u
                 start_line = prev.line;
             }
             // The ABI string of `extern "C"`.
-            TokenKind::Literal => {
+            TokenKind::Literal(_) => {
                 if j >= 2 && tokens[j - 2].ident() == Some("extern") {
                     j -= 1;
                     start_line = prev.line;
@@ -437,11 +437,11 @@ fn render(tokens: &[Token]) -> String {
                 s.push(*c);
                 prev_ident = false;
             }
-            TokenKind::Literal => {
+            TokenKind::Literal(text) => {
                 if prev_ident {
                     s.push(' ');
                 }
-                s.push_str("<lit>");
+                s.push_str(if text.is_empty() { "<lit>" } else { text });
                 prev_ident = true;
             }
         }

@@ -64,6 +64,21 @@ pub enum RuleId {
     /// acquisition, or the Gauss–Hermite build path — the discipline that
     /// keeps `ntv_core::op_cache` deadlock-free and build-outside-lock.
     LockDiscipline,
+    /// Sequential non-associative f64 accumulation (`+=`/`*=` in a loop,
+    /// `.sum()`, a float-seeded `.fold(..)`) in Library code reachable from
+    /// a public API — exactly where SIMD lane reordering would change the
+    /// result bit pattern. Found by the [`dataflow`](crate::dataflow) pass
+    /// over the call graph.
+    ReductionOrder,
+    /// Truncating/rounding `as` cast (`f64 as usize`, `f64 as f32`, a
+    /// width-narrowing integer cast on a length/count) whose operand is not
+    /// provably bounds-guarded (`.min(..)` / `.clamp(..)`) in the same
+    /// function.
+    LossyCast,
+    /// A `.0` projection of an `ntv-units` newtype that flows back out of a
+    /// public fn as a bare float — the dataflow extension of the
+    /// signature-level `bare-unit` rule.
+    UnitEscape,
     /// An `ntv:allow(..)` waiver that suppresses zero findings (reported
     /// only under `xtask lint --check-waivers`, so waivers cannot rot).
     DeadWaiver,
@@ -85,6 +100,9 @@ impl RuleId {
         RuleId::BadWaiver,
         RuleId::PanicPath,
         RuleId::LockDiscipline,
+        RuleId::ReductionOrder,
+        RuleId::LossyCast,
+        RuleId::UnitEscape,
         RuleId::DeadWaiver,
     ];
 
@@ -105,6 +123,9 @@ impl RuleId {
             RuleId::BadWaiver => "ntv::bad-waiver",
             RuleId::PanicPath => "ntv::panic-path",
             RuleId::LockDiscipline => "ntv::lock-discipline",
+            RuleId::ReductionOrder => "ntv::reduction-order",
+            RuleId::LossyCast => "ntv::lossy-cast",
+            RuleId::UnitEscape => "ntv::unit-escape",
             RuleId::DeadWaiver => "ntv::dead-waiver",
         }
     }
@@ -126,6 +147,9 @@ impl RuleId {
             RuleId::BadWaiver => "bad-waiver",
             RuleId::PanicPath => "panic-path",
             RuleId::LockDiscipline => "lock-discipline",
+            RuleId::ReductionOrder => "reduction-order",
+            RuleId::LossyCast => "lossy-cast",
+            RuleId::UnitEscape => "unit-escape",
             RuleId::DeadWaiver => "dead-waiver",
         }
     }
@@ -204,6 +228,25 @@ impl RuleId {
                  acquisition: take the guard in a statement-scoped \
                  temporary, clone the per-entry `Arc<OnceLock>`, and build \
                  outside the lock (the `ntv_core::op_cache` pattern)"
+            }
+            RuleId::ReductionOrder => {
+                "float addition is not associative, so this sequential \
+                 accumulation pins a summation order that SIMD lane \
+                 reordering would silently change; route it through \
+                 `ntv_mc::reduce` (`sum_ordered` / `sum_compensated`), or \
+                 waive with the invariant that fixes the order"
+            }
+            RuleId::LossyCast => {
+                "this `as` cast silently truncates or rounds; clamp the \
+                 value first (`.min(..)` / `.clamp(..)` in the same \
+                 function), convert through a checked path, or waive with \
+                 the invariant that bounds the operand"
+            }
+            RuleId::UnitEscape => {
+                "the `.0` projection strips the `ntv-units` newtype before \
+                 the value leaves a public fn, reopening the unit-mix-up \
+                 hole the newtype closed; return the newtype, or convert \
+                 through a named accessor at the boundary"
             }
             RuleId::DeadWaiver => {
                 "this waiver suppresses no finding — the code it excused \

@@ -1,7 +1,7 @@
 //! Fixture: a well-formed waiver that suppresses no finding →
 //! `ntv::dead-waiver` under `--check-waivers` (clean otherwise).
 
-pub fn total(values: &[f64]) -> f64 {
-    // ntv:allow(unwrap): sum never fails
-    values.iter().sum()
+pub fn scaled(x: f64) -> f64 {
+    // ntv:allow(unwrap): nothing on this path can fail
+    x * 2.0
 }

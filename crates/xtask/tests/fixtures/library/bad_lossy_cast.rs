@@ -1,0 +1,14 @@
+//! Fixture: truncating `as` casts with no bounds guard in the same fn →
+//! `ntv::lossy-cast` (f64→usize bin math, f64→f32 narrowing, len→u16).
+
+pub fn bucket(x: f64, width: f64) -> usize {
+    (x / width) as usize
+}
+
+pub fn narrow(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn small_len(xs: &[u64]) -> u16 {
+    xs.len() as u16
+}

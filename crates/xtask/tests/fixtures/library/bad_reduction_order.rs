@@ -1,0 +1,22 @@
+//! Fixture: order-sensitive f64 reductions reachable from a public fn →
+//! `ntv::reduction-order` (loop `+=`, `.sum::<f64>()`, and a float fold).
+
+pub fn total_delay_ps(delays: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &d in delays {
+        acc += d;
+    }
+    acc
+}
+
+pub fn mean_ps(delays: &[f64]) -> f64 {
+    delays.iter().sum::<f64>() / delays.len() as f64
+}
+
+pub fn product(factors: &[f64]) -> f64 {
+    let mut p = 1.0;
+    for &f in factors {
+        p *= f;
+    }
+    p
+}

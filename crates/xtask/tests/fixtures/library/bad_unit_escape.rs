@@ -1,0 +1,15 @@
+//! Fixture: `.0` projections of `ntv-units` newtypes escaping a public fn
+//! as bare `f64` → `ntv::unit-escape` (direct tail, via a local, tuple).
+
+pub fn supply(vdd: Volts) -> f64 {
+    vdd.0
+}
+
+pub fn stripped(vdd: Volts) -> f64 {
+    let raw = vdd.0;
+    raw
+}
+
+pub fn bounds(lo: Volts, hi: Volts) -> (f64, f64) {
+    (lo.0, hi.0)
+}

@@ -1,8 +1,8 @@
 //! Fixture: `ntv:allow(dead-waiver)` shields an intentionally idle waiver
 //! (kept for a feature-gated code path) from `--check-waivers`.
 
-pub fn total(values: &[f64]) -> f64 {
+pub fn scaled(x: f64) -> f64 {
     // ntv:allow(dead-waiver): the unwrap waiver covers a cfg-gated path
-    // ntv:allow(unwrap): the gated accumulation path unwraps a checked sum
-    values.iter().sum()
+    // ntv:allow(unwrap): the gated code path unwraps a checked conversion
+    x * 2.0
 }

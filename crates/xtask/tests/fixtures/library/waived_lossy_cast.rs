@@ -1,0 +1,27 @@
+//! Fixture: guards and invariant-stating waivers silence `ntv::lossy-cast`
+//! — a clamp in the operand, a `.min` on the cast value, a later rebind
+//! through `.min`, and a waived widening-by-contract cast.
+
+pub fn bucket(x: f64, width: f64, bins: usize) -> usize {
+    ((x / width).clamp(0.0, (bins - 1) as f64)) as usize
+}
+
+pub fn capped_bin(x: f64, bins: usize) -> usize {
+    (x as usize).min(bins - 1)
+}
+
+pub fn rebound_bin(x: f64, bins: usize) -> usize {
+    let idx = x as usize;
+    let idx = idx.min(bins - 1);
+    idx
+}
+
+pub fn quantized(x: f64) -> u32 {
+    // ntv:allow(lossy-cast): caller contract bounds x to [0, 2^16)
+    x as u32
+}
+
+/// Widening integer casts are exact — no guard needed.
+pub fn widened(xs: &[u64]) -> u64 {
+    xs.len() as u64
+}

@@ -1,0 +1,28 @@
+//! Fixture: invariant-stating waivers silence `ntv::reduction-order`, and
+//! the rule's carve-outs (order-free min/max folds, stride updates,
+//! integer accumulators) stay quiet without one.
+
+pub fn total_delay_ps(delays: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &d in delays {
+        acc += d; // ntv:allow(reduction-order): goldens pin this exact left-to-right order
+    }
+    acc
+}
+
+/// Min/max folds are associative and commutative — no order pinned.
+pub fn worst_ps(delays: &[f64]) -> f64 {
+    delays.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// A literal stride update (`x += 0.125`) is iteration bookkeeping, not a
+/// reduction; integer counters are exact.
+pub fn grid_count(lo: f64, hi: f64) -> usize {
+    let mut x = lo;
+    let mut n = 0usize;
+    while x < hi {
+        x += 0.125;
+        n += 1;
+    }
+    n
+}

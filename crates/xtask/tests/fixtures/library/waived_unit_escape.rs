@@ -1,0 +1,25 @@
+//! Fixture: a justified waiver silences `ntv::unit-escape`, and the
+//! carve-outs (unit-typed returns, derived values, accessor methods on
+//! the newtype itself) stay quiet without one.
+
+pub fn supply_raw(vdd: Volts) -> f64 {
+    // ntv:allow(unit-escape): serialization boundary — the CSV writer needs the raw number
+    vdd.0
+}
+
+/// Returning the newtype keeps the unit — nothing escapes.
+pub fn margined(vdd: Volts) -> Volts {
+    Volts(vdd.0 + 0.05)
+}
+
+/// A derived value is a new quantity, not a bare escape of the unit.
+pub fn headroom(vdd: Volts, vth: Volts) -> f64 {
+    vdd.0 - vth.0
+}
+
+impl Volts {
+    /// Accessors on the newtype itself are the sanctioned exit.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}

@@ -46,6 +46,9 @@ fn each_bad_library_fixture_triggers_its_rule() {
         ("library/bad_waiver.rs", RuleId::BadWaiver),
         ("library/bad_panic_path.rs", RuleId::PanicPath),
         ("library/bad_lock_discipline.rs", RuleId::LockDiscipline),
+        ("library/bad_reduction_order.rs", RuleId::ReductionOrder),
+        ("library/bad_lossy_cast.rs", RuleId::LossyCast),
+        ("library/bad_unit_escape.rs", RuleId::UnitEscape),
     ];
     for (rel, rule) in cases {
         let rules = lint_rules(rel);
@@ -155,12 +158,48 @@ fn cross_file_pair_connects_only_when_linted_together() {
     );
 }
 
+/// The dataflow rules flag every advertised shape, and their waived
+/// counterparts (waivers + carve-outs) lint clean.
+#[test]
+fn dataflow_fixtures_flag_every_shape_and_waivers_silence() {
+    let diags = |name: &str| {
+        let source =
+            std::fs::read_to_string(fixture(&format!("library/{name}"))).expect("fixture exists");
+        let ws_rel = Path::new("crates/xtask/tests/fixtures/library").join(name);
+        engine::lint_source(&ws_rel, &source, &Policy::default())
+    };
+
+    // Loop `+=`, `.sum::<f64>()`, and the `*=` product — one hit each.
+    let red = diags("bad_reduction_order.rs");
+    assert_eq!(red.len(), 3, "{red:#?}");
+    assert!(red.iter().all(|d| d.rule == RuleId::ReductionOrder));
+
+    // f64→usize, f64→f32, len→u16 — one hit each.
+    let cast = diags("bad_lossy_cast.rs");
+    assert_eq!(cast.len(), 3, "{cast:#?}");
+    assert!(cast.iter().all(|d| d.rule == RuleId::LossyCast));
+
+    // Direct tail `.0`, escape via a local, and the tuple — one per fn.
+    let esc = diags("bad_unit_escape.rs");
+    assert_eq!(esc.len(), 3, "{esc:#?}");
+    assert!(esc.iter().all(|d| d.rule == RuleId::UnitEscape));
+
+    for name in [
+        "waived_reduction_order.rs",
+        "waived_lossy_cast.rs",
+        "waived_unit_escape.rs",
+    ] {
+        assert_eq!(lint_rules(&format!("library/{name}")), vec![], "{name}");
+    }
+}
+
 /// Dead waivers are silent by default, reported under `--check-waivers`,
 /// and an `ntv:allow(dead-waiver)` shield keeps an intentional one quiet.
 #[test]
 fn dead_waivers_only_fire_under_check_waivers() {
     let check = engine::LintOptions {
         check_waivers: true,
+        ..engine::LintOptions::default()
     };
     let load = |name: &str| -> Vec<(PathBuf, String)> {
         let source =
@@ -319,6 +358,9 @@ fn sarif_format_is_stable_and_complete() {
         Command::new(bin)
             .args(["lint", "--format", format, "--warn-only"])
             .arg(fixture("library/bad_bare_unit.rs"))
+            .arg(fixture("library/bad_lossy_cast.rs"))
+            .arg(fixture("library/bad_reduction_order.rs"))
+            .arg(fixture("library/bad_unit_escape.rs"))
             .arg(fixture("library/bad_unwrap.rs"))
             .output()
             .expect("xtask runs")
