@@ -69,16 +69,30 @@ impl<'a> ChainMc<'a> {
     }
 
     /// Sample the chain delay (ps) on an already-drawn chip.
+    ///
+    /// SoA batch form: all per-gate random offsets are drawn first (same
+    /// draw order as the old per-stage loop — delay evaluation consumes no
+    /// randomness), the whole delay vector is evaluated with one
+    /// [`TechModel::gate_delay_ps_batch`] call, and the chain sum keeps
+    /// the stage order. Bit-identical to the draw-evaluate-accumulate
+    /// loop it replaced (pinned by test).
     pub fn sample_on_chip_ps<R: SampleStream + ?Sized>(
         &self,
         vdd: Volts,
         chip: &ChipSample,
         rng: &mut R,
     ) -> f64 {
-        ntv_mc::reduce::sum_ordered((0..self.length).map(|_| {
+        let mut dvth = Vec::with_capacity(self.length);
+        let mut ln_k = Vec::with_capacity(self.length);
+        for _ in 0..self.length {
             let gate = self.tech.sample_gate(rng);
-            self.tech.gate_delay_ps(vdd, chip, &gate)
-        }))
+            dvth.push(gate.dvth);
+            ln_k.push(gate.ln_k);
+        }
+        let mut delays = vec![0.0; self.length];
+        self.tech
+            .gate_delay_ps_batch(vdd, chip, &dvth, &ln_k, &mut delays);
+        ntv_mc::reduce::sum_ordered(delays.iter().copied())
     }
 
     /// Sample the chain delay (ps), drawing a fresh chip (cross-chip
@@ -204,5 +218,27 @@ mod tests {
     fn zero_length_rejected() {
         let tech = TechModel::new(TechNode::Gp90);
         let _ = ChainMc::new(&tech, 0);
+    }
+
+    /// The SoA rewrite (draw all gates, batch-evaluate, ordered sum) must
+    /// reproduce the legacy draw-evaluate-accumulate loop bit for bit.
+    #[test]
+    fn soa_sampling_matches_legacy_interleaved_loop_bitwise() {
+        let tech = TechModel::new(TechNode::Gp45);
+        let chain = ChainMc::new(&tech, 50);
+        let vdd = Volts(0.55);
+        let mut rng_soa = StreamRng::from_seed(77);
+        let mut rng_legacy = StreamRng::from_seed(77);
+        for _ in 0..20 {
+            let batch = chain.sample_ps(vdd, &mut rng_soa);
+            // Legacy formulation: draw chip, then per stage draw a gate and
+            // immediately evaluate its delay, accumulating left to right.
+            let chip = tech.sample_chip(&mut rng_legacy);
+            let legacy = ntv_mc::reduce::sum_ordered((0..chain.length()).map(|_| {
+                let gate = tech.sample_gate(&mut rng_legacy);
+                tech.gate_delay_ps(vdd, &chip, &gate)
+            }));
+            assert_eq!(batch.to_bits(), legacy.to_bits());
+        }
     }
 }

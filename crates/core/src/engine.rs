@@ -187,6 +187,70 @@ impl PathDistribution {
             })
             .collect();
 
+        Self::from_comps(comps)
+    }
+
+    /// Build the distributions of a whole voltage grid in one pass through
+    /// the batch kernels: each systematic-ΔVth node evaluates its
+    /// conditional path moments across *all* voltages with
+    /// [`PathModel::conditional_moments_grid`] (the interchanged
+    /// Gauss–Hermite quadrature over the device voltage-grid kernel), and
+    /// each voltage's mixture components are then assembled in the scalar
+    /// order. Element `i` is **bit-identical** to
+    /// `PathDistribution::build(tech, vdds[i], length)` (pinned by test);
+    /// the win is arithmetic density — one fixed-stride kernel pass per
+    /// quadrature node instead of `vdds.len()` interleaved scalar builds.
+    #[must_use]
+    pub fn build_grid(tech: &TechModel, vdds: &[Volts], length: usize) -> Vec<Self> {
+        let params = tech.params();
+        let model = PathModel::new(tech, length);
+        let gh_v = GaussHermite::new(Self::GH_VTH);
+        let gh_k = GaussHermite::new(Self::GH_K);
+        const INV_PI: f64 = 1.0 / std::f64::consts::PI;
+        let sqrt2 = std::f64::consts::SQRT_2;
+
+        // Node-major: one voltage-grid moment pass per systematic-Vth node.
+        let moments: Vec<Vec<PathMoments>> = gh_v
+            .nodes()
+            .iter()
+            .map(|&xv| {
+                let dv = sqrt2 * params.sigma_vth_systematic * xv;
+                model.conditional_moments_grid(
+                    vdds,
+                    &ChipSample {
+                        dvth: dv,
+                        ln_k: 0.0,
+                    },
+                )
+            })
+            .collect();
+
+        // Voltage-major: assemble each operating point's components in the
+        // same (vth-node × k-node) order the scalar build uses.
+        (0..vdds.len())
+            .map(|vi| {
+                let comps: Vec<(f64, f64, f64)> = moments
+                    .iter()
+                    .zip(gh_v.weights())
+                    .flat_map(|(per_voltage, &wv)| {
+                        let m = per_voltage[vi];
+                        gh_k.nodes()
+                            .iter()
+                            .zip(gh_k.weights())
+                            .map(move |(&xk, &wk)| {
+                                let k = (-(sqrt2 * params.sigma_k_systematic * xk)).exp();
+                                (wv * wk * INV_PI, m.mean_ps * k, m.std_ps * k)
+                            })
+                    })
+                    .collect();
+                Self::from_comps(comps)
+            })
+            .collect()
+    }
+
+    /// Shared tail of [`build`](Self::build) / [`build_grid`](Self::build_grid):
+    /// unconditional moments and grid extent from the mixture components.
+    fn from_comps(comps: Vec<(f64, f64, f64)>) -> Self {
         let mean_ps = ntv_mc::reduce::sum_ordered(comps.iter().map(|&(w, mu, _)| w * mu));
         let second =
             ntv_mc::reduce::sum_ordered(comps.iter().map(|&(w, mu, s)| w * (mu * mu + s * s)));
@@ -213,6 +277,14 @@ impl PathDistribution {
     /// The lazily built survival grid. Deterministic: the grid is a pure
     /// function of the build inputs, so first-use timing and thread
     /// interleaving cannot change any value.
+    ///
+    /// The mixture-CDF accumulation is component-major (loop interchange
+    /// over the 288 × 1024 term matrix): each component hoists its
+    /// invariants once, evaluates its `erfc` arguments for the whole grid
+    /// with [`normal::erfc_slice`], and folds into the survival vector
+    /// with the ordered batch accumulators — every grid point still sums
+    /// its components left to right, so the result is bit-identical to
+    /// the point-major scalar formulation (pinned by test).
     fn grid(&self) -> &SurvivalGrid {
         self.grid.get_or_init(|| {
             let sqrt2 = std::f64::consts::SQRT_2;
@@ -220,20 +292,25 @@ impl PathDistribution {
             let xs: Vec<f64> = (0..Self::GRID)
                 .map(|i| lo + (hi - lo) * i as f64 / (Self::GRID - 1) as f64)
                 .collect();
-            let sf: Vec<f64> = xs
-                .iter()
-                .map(|&x| {
-                    ntv_mc::reduce::sum_ordered(self.comps.iter().map(|&(w, mu, s)| {
-                        if s > 0.0 {
-                            w * 0.5 * normal::erfc((x - mu) / (s * sqrt2))
-                        } else if x < mu {
-                            w
-                        } else {
-                            0.0
-                        }
-                    }))
-                })
-                .collect();
+            let mut sf = vec![0.0; Self::GRID];
+            let mut args = vec![0.0; Self::GRID];
+            let mut row = vec![0.0; Self::GRID];
+            for &(w, mu, s) in &self.comps {
+                if s > 0.0 {
+                    let w2 = w * 0.5;
+                    let d = s * sqrt2;
+                    for (a, &x) in args.iter_mut().zip(&xs) {
+                        *a = (x - mu) / d;
+                    }
+                    normal::erfc_slice(&args, &mut row);
+                    ntv_mc::reduce::axpy_ordered(&mut sf, w2, &row);
+                } else {
+                    for (r, &x) in row.iter_mut().zip(&xs) {
+                        *r = if x < mu { w } else { 0.0 };
+                    }
+                    ntv_mc::reduce::add_assign_ordered(&mut sf, &row);
+                }
+            }
             let ln_sf: Vec<f64> = sf.iter().map(|&s| s.ln()).collect();
             // hint[b] = partition point of `sf[i] > g` at bucket b's upper
             // edge: a lower bound for every smaller g in the bucket.
@@ -253,6 +330,30 @@ impl PathDistribution {
                 hint,
             }
         })
+    }
+
+    /// Reference formulation of the survival grid as it stood before the
+    /// component-major batch kernels: point-major, one scalar `erfc` per
+    /// (point, component) term. Kept only to pin bit-exactness of the
+    /// interchanged accumulation.
+    #[cfg(test)]
+    fn survival_sf_reference(&self) -> Vec<f64> {
+        let sqrt2 = std::f64::consts::SQRT_2;
+        let (lo, hi) = (self.lo_ps, self.hi_ps);
+        (0..Self::GRID)
+            .map(|i| lo + (hi - lo) * i as f64 / (Self::GRID - 1) as f64)
+            .map(|x| {
+                ntv_mc::reduce::sum_ordered(self.comps.iter().map(|&(w, mu, s)| {
+                    if s > 0.0 {
+                        w * 0.5 * normal::erfc((x - mu) / (s * sqrt2))
+                    } else if x < mu {
+                        w
+                    } else {
+                        0.0
+                    }
+                }))
+            })
+            .collect()
     }
 
     /// Force construction of the lazy survival grid (idempotent). Called
@@ -321,6 +422,18 @@ impl PathDistribution {
         // Interpolate in log-survival: near-linear for Gaussian-class tails.
         let t = (grid.ln_sf[lo] - g.ln()) / (grid.ln_sf[lo] - grid.ln_sf[hi]);
         grid.xs[lo] + (grid.xs[hi] - grid.xs[lo]) * t.clamp(0.0, 1.0)
+    }
+
+    /// Invert a whole slice of survival targets in place:
+    /// `gs[i] <- quantile_by_survival(gs[i])`. The batched sampling
+    /// kernels use this to turn a vector of order-statistic targets into
+    /// delays without per-element call overhead; each element is the
+    /// scalar inversion, so results are bit-identical to a per-element
+    /// loop by construction.
+    pub fn quantile_by_survival_batch(&self, gs: &mut [f64]) {
+        for g in gs {
+            *g = self.quantile_by_survival(*g);
+        }
     }
 
     /// Reference implementation of [`Self::quantile_by_survival`] as it
@@ -634,6 +747,64 @@ impl<'a> DatapathEngine<'a> {
         self.sample_lane_delays_fo4(vdd, n_lanes, &mut draws)
     }
 
+    /// Sample `out.len()` consecutive chip delays (FO4 units) starting at
+    /// stream index `first`: `out[i]` is chip `first + i`.
+    ///
+    /// This is the SoA kernel behind [`Self::sample_batch`]. It hoists the
+    /// per-voltage distribution lookup out of the loop and, for the modes
+    /// whose chip delay consumes exactly one uniform draw, splits the work
+    /// into fixed-stride passes: a batched counter-RNG draw, an
+    /// elementwise order-statistic target map, and a batched quantile
+    /// inversion. Element `i` is bit-identical to
+    /// [`Self::sample_chip_delay_fo4_at`]`(vdd, stream, first + i)`
+    /// (pinned by the batch-identity matrix test).
+    pub fn sample_chip_delays_fo4_batch(
+        &self,
+        vdd: Volts,
+        stream: &CounterRng,
+        first: u64,
+        out: &mut [f64],
+    ) {
+        let dist = self.path_distribution(vdd);
+        let fo4 = dist.mean_ps() / self.config.path_length as f64;
+        let n = self.config.critical_path_count();
+        match self.mode {
+            // Max over lanes of max over paths == max over all paths.
+            VariationMode::PaperNormal => {
+                assert!(n > 0, "maximum of zero variables is undefined");
+                let (mean, std_dev) = (dist.mean_ps(), dist.std_ps());
+                assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+                if std_dev == 0.0 {
+                    out.fill(mean / fo4);
+                    return;
+                }
+                stream.uniform_open_batch(first, out);
+                for o in out {
+                    *o = (mean + std_dev * normal::quantile(order::max_cdf_target(*o, n))) / fo4;
+                }
+            }
+            VariationMode::SkewedIid => {
+                assert!(n > 0, "maximum of zero paths is undefined");
+                stream.uniform_open_batch(first, out);
+                for o in out.iter_mut() {
+                    *o = order::max_survival_target(*o, n);
+                }
+                dist.quantile_by_survival_batch(out);
+                for o in out {
+                    *o /= fo4;
+                }
+            }
+            // Hierarchical chips consume a variable number of draws in a
+            // data-dependent order; keep the scalar per-chip path.
+            VariationMode::Hierarchical => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    let mut draws = stream.at(first + i as u64);
+                    *o = self.sample_chip_delay_fo4(vdd, &mut draws);
+                }
+            }
+        }
+    }
+
     /// Chip-delay samples (FO4 units) for a contiguous index range,
     /// evaluated in parallel by `exec`. Output is in index order and
     /// bit-identical for any thread count.
@@ -653,8 +824,10 @@ impl<'a> DatapathEngine<'a> {
             dist.warm_grid();
         }
         let start = range.start;
-        exec.map_indexed(range.end - range.start, |i| {
-            self.sample_chip_delay_fo4_at(vdd, stream, start + i)
+        exec.map_indexed_chunks(range.end - range.start, |s, len| {
+            let mut out = vec![0.0; len as usize];
+            self.sample_chip_delays_fo4_batch(vdd, stream, start + s, &mut out);
+            out
         })
     }
 
@@ -1046,5 +1219,88 @@ mod tests {
             .chip_delay_distribution(Volts(0.6), 50, &mut StreamRng::from_seed(42))
             .q99_fo4();
         assert_eq!(a, b);
+    }
+
+    /// The component-major `erfc_slice`/`axpy_ordered` survival-grid build
+    /// must reproduce the retired point-major scalar accumulation bit for
+    /// bit at every grid point.
+    #[test]
+    fn vectorized_survival_grid_is_bit_exact() {
+        for node in [TechNode::Gp90, TechNode::PtmHp22] {
+            let tech = TechModel::new(node);
+            for vdd in [Volts(0.5), Volts(1.0)] {
+                let dist = PathDistribution::build(&tech, vdd, 50);
+                let reference = dist.survival_sf_reference();
+                let grid = dist.grid();
+                assert_eq!(grid.sf.len(), reference.len());
+                for (i, (a, b)) in grid.sf.iter().zip(&reference).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{node:?} {vdd} grid point {i}");
+                }
+            }
+        }
+    }
+
+    /// `build_grid` (voltage-grid batch build) must agree bitwise with
+    /// per-voltage scalar builds — moments, extent, every mixture
+    /// component, and the derived survival grid.
+    #[test]
+    fn grid_build_matches_scalar_builds_bitwise() {
+        let tech = TechModel::new(TechNode::Gp45);
+        for n in [0usize, 1, 7] {
+            let vdds: Vec<Volts> = (0..n).map(|i| Volts(0.45 + 0.08 * i as f64)).collect();
+            let batch = PathDistribution::build_grid(&tech, &vdds, 50);
+            assert_eq!(batch.len(), n);
+            for (dist, &vdd) in batch.iter().zip(&vdds) {
+                let scalar = PathDistribution::build(&tech, vdd, 50);
+                assert_eq!(
+                    dist.mean_ps().to_bits(),
+                    scalar.mean_ps().to_bits(),
+                    "{vdd}"
+                );
+                assert_eq!(dist.std_ps().to_bits(), scalar.std_ps().to_bits(), "{vdd}");
+                assert_eq!(dist.lo_ps.to_bits(), scalar.lo_ps.to_bits(), "{vdd}");
+                assert_eq!(dist.hi_ps.to_bits(), scalar.hi_ps.to_bits(), "{vdd}");
+                assert_eq!(dist.comps.len(), scalar.comps.len());
+                for (a, b) in dist.comps.iter().zip(&scalar.comps) {
+                    assert_eq!(a.0.to_bits(), b.0.to_bits(), "{vdd}");
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "{vdd}");
+                    assert_eq!(a.2.to_bits(), b.2.to_bits(), "{vdd}");
+                }
+                for (a, b) in dist.grid().sf.iter().zip(&scalar.grid().sf) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{vdd}");
+                }
+            }
+        }
+    }
+
+    /// The SoA chip-delay kernel must equal the per-index scalar sampler
+    /// bitwise in every mode, including batch lengths of 0, 1, and sizes
+    /// that are not a multiple of any lane width.
+    #[test]
+    fn batched_chip_delay_kernel_is_bit_exact_per_mode() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let stream = ntv_mc::CounterRng::new(404, "engine-batch");
+        for mode in [
+            VariationMode::PaperNormal,
+            VariationMode::SkewedIid,
+            VariationMode::Hierarchical,
+        ] {
+            let engine = DatapathEngine::with_mode(&tech, DatapathConfig::paper_default(), mode);
+            for first in [0u64, 1000] {
+                for n in [0usize, 1, 13, 64] {
+                    let mut out = vec![0.0; n];
+                    engine.sample_chip_delays_fo4_batch(Volts(0.55), &stream, first, &mut out);
+                    for (i, &o) in out.iter().enumerate() {
+                        let scalar =
+                            engine.sample_chip_delay_fo4_at(Volts(0.55), &stream, first + i as u64);
+                        assert_eq!(
+                            o.to_bits(),
+                            scalar.to_bits(),
+                            "{mode:?} first={first} i={i}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -113,6 +113,71 @@ impl Executor {
         });
         chunks.into_iter().flatten().collect()
     }
+
+    /// Chunk-granular counterpart of [`Self::map_indexed`]: `f(start, len)`
+    /// produces the outputs for the contiguous index range
+    /// `start..start + len`, and the chunk vectors are concatenated in
+    /// index order.
+    ///
+    /// Chunk boundaries are identical to `map_indexed`'s for every
+    /// `(n, threads)` pair, so a batch kernel that is bit-identical to its
+    /// per-index scalar form stays bit-identical here for any thread
+    /// count. This is the entry point the SoA sampling kernels use: one
+    /// `f` call per worker amortises per-sample overhead into fixed-stride
+    /// array passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chunk returns a vector whose length is not `len`.
+    pub fn map_indexed_chunks<T, F>(&self, n: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64, u64) -> Vec<T> + Sync,
+    {
+        const MIN_CHUNK: u64 = 64;
+        let workers = self
+            .threads
+            .min(usize::try_from(n.div_ceil(MIN_CHUNK)).unwrap_or(usize::MAX))
+            .max(1);
+        let check = |start: u64, len: u64, out: Vec<T>| {
+            assert!(
+                out.len() as u64 == len,
+                "chunk [{start}, {}) returned {} outputs",
+                start + len,
+                out.len()
+            );
+            out
+        };
+        if workers == 1 {
+            return check(0, n, f(0, n));
+        }
+
+        let workers_u64 = workers as u64;
+        let base = n / workers_u64;
+        let extra = n % workers_u64;
+        let mut starts = Vec::with_capacity(workers);
+        let mut cursor = 0u64;
+        for w in 0..workers_u64 {
+            let len = base + u64::from(w < extra);
+            starts.push((cursor, len));
+            cursor += len;
+        }
+
+        let f = &f;
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = starts
+                .iter()
+                .map(|&(start, len)| scope.spawn(move || f(start, len)))
+                .collect();
+            for (&(start, len), handle) in starts.iter().zip(handles) {
+                // ntv:allow(panic-path): re-raises a worker's own panic; join fails no other way
+                let out = handle.join().expect("executor worker panicked");
+                chunks.push(check(start, len, out));
+            }
+        });
+        chunks.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +213,32 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn chunked_map_matches_per_index_map_for_all_thread_counts() {
+        let f = |i: u64| ((i as f64) * 0.3).cos();
+        let reference = Executor::serial().map_indexed(5000, f);
+        for threads in [1, 2, 3, 8, 17] {
+            let out = Executor::new(threads)
+                .map_indexed_chunks(5000, |start, len| (start..start + len).map(f).collect());
+            assert!(
+                reference
+                    .iter()
+                    .zip(&out)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}"
+            );
+        }
+        assert!(Executor::new(8)
+            .map_indexed_chunks(0, |_, len| vec![0u64; len as usize])
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "returned 3 outputs")]
+    fn chunked_map_rejects_wrong_chunk_length() {
+        let _ = Executor::serial().map_indexed_chunks(5, |_, _| vec![0u64; 3]);
     }
 
     #[test]

@@ -124,9 +124,18 @@ impl OpPointCache {
         Arc::clone(cell.get_or_init(|| Arc::new(PathDistribution::build(tech, vdd, path_length))))
     }
 
-    /// Pre-build a sweep's operating points in parallel on `exec`, and for
-    /// grid-sampling modes also their survival grids, so the sweep itself
-    /// never pays a build. Idempotent; already-cached points cost a lookup.
+    /// Pre-build a sweep's operating points, and for grid-sampling modes
+    /// also their survival grids, so the sweep itself never pays a build.
+    /// Idempotent; already-cached points cost a lookup.
+    ///
+    /// Unbuilt points go through [`PathDistribution::build_grid`] — the
+    /// voltage-grid batch kernel — in `exec`-parallel contiguous chunks
+    /// rather than one scalar build per voltage. Each built value is then
+    /// installed through its entry's `OnceLock`, so racing prefetches and
+    /// scalar [`Self::get_or_build`] calls still observe exactly one
+    /// shared `Arc` per operating point (a raced duplicate build is
+    /// dropped, never handed out), and cached values stay bit-identical
+    /// to fresh scalar builds because `build_grid` is (pinned by test).
     pub fn prefetch(
         &self,
         tech: &TechModel,
@@ -135,12 +144,51 @@ impl OpPointCache {
         voltages: &[Volts],
         exec: Executor,
     ) {
-        let _: Vec<()> = exec.map_indexed(voltages.len() as u64, |i| {
-            let dist = self.get_or_build(tech, mode, voltages[i as usize], path_length);
-            if mode != VariationMode::PaperNormal {
+        assert!(
+            !std::ptr::eq(self, Arc::as_ptr(Self::global()))
+                || *tech.params() == DeviceParams::for_node(tech.node()),
+            "global OpPointCache used with custom device parameters for {:?}",
+            tech.node()
+        );
+        // Resolve every entry cell up front (one write-lock pass), keeping
+        // only the voltages whose distribution is not yet built.
+        let jobs: Vec<(Volts, Arc<OnceLock<Arc<PathDistribution>>>)> = {
+            let mut entries = self
+                .entries
+                .write()
+                // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
+                .expect("op-point cache lock");
+            voltages
+                .iter()
+                .map(|&vdd| {
+                    let key = (tech.node(), mode, path_length, vdd.get().to_bits());
+                    (vdd, Arc::clone(entries.entry(key).or_default()))
+                })
+                .filter(|(_, cell)| cell.get().is_none())
+                .collect()
+        };
+
+        let vdds: Vec<Volts> = jobs.iter().map(|&(vdd, _)| vdd).collect();
+        let built = exec.map_indexed_chunks(vdds.len() as u64, |start, len| {
+            let (start, len) = (start as usize, len as usize);
+            PathDistribution::build_grid(tech, &vdds[start..start + len], path_length)
+        });
+        let warm = mode != VariationMode::PaperNormal;
+        for ((_, cell), dist) in jobs.into_iter().zip(built) {
+            // A racer may have beaten us to this cell; its value wins and
+            // our duplicate is dropped, preserving Arc identity.
+            let dist = cell.get_or_init(move || Arc::new(dist));
+            if warm {
                 dist.warm_grid();
             }
-        });
+        }
+        // Points that were already built (and skipped above) may still
+        // have cold grids if they were first built by a PaperNormal user.
+        if warm {
+            for &vdd in voltages {
+                self.get_or_build(tech, mode, vdd, path_length).warm_grid();
+            }
+        }
     }
 
     /// Number of cached operating points (fully built entries only).

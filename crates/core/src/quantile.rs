@@ -168,23 +168,26 @@ impl<'e, 't> ChipQuantileSolver<'e, 't> {
                 let dist = self.engine.path_distribution(vdd);
                 let (mu, s) = (dist.mean_ps(), dist.std_ps());
                 let (lo, hi) = (mu - 8.0 * s, mu + 12.0 * s);
+                let tail = BinomialTail::new(physical, lanes);
                 invert_monotone_cdf(p, lo, hi, |x| {
                     let (pl, sl) = lane_split(ln_normal_cdf((x - mu) / s), paths);
-                    binomial_tail(physical, lanes, pl, sl)
+                    tail.eval(pl, sl)
                 })
             }
             VariationMode::SkewedIid => {
                 let dist = self.engine.path_distribution(vdd);
                 let (lo, hi) = skewed_bracket(&dist);
+                let tail = BinomialTail::new(physical, lanes);
                 invert_monotone_cdf(p, lo, hi, |x| {
                     let (pl, sl) = lane_split((-dist.survival(x)).ln_1p(), paths);
-                    binomial_tail(physical, lanes, pl, sl)
+                    tail.eval(pl, sl)
                 })
             }
             VariationMode::Hierarchical => {
                 let mix = self.hier_mixture(vdd);
                 let (lo, hi) = mix.bracket();
-                invert_monotone_cdf(p, lo, hi, |x| mix.spares_cdf(x, paths, physical, lanes))
+                let tail = BinomialTail::new(physical, lanes);
+                invert_monotone_cdf(p, lo, hi, |x| mix.spares_cdf(x, paths, &tail))
             }
         }
     }
@@ -296,7 +299,37 @@ impl HierMixture {
     /// `E_f[Φ((x − μf)/(σf))^paths]`, with the survival side accumulated
     /// through `expm1` so it keeps relative precision when the CDF is
     /// within an ulp of 1.
+    ///
+    /// Batch form: the 16 regional `erfc` arguments are evaluated into a
+    /// fixed-stride array and pushed through [`normal::erfc_slice`] in one
+    /// pass; the weighted fold then consumes the precomputed values in the
+    /// same node order with the same per-term operations, so the result is
+    /// bit-identical to the scalar per-node formulation (pinned by test).
     fn lane_cdf_sf(&self, x: f64, mu: f64, s: f64, paths: f64) -> (f64, f64) {
+        assert_eq!(
+            self.factors.len(),
+            GH_REGION,
+            "regional quadrature order mismatch"
+        );
+        let mut args = [0.0; GH_REGION];
+        let mut erfcs = [0.0; GH_REGION];
+        for (a, &(_, f)) in args.iter_mut().zip(&self.factors) {
+            *a = ((x - mu * f) / (s * f)) / SQRT_2;
+        }
+        normal::erfc_slice(&args, &mut erfcs);
+        let (cdf, sf) =
+            ntv_mc::reduce::sum2_ordered(self.factors.iter().zip(&erfcs).map(|(&(wf, _), &e)| {
+                let ln_phi = (-(0.5 * e)).ln_1p();
+                let (pl, sl) = lane_split(ln_phi, paths);
+                (wf * pl, wf * sl)
+            }));
+        (cdf.clamp(0.0, 1.0), sf.clamp(0.0, 1.0))
+    }
+
+    /// Scalar reference of [`Self::lane_cdf_sf`] as it stood before the
+    /// batch `erfc` pass. Kept only to pin bit-exactness.
+    #[cfg(test)]
+    fn lane_cdf_sf_reference(&self, x: f64, mu: f64, s: f64, paths: f64) -> (f64, f64) {
         let (cdf, sf) = ntv_mc::reduce::sum2_ordered(self.factors.iter().map(|&(wf, f)| {
             let ln_phi = ln_normal_cdf((x - mu * f) / (s * f));
             let (pl, sl) = lane_split(ln_phi, paths);
@@ -314,13 +347,14 @@ impl HierMixture {
         total.clamp(0.0, 1.0)
     }
 
-    /// CDF of the `lanes`-th smallest of `physical` lane delays:
+    /// CDF of the `lanes`-th smallest of the physical lane delays:
     /// `E_g[binomial tail of the conditional lane CDF]` (lanes are
-    /// conditionally i.i.d. given the chip-global draw).
-    fn spares_cdf(&self, x: f64, paths: f64, physical: usize, lanes: usize) -> f64 {
+    /// conditionally i.i.d. given the chip-global draw). `tail` carries
+    /// the precomputed `(physical, lanes)` coefficient table.
+    fn spares_cdf(&self, x: f64, paths: f64, tail: &BinomialTail) -> f64 {
         let total = ntv_mc::reduce::sum_ordered(self.comps.iter().map(|&(w, mu, s)| {
             let (cdf, sf) = self.lane_cdf_sf(x, mu, s, paths);
-            w * binomial_tail(physical, lanes, cdf, sf)
+            w * tail.eval(cdf, sf)
         }));
         total.clamp(0.0, 1.0)
     }
@@ -349,38 +383,65 @@ fn skewed_bracket(dist: &PathDistribution) -> (f64, f64) {
     )
 }
 
-/// `P(at least k of m ≤ x)` for i.i.d. events with probability `p`
-/// (survival `s = 1 − p` passed separately so each side keeps its own
-/// precision): `Σ_{j=k}^{m} C(m,j) pʲ s^{m−j}`, accumulated in log space.
-///
-/// # Panics
-///
-/// Panics (debug) if `k` is outside `1..=m`.
-fn binomial_tail(m: usize, k: usize, p: f64, s: f64) -> f64 {
-    debug_assert!(k >= 1 && k <= m, "order statistic rank out of range");
-    if s <= 0.0 {
-        return 1.0; // every lane is ≤ x almost surely
-    }
-    if p <= 0.0 {
-        return 0.0;
-    }
-    let (ln_p, ln_s) = (p.ln(), s.ln());
-    // ln C(m, k), then the ratio recurrence C(m, j+1) = C(m, j)·(m−j)/(j+1).
-    let mut ln_c = 0.0;
-    for i in 1..=k {
-        // ntv:allow(reduction-order): ln C(m,k) ratio recurrence — terms are defined by the running value, not reorderable
-        ln_c += ((m - k + i) as f64 / i as f64).ln();
-    }
-    let mut total = 0.0;
-    for j in k..=m {
-        // ntv:allow(reduction-order): each term reads the loop-carried ln_c recurrence, so the sum cannot be split without materializing the coefficients
-        total += (ln_c + j as f64 * ln_p + (m - j) as f64 * ln_s).exp();
-        if j < m {
-            // ntv:allow(reduction-order): binomial-coefficient ratio recurrence, order is the definition
-            ln_c += ((m - j) as f64 / (j + 1) as f64).ln();
+/// The binomial order-statistic tail `P(at least k of m ≤ x)` with its
+/// log-coefficient table `ln C(m, j)`, `j = k..=m`, precomputed once per
+/// solve. The bisection loop evaluates the tail at ~200 probe points (×
+/// 288 mixture components in hierarchical mode); materializing the
+/// coefficient recurrence hoists an O(m) log-space recurrence out of
+/// every probe while keeping each [`eval`](Self::eval) bit-identical to
+/// the retired recompute-per-call formulation (pinned by test).
+struct BinomialTail {
+    m: usize,
+    k: usize,
+    /// `ln_c[j - k] = ln C(m, j)`, built by the same ratio recurrence the
+    /// scalar code ran inline: `ln C(m, k) = Σ ln((m−k+i)/i)` then
+    /// `C(m, j+1) = C(m, j)·(m−j)/(j+1)`.
+    ln_c: Vec<f64>,
+}
+
+impl BinomialTail {
+    /// Precompute the coefficient table for rank `k` of `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `k` is outside `1..=m`.
+    fn new(m: usize, k: usize) -> Self {
+        debug_assert!(k >= 1 && k <= m, "order statistic rank out of range");
+        let mut ln_c = 0.0;
+        for i in 1..=k {
+            // ntv:allow(reduction-order): ln C(m,k) ratio recurrence — terms are defined by the running value, not reorderable
+            ln_c += ((m - k + i) as f64 / i as f64).ln();
         }
+        let mut table = Vec::with_capacity(m - k + 1);
+        for j in k..=m {
+            table.push(ln_c);
+            if j < m {
+                // ntv:allow(reduction-order): binomial-coefficient ratio recurrence, order is the definition
+                ln_c += ((m - j) as f64 / (j + 1) as f64).ln();
+            }
+        }
+        Self { m, k, ln_c: table }
     }
-    total.min(1.0)
+
+    /// `Σ_{j=k}^{m} C(m,j) pʲ s^{m−j}` accumulated in log space, for
+    /// i.i.d. events with probability `p` (survival `s = 1 − p` passed
+    /// separately so each side keeps its own precision).
+    fn eval(&self, p: f64, s: f64) -> f64 {
+        if s <= 0.0 {
+            return 1.0; // every lane is ≤ x almost surely
+        }
+        if p <= 0.0 {
+            return 0.0;
+        }
+        let (ln_p, ln_s) = (p.ln(), s.ln());
+        let mut total = 0.0;
+        for (idx, &ln_c) in self.ln_c.iter().enumerate() {
+            let j = self.k + idx;
+            // ntv:allow(reduction-order): log-space tail terms span ~600 decades; the left-to-right fold is the pinned reference order
+            total += (ln_c + j as f64 * ln_p + (self.m - j) as f64 * ln_s).exp();
+        }
+        total.min(1.0)
+    }
 }
 
 /// Invert a monotone CDF by deterministic bisection: the smallest `x` (to
@@ -536,6 +597,31 @@ mod tests {
         assert!(min2 > dist.mean_ps() - 8.0 * dist.std_ps());
     }
 
+    /// The retired recompute-per-call formulation: coefficient recurrence
+    /// interleaved with the tail accumulation. Kept only to pin that the
+    /// precomputed [`BinomialTail`] table reproduces it bit for bit.
+    fn binomial_tail_legacy(m: usize, k: usize, p: f64, s: f64) -> f64 {
+        if s <= 0.0 {
+            return 1.0;
+        }
+        if p <= 0.0 {
+            return 0.0;
+        }
+        let (ln_p, ln_s) = (p.ln(), s.ln());
+        let mut ln_c = 0.0;
+        for i in 1..=k {
+            ln_c += ((m - k + i) as f64 / i as f64).ln();
+        }
+        let mut total = 0.0;
+        for j in k..=m {
+            total += (ln_c + j as f64 * ln_p + (m - j) as f64 * ln_s).exp();
+            if j < m {
+                ln_c += ((m - j) as f64 / (j + 1) as f64).ln();
+            }
+        }
+        total.min(1.0)
+    }
+
     #[test]
     fn binomial_tail_matches_direct_sum() {
         // Small case checked against the literal binomial sum.
@@ -548,17 +634,54 @@ mod tests {
                     * (1..=(m - j)).map(|i| i as f64).product::<f64>());
             direct += c * p.powi(j as i32) * s.powi((m - j) as i32);
         }
-        let fast = binomial_tail(m, k, p, s);
+        let fast = BinomialTail::new(m, k).eval(p, s);
         assert!((fast - direct).abs() < 1e-14, "{fast} vs {direct}");
     }
 
     #[test]
     fn binomial_tail_edges() {
-        assert_eq!(binomial_tail(128, 128, 0.0, 1.0), 0.0);
-        assert_eq!(binomial_tail(128, 128, 1.0, 0.0), 1.0);
+        assert_eq!(BinomialTail::new(128, 128).eval(0.0, 1.0), 0.0);
+        assert_eq!(BinomialTail::new(128, 128).eval(1.0, 0.0), 1.0);
         // k = m reduces to p^m in log space.
-        let t = binomial_tail(100, 100, 0.999, 0.001);
+        let t = BinomialTail::new(100, 100).eval(0.999, 0.001);
         assert!((t - 0.999f64.powi(100)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_tail_table_is_bit_identical_to_legacy_recurrence() {
+        for &(m, k) in &[(1usize, 1usize), (66, 64), (128, 100), (300, 299)] {
+            let tail = BinomialTail::new(m, k);
+            for &p in &[1e-300, 1e-12, 0.3, 0.5, 0.999, 1.0 - 1e-15] {
+                let s = 1.0 - p;
+                assert_eq!(
+                    tail.eval(p, s).to_bits(),
+                    binomial_tail_legacy(m, k, p, s).to_bits(),
+                    "m={m} k={k} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lane_cdf_matches_scalar_reference_bitwise() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let engine = DatapathEngine::with_mode(
+            &tech,
+            DatapathConfig::paper_default(),
+            VariationMode::Hierarchical,
+        );
+        let solver = ChipQuantileSolver::new(&engine);
+        let mix = solver.hier_mixture(Volts(0.55));
+        let (lo, hi) = mix.bracket();
+        for i in 0..50 {
+            let x = lo + (hi - lo) * f64::from(i) / 49.0;
+            for &(_, mu, s) in mix.comps.iter().step_by(37) {
+                let batch = mix.lane_cdf_sf(x, mu, s, 100.0);
+                let scalar = mix.lane_cdf_sf_reference(x, mu, s, 100.0);
+                assert_eq!(batch.0.to_bits(), scalar.0.to_bits(), "cdf at x={x}");
+                assert_eq!(batch.1.to_bits(), scalar.1.to_bits(), "sf at x={x}");
+            }
+        }
     }
 
     #[test]

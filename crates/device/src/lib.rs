@@ -46,6 +46,7 @@
 //! assert!(d > 0.0);
 //! ```
 
+pub mod batch;
 pub mod calib;
 pub mod corners;
 pub mod energy;

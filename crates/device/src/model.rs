@@ -102,7 +102,7 @@ impl TechModel {
         self.params.vdd_nominal
     }
 
-    fn assert_voltage(&self, vdd: Volts) {
+    pub(crate) fn assert_voltage(&self, vdd: Volts) {
         assert!(
             vdd.is_finite() && vdd > Volts(0.05) && vdd < Volts(2.0),
             "supply voltage {vdd} outside the supported range (0.05 V, 2.0 V)"
@@ -231,8 +231,9 @@ impl TechModel {
     }
 }
 
-/// Numerically-stable `ln(1 + eˣ)`.
-fn softplus(x: f64) -> f64 {
+/// Numerically-stable `ln(1 + eˣ)`. Shared with the batch kernels in
+/// [`crate::batch`] so scalar and batch paths run the identical branch.
+pub(crate) fn softplus(x: f64) -> f64 {
     if x > 30.0 {
         x
     } else if x < -30.0 {

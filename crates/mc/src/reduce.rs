@@ -21,6 +21,16 @@
 //!   order (new code, accuracy-critical tails).
 //!
 //! All three are allocation-free single passes over any `f64` iterator.
+//!
+//! The `*_ordered` batch variants ([`add_assign_ordered`], [`axpy_ordered`],
+//! [`sum2_axpy_ordered`]) are the structure-of-arrays counterparts: each
+//! call adds *one term* to every element of an accumulator slice, so a
+//! loop over terms calling a batch helper is the loop-interchanged form of
+//! N independent scalar folds. Element `i` still sees its terms strictly
+//! left-to-right, which makes the interchange bit-identical to calling
+//! [`sum_ordered`] / [`sum2_ordered`] per element — the transform SIMD
+//! batch kernels rely on. The inner loops are fixed-stride with no
+//! cross-element dependence, so the compiler is free to vectorize them.
 
 /// Left-to-right ordered sum: exactly `iter.fold(0.0, |a, x| a + x)`.
 ///
@@ -49,6 +59,55 @@ pub fn sum2_ordered(values: impl IntoIterator<Item = (f64, f64)>) -> (f64, f64) 
         b += y; // ntv:allow(reduction-order): this IS the documented fixed-order helper
     }
     (a, b)
+}
+
+/// Batch accumulate one term per element: `acc[i] += terms[i]`.
+///
+/// This is the loop-interchange primitive for vectorizing N independent
+/// ordered sums: calling it once per term row reproduces, for every
+/// element `i`, exactly the left-to-right fold [`sum_ordered`] performs
+/// over that element's column — bit-identical, because each `acc[i]` is
+/// its own accumulator and never reassociates with its neighbours.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn add_assign_ordered(acc: &mut [f64], terms: &[f64]) {
+    assert_eq!(acc.len(), terms.len(), "batch accumulator length mismatch");
+    for (a, &t) in acc.iter_mut().zip(terms) {
+        *a += t;
+    }
+}
+
+/// Batch scaled accumulate: `acc[i] += w * xs[i]`.
+///
+/// Same interchange contract as [`add_assign_ordered`], with the common
+/// weighted-term shape fused in: the term added to element `i` is computed
+/// as `w * xs[i]`, exactly the expression the scalar fold would form.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn axpy_ordered(acc: &mut [f64], w: f64, xs: &[f64]) {
+    assert_eq!(acc.len(), xs.len(), "batch accumulator length mismatch");
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        *a += w * x;
+    }
+}
+
+/// Batch first/second-moment accumulate: `m1[i] += w * xs[i]` and
+/// `m2[i] += (w * xs[i]) * xs[i]`, the interchanged form of the
+/// [`sum2_ordered`] quadrature-moment fold over `(w·v, w·v·v)` pairs
+/// (note `w * v * v` parses as `(w * v) * v`, which is reproduced here).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn sum2_axpy_ordered(m1: &mut [f64], m2: &mut [f64], w: f64, xs: &[f64]) {
+    assert_eq!(m1.len(), xs.len(), "batch accumulator length mismatch");
+    assert_eq!(m2.len(), xs.len(), "batch accumulator length mismatch");
+    for i in 0..xs.len() {
+        let t = w * xs[i];
+        m1[i] += t;
+        m2[i] += t * xs[i];
+    }
 }
 
 /// Neumaier-compensated sum: a Kahan-style running error term that also
@@ -136,6 +195,70 @@ mod tests {
         xs.reverse();
         let rev = sum_compensated(xs.iter().copied());
         assert!((fwd - rev).abs() <= fwd.abs() * 1e-15 + 1e-300);
+    }
+
+    #[test]
+    fn batch_accumulators_are_bit_identical_to_per_element_scalar_folds() {
+        // A (terms × elements) matrix of ill-conditioned values: the
+        // interchanged batch accumulation must match, per element, the
+        // scalar left-to-right fold over that element's column.
+        let n = 37; // deliberately not a multiple of any lane width
+        let rows = 24;
+        let matrix: Vec<Vec<f64>> = (0..rows)
+            .map(|j| {
+                (0..n)
+                    .map(|i| {
+                        let v = f64::from(i as i32 * 31 + j * 7);
+                        (v * 0.113).sin() * 10f64.powi((i as i32 + j) % 9 - 4)
+                    })
+                    .collect()
+            })
+            .collect();
+        let weights: Vec<f64> = (0..rows).map(|j| 0.3 + 0.1 * f64::from(j)).collect();
+
+        // add_assign_ordered vs per-element sum_ordered.
+        let mut acc = vec![0.0; n];
+        for row in &matrix {
+            add_assign_ordered(&mut acc, row);
+        }
+        for i in 0..n {
+            let scalar = sum_ordered(matrix.iter().map(|row| row[i]));
+            assert_eq!(acc[i].to_bits(), scalar.to_bits());
+        }
+
+        // axpy_ordered vs per-element weighted sum_ordered.
+        let mut acc = vec![0.0; n];
+        for (row, &w) in matrix.iter().zip(&weights) {
+            axpy_ordered(&mut acc, w, row);
+        }
+        for i in 0..n {
+            let scalar = sum_ordered(matrix.iter().zip(&weights).map(|(row, &w)| w * row[i]));
+            assert_eq!(acc[i].to_bits(), scalar.to_bits());
+        }
+
+        // sum2_axpy_ordered vs per-element sum2_ordered over (w·v, w·v·v).
+        let (mut m1, mut m2) = (vec![0.0; n], vec![0.0; n]);
+        for (row, &w) in matrix.iter().zip(&weights) {
+            sum2_axpy_ordered(&mut m1, &mut m2, w, row);
+        }
+        for i in 0..n {
+            let (a, b) = sum2_ordered(matrix.iter().zip(&weights).map(|(row, &w)| {
+                let v = row[i];
+                (w * v, w * v * v)
+            }));
+            assert_eq!(m1[i].to_bits(), a.to_bits());
+            assert_eq!(m2[i].to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_accumulators_accept_empty_slices() {
+        let mut acc: Vec<f64> = Vec::new();
+        add_assign_ordered(&mut acc, &[]);
+        axpy_ordered(&mut acc, 2.0, &[]);
+        let mut m2: Vec<f64> = Vec::new();
+        sum2_axpy_ordered(&mut acc, &mut m2, 2.0, &[]);
+        assert!(acc.is_empty());
     }
 
     #[test]

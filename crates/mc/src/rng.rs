@@ -226,6 +226,41 @@ impl CounterRng {
             spare_normal: None,
         }
     }
+
+    /// Batch draw: `out[i] = self.at(first + i).uniform()`.
+    ///
+    /// The `SampleStream`-compatible bulk path — each element is the first
+    /// half-open-uniform draw of its own `(key, index)` cell, bit-identical
+    /// to the scalar [`at`](CounterRng::at) path by construction. The
+    /// counter mix is pure integer arithmetic with no cross-element
+    /// dependence, written as a fixed-stride loop.
+    pub fn uniform_batch(&self, first: u64, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.at(first.wrapping_add(i as u64)).uniform();
+        }
+    }
+
+    /// Batch draw: `out[i] = self.at(first + i).uniform_open()`.
+    ///
+    /// Open-interval variant of [`uniform_batch`](CounterRng::uniform_batch);
+    /// this is the draw the engine's batched maximum-sampling kernels
+    /// consume (quantile transforms require `u > 0`).
+    pub fn uniform_open_batch(&self, first: u64, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.at(first.wrapping_add(i as u64)).uniform_open();
+        }
+    }
+
+    /// Batch draw: `out[i] = self.at(first + i).standard_normal()`.
+    ///
+    /// Each element is the first polar-method normal of its own cell —
+    /// bit-identical to the scalar path; the spare second output is
+    /// discarded exactly as a fresh [`at`](CounterRng::at) cursor would.
+    pub fn standard_normal_batch(&self, first: u64, out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.at(first.wrapping_add(i as u64)).standard_normal();
+        }
+    }
 }
 
 /// The draw cursor of one `(key, index)` cell of a [`CounterRng`].
@@ -523,6 +558,29 @@ mod tests {
         for (k, &c) in counts.iter().enumerate() {
             // Expected 10_000 per bucket; 5σ ≈ 460.
             assert!((c as i64 - 10_000).abs() < 500, "bucket {k}: {c}");
+        }
+    }
+
+    #[test]
+    fn counter_batch_draws_are_bit_identical_to_scalar_at() {
+        let s = CounterRng::new(2012, "batch");
+        // Sizes straddle lane widths; offsets exercise non-zero bases and
+        // the wrapping edge near u64::MAX.
+        for first in [0u64, 17, u64::MAX - 3] {
+            for n in [0usize, 1, 5, 8, 13, 64] {
+                let mut u = vec![0.0; n];
+                let mut uo = vec![0.0; n];
+                let mut z = vec![0.0; n];
+                s.uniform_batch(first, &mut u);
+                s.uniform_open_batch(first, &mut uo);
+                s.standard_normal_batch(first, &mut z);
+                for i in 0..n {
+                    let idx = first.wrapping_add(i as u64);
+                    assert_eq!(u[i].to_bits(), s.at(idx).uniform().to_bits());
+                    assert_eq!(uo[i].to_bits(), s.at(idx).uniform_open().to_bits());
+                    assert_eq!(z[i].to_bits(), s.at(idx).standard_normal().to_bits());
+                }
+            }
         }
     }
 

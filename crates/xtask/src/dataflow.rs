@@ -873,8 +873,26 @@ fn symbol_reductions(graph: &Graph, files: &[SemFile]) -> Vec<(SymbolId, Vec<Red
 /// public `sample_*` root, with reduction sites classified. Deterministic
 /// — symbols arrive path-sorted and every list is emitted in sorted order
 /// — so two consecutive runs are byte-identical.
+///
+/// `waived` holds, parallel to `files`, the line numbers covered by a
+/// `reduction-order` waiver (a waiver covers its own line and the next).
+/// Each site reports a `status`: `"migrated"` for order-free accumulation
+/// (the batch `*_ordered` helpers), `"waived"` for an order-sensitive
+/// fold whose sequential order is the pinned definition (a documented
+/// waiver), `"sensitive"` for an unmigrated, unwaived fold — the actual
+/// worklist. `batch_ready` is true iff a function has no `"sensitive"`
+/// site.
 #[must_use]
-pub fn batch_readiness_report(graph: &Graph, files: &[SemFile]) -> String {
+pub fn batch_readiness_report(
+    graph: &Graph,
+    files: &[SemFile],
+    waived: &[std::collections::BTreeSet<u32>],
+) -> String {
+    assert_eq!(
+        files.len(),
+        waived.len(),
+        "waiver sets must parallel the file list"
+    );
     let roots: Vec<SymbolId> = (0..graph.table.symbols.len())
         .filter(|&id| {
             let s = &graph.table.symbols[id];
@@ -896,23 +914,28 @@ pub fn batch_readiness_report(graph: &Graph, files: &[SemFile]) -> String {
         let sym = &graph.table.symbols[id];
         let rel = files[sym.file].rel.to_string_lossy().replace('\\', "/");
         let sites = reductions.get(&id).map_or(&[][..], Vec::as_slice);
+        let status = |s: &ReductionSite| {
+            if !s.kind.order_sensitive() {
+                "migrated"
+            } else if waived[sym.file].contains(&s.line) {
+                "waived"
+            } else {
+                "sensitive"
+            }
+        };
         let mut sites_json = String::new();
         for (k, s) in sites.iter().enumerate() {
             if k > 0 {
                 sites_json.push(',');
             }
             sites_json.push_str(&format!(
-                "{{\"line\":{},\"kind\":\"{}\",\"order\":\"{}\"}}",
+                "{{\"line\":{},\"kind\":\"{}\",\"status\":\"{}\"}}",
                 s.line,
                 s.kind.label(),
-                if s.kind.order_sensitive() {
-                    "sensitive"
-                } else {
-                    "free"
-                }
+                status(s)
             ));
         }
-        let ready = sites.iter().all(|s| !s.kind.order_sensitive());
+        let ready = sites.iter().all(|s| status(s) != "sensitive");
         entries.push((
             sym.fq.clone(),
             format!(
@@ -928,7 +951,7 @@ pub fn batch_readiness_report(graph: &Graph, files: &[SemFile]) -> String {
     }
     entries.sort();
 
-    let mut out = String::from("{\n  \"schema\": \"ntv-batch-readiness/1\",\n  \"roots\": [");
+    let mut out = String::from("{\n  \"schema\": \"ntv-batch-readiness/2\",\n  \"roots\": [");
     for (k, fq) in root_fqs.iter().enumerate() {
         if k > 0 {
             out.push(',');
@@ -1136,13 +1159,41 @@ mod tests {
             test_ranges: &[],
         }];
         let graph = Graph::build(&files);
-        let a = batch_readiness_report(&graph, &files);
-        let b = batch_readiness_report(&graph, &files);
+        let none = [std::collections::BTreeSet::new()];
+        let a = batch_readiness_report(&graph, &files, &none);
+        let b = batch_readiness_report(&graph, &files, &none);
         assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"ntv-batch-readiness/2\""), "{a}");
         assert!(a.contains("sample_thing"), "{a}");
         assert!(a.contains("per_sample"), "{a}");
         assert!(!a.contains("unrelated"), "{a}");
-        assert!(a.contains("\"order\":\"sensitive\""), "{a}");
+        assert!(a.contains("\"status\":\"sensitive\""), "{a}");
         assert!(a.contains("\"batch_ready\":false"), "{a}");
+
+        // The same fold under a reduction-order waiver reports as waived,
+        // not sensitive, and no longer blocks batch readiness.
+        let waived = [std::collections::BTreeSet::from([2u32])];
+        let w = batch_readiness_report(&graph, &files, &waived);
+        assert!(w.contains("\"status\":\"waived\""), "{w}");
+        assert!(!w.contains("\"status\":\"sensitive\""), "{w}");
+        assert!(!w.contains("\"batch_ready\":false"), "{w}");
+    }
+
+    #[test]
+    fn batch_readiness_reports_ordered_helpers_as_migrated() {
+        let src = "pub fn sample_sum(xs: &[f64]) -> f64 { sum_ordered(xs.iter().copied()) }";
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        let rel = PathBuf::from("crates/core/src/x.rs");
+        let files = [SemFile {
+            rel: &rel,
+            tokens: &lexed.tokens,
+            parsed: &parsed,
+            test_ranges: &[],
+        }];
+        let graph = Graph::build(&files);
+        let report = batch_readiness_report(&graph, &files, &[std::collections::BTreeSet::new()]);
+        assert!(report.contains("\"status\":\"migrated\""), "{report}");
+        assert!(report.contains("\"batch_ready\":true"), "{report}");
     }
 }

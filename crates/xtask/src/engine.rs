@@ -536,7 +536,22 @@ pub fn lint_sources(
             hits.extend(g.lock_discipline_hits(&sem_files));
             hits.extend(dataflow::reduction_hits(&g, &sem_files));
             if options.batch_readiness {
-                batch_readiness = Some(dataflow::batch_readiness_report(&g, &sem_files));
+                // Lines covered by a reduction-order waiver (the waiver
+                // line and the next), per library file: the report
+                // distinguishes waived pinned folds from unmigrated ones.
+                let waived: Vec<std::collections::BTreeSet<u32>> = lib_idx
+                    .iter()
+                    .map(|&i| {
+                        states[i]
+                            .waivers
+                            .entries
+                            .iter()
+                            .filter(|e| e.rule == RuleId::ReductionOrder)
+                            .flat_map(|e| [e.line, e.line + 1])
+                            .collect()
+                    })
+                    .collect();
+                batch_readiness = Some(dataflow::batch_readiness_report(&g, &sem_files, &waived));
             }
             hits
         };
