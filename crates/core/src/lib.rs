@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 // Tests assert exact golden values; strict float equality is the point there.
 #![cfg_attr(test, allow(clippy::float_cmp))]
 

@@ -61,7 +61,7 @@ impl OpPointCache {
     /// calibrated parameter set.
     #[must_use]
     pub fn global() -> &'static Arc<OpPointCache> {
-        static GLOBAL: OnceLock<Arc<OpPointCache>> = OnceLock::new();
+        static GLOBAL: OnceLock<Arc<OpPointCache>> = OnceLock::new(); // ntv:allow(effect-escape): the one sanctioned process-global; entries are a pure function of the key
         GLOBAL.get_or_init(|| Arc::new(OpPointCache::new()))
     }
 
@@ -102,7 +102,7 @@ impl OpPointCache {
         let key = (tech.node(), mode, path_length, vdd.get().to_bits());
         let cell = self
             .entries
-            .read()
+            .read() // ntv:allow(effect-escape): map lock guards a pure memo; never held across a build
             // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
             .expect("op-point cache lock")
             .get(&key)
@@ -111,7 +111,7 @@ impl OpPointCache {
             Some(cell) => cell,
             None => Arc::clone(
                 self.entries
-                    .write()
+                    .write() // ntv:allow(effect-escape): map lock guards a pure memo; never held across a build
                     // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
                     .expect("op-point cache lock")
                     .entry(key)
@@ -120,7 +120,7 @@ impl OpPointCache {
         };
         // Build outside both map locks; same-key racers park on this
         // entry's OnceLock only.
-        // ntv:allow(uncached-build): the cache's own build site — every other caller shares it
+        // ntv:allow(uncached-build, effect-escape): the cache's own build site — every other caller shares it; same-key racers park on a pure function of the key
         Arc::clone(cell.get_or_init(|| Arc::new(PathDistribution::build(tech, vdd, path_length))))
     }
 
@@ -152,10 +152,11 @@ impl OpPointCache {
         );
         // Resolve every entry cell up front (one write-lock pass), keeping
         // only the voltages whose distribution is not yet built.
+        // ntv:allow(effect-escape): per-entry cells resolved under one write pass; builds run outside
         let jobs: Vec<(Volts, Arc<OnceLock<Arc<PathDistribution>>>)> = {
             let mut entries = self
                 .entries
-                .write()
+                .write() // ntv:allow(effect-escape): map lock guards a pure memo; never held across a build
                 // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
                 .expect("op-point cache lock");
             voltages
@@ -177,7 +178,7 @@ impl OpPointCache {
         for ((_, cell), dist) in jobs.into_iter().zip(built) {
             // A racer may have beaten us to this cell; its value wins and
             // our duplicate is dropped, preserving Arc identity.
-            let dist = cell.get_or_init(move || Arc::new(dist));
+            let dist = cell.get_or_init(move || Arc::new(dist)); // ntv:allow(effect-escape): first racer's value wins; all candidates are bit-identical
             if warm {
                 dist.warm_grid();
             }
@@ -195,7 +196,7 @@ impl OpPointCache {
     #[must_use]
     pub fn len(&self) -> usize {
         self.entries
-            .read()
+            .read() // ntv:allow(effect-escape): read-only size probe of the memo map
             // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
             .expect("op-point cache lock")
             .values()

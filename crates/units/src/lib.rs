@@ -1,4 +1,5 @@
 // Tests assert exact golden values; strict float equality is the point there.
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::float_cmp))]
 
 //! Zero-cost SI unit newtypes for the ntv-simd workspace.

@@ -44,6 +44,7 @@
 use std::collections::BTreeSet;
 
 use crate::graph::{Graph, SemFile};
+use crate::json::escape as json_escape;
 use crate::lexer::Token;
 use crate::parser::{self, FnSig, ParsedFile};
 use crate::resolve::SymbolId;
@@ -951,51 +952,17 @@ pub fn batch_readiness_report(
     }
     entries.sort();
 
-    let mut out = String::from("{\n  \"schema\": \"ntv-batch-readiness/2\",\n  \"roots\": [");
-    for (k, fq) in root_fqs.iter().enumerate() {
-        if k > 0 {
-            out.push(',');
-        }
-        out.push_str("\n    \"");
-        out.push_str(&json_escape(fq));
-        out.push('"');
-    }
-    if !root_fqs.is_empty() {
-        out.push_str("\n  ");
-    }
-    out.push_str("],\n  \"functions\": [");
-    for (k, (_, entry)) in entries.iter().enumerate() {
-        if k > 0 {
-            out.push(',');
-        }
-        out.push_str("\n    ");
-        out.push_str(entry);
-    }
-    if !entries.is_empty() {
-        out.push_str("\n  ");
-    }
-    out.push_str("]\n}\n");
-    out
-}
-
-/// Minimal JSON string escaping (paths and fn names: quotes, backslashes,
-/// control characters).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    let root_items: Vec<String> = root_fqs
+        .iter()
+        .map(|fq| format!("\"{}\"", json_escape(fq)))
+        .collect();
+    let entry_items: Vec<String> = entries.into_iter().map(|(_, entry)| entry).collect();
+    format!(
+        "{{\n  \"schema\": \"ntv-batch-readiness/2\",\n  \"roots\": {},\n  \
+         \"functions\": {}\n}}\n",
+        crate::json::array(&root_items, 4, 2),
+        crate::json::array(&entry_items, 4, 2),
+    )
 }
 
 #[cfg(test)]

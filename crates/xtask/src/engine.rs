@@ -8,6 +8,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::dataflow;
+use crate::effects;
 use crate::graph;
 use crate::lexer::{self, Token};
 use crate::parser;
@@ -99,7 +100,9 @@ impl FileClass {
             // The numeric-dataflow family polices result-producing library
             // code: reduction order and cast truncation only corrupt
             // *results*, and harness/bench/tool code is full of benign
-            // display-width casts and timing sums.
+            // display-width casts and timing sums. The effect rules police
+            // the same surface: what a harness prints or spawns is its own
+            // business; what a library drags in is every consumer's.
             RuleId::StatefulRng
             | RuleId::EnvRead
             | RuleId::BareUnit
@@ -107,7 +110,10 @@ impl FileClass {
             | RuleId::LockDiscipline
             | RuleId::ReductionOrder
             | RuleId::LossyCast
-            | RuleId::UnitEscape => matches!(self, Library),
+            | RuleId::UnitEscape
+            | RuleId::HiddenIo
+            | RuleId::AmbientClock
+            | RuleId::EffectEscape => matches!(self, Library),
             RuleId::WallClock => matches!(self, Library | Tool),
             RuleId::HashContainer => matches!(self, Library | Tool),
             RuleId::Unwrap | RuleId::Panic => matches!(self, Library | Tool),
@@ -401,6 +407,9 @@ pub struct LintOptions {
     /// Produce the batch-readiness JSON worklist (`xtask lint --report
     /// batch-readiness`) in [`LintReport::batch_readiness`].
     pub batch_readiness: bool,
+    /// Produce the no-std/WASM readiness JSON worklist (`xtask lint
+    /// --report nostd-readiness`) in [`LintReport::nostd_readiness`].
+    pub nostd_readiness: bool,
 }
 
 /// Everything the engine knows about one file mid-run.
@@ -437,6 +446,9 @@ fn apply_hit(st: &mut FileState, hit: rules::Hit, policy: &Policy) {
                 | RuleId::ReductionOrder
                 | RuleId::LossyCast
                 | RuleId::UnitEscape
+                | RuleId::HiddenIo
+                | RuleId::AmbientClock
+                | RuleId::EffectEscape
         )
     {
         return;
@@ -517,6 +529,7 @@ pub fn lint_sources(
         .map(|(i, _)| i)
         .collect();
     let mut batch_readiness = None;
+    let mut nostd_readiness = None;
     if !lib_idx.is_empty() {
         let sem_hits = {
             let sem_files: Vec<graph::SemFile> = lib_idx
@@ -535,6 +548,35 @@ pub fn lint_sources(
             let mut hits = g.panic_path_hits();
             hits.extend(g.lock_discipline_hits(&sem_files));
             hits.extend(dataflow::reduction_hits(&g, &sem_files));
+            let eff = effects::Effects::collect(&g, &sem_files);
+            hits.extend(effects::effect_hits(&g, &sem_files, &eff));
+            if options.nostd_readiness {
+                // Waived effect lines per library file (waiver line + next,
+                // per rule): the report classifies waived effects as
+                // `gated`, unwaived ones as `blocked`.
+                let waivers: Vec<effects::FileWaivers> = lib_idx
+                    .iter()
+                    .map(|&i| {
+                        let lines = |rule: RuleId| {
+                            states[i]
+                                .waivers
+                                .entries
+                                .iter()
+                                .filter(|e| e.rule == rule)
+                                .flat_map(|e| [e.line, e.line + 1])
+                                .collect()
+                        };
+                        effects::FileWaivers {
+                            hidden_io: lines(RuleId::HiddenIo),
+                            ambient_clock: lines(RuleId::AmbientClock),
+                            effect_escape: lines(RuleId::EffectEscape),
+                        }
+                    })
+                    .collect();
+                nostd_readiness = Some(effects::nostd_readiness_report(
+                    &g, &sem_files, &eff, &waivers,
+                ));
+            }
             if options.batch_readiness {
                 // Lines covered by a reduction-order waiver (the waiver
                 // line and the next), per library file: the report
@@ -589,6 +631,7 @@ pub fn lint_sources(
     let mut report = LintReport {
         files_scanned: files.len(),
         batch_readiness,
+        nostd_readiness,
         ..LintReport::default()
     };
     for st in states {
@@ -715,6 +758,9 @@ pub struct LintReport {
     /// The batch-readiness JSON worklist, when
     /// [`LintOptions::batch_readiness`] was set.
     pub batch_readiness: Option<String>,
+    /// The no-std/WASM readiness JSON worklist, when
+    /// [`LintOptions::nostd_readiness`] was set.
+    pub nostd_readiness: Option<String>,
 }
 
 impl LintReport {

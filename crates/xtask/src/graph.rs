@@ -83,12 +83,16 @@ struct HoldRegion {
 }
 
 /// One resolved call site inside a symbol's body.
-struct Call {
-    site: CallSite,
-    /// Confident targets only (lock discipline: no false edges from
-    /// common method names or unknown qualifiers). Over-approximate
-    /// targets go straight into `edges` for reachability.
-    confident: Vec<SymbolId>,
+pub struct Call {
+    /// The call as parsed (name, qualifier, token/line position).
+    pub site: CallSite,
+    /// Every workspace symbol the call may target (over-approximate).
+    pub candidates: Vec<SymbolId>,
+    /// Whether resolution was confident. The precision-sensitive analyses
+    /// (lock discipline, effect propagation for the readiness report) only
+    /// follow `candidates` when this is set; over-approximate fallbacks go
+    /// into `edges` for reachability and widen the effect lattice instead.
+    pub confident: bool,
 }
 
 /// The analyzed call graph plus per-symbol facts.
@@ -164,16 +168,16 @@ impl Graph {
                 }
                 let (mut all, conf) = table.resolve_with_confidence(&call, impl_ty);
                 all.retain(|&t| t != id); // self-recursion adds nothing
-                let confident: Vec<SymbolId> = if conf { all.clone() } else { Vec::new() };
                 for &t in &all {
                     edges[id].push(t);
-                }
-                for &t in &confident {
-                    edges_conf[id].push(t);
+                    if conf {
+                        edges_conf[id].push(t);
+                    }
                 }
                 calls[id].push(Call {
                     site: call,
-                    confident,
+                    candidates: all,
+                    confident: conf,
                 });
             }
             edges[id].sort_unstable();
@@ -346,10 +350,10 @@ impl Graph {
                     }
                 }
                 for call in &self.calls[id] {
-                    if !(region.start..region.end).contains(&call.site.tok) {
+                    if !(region.start..region.end).contains(&call.site.tok) || !call.confident {
                         continue;
                     }
-                    if let Some(&t) = call.confident.iter().find(|&&t| self.trans_lock[t]) {
+                    if let Some(&t) = call.candidates.iter().find(|&&t| self.trans_lock[t]) {
                         out.push((
                             sym.file,
                             Hit {
@@ -363,7 +367,7 @@ impl Graph {
                             },
                         ));
                     } else if !region.once_cell {
-                        if let Some(&t) = call.confident.iter().find(|&&t| self.reaches_build[t]) {
+                        if let Some(&t) = call.candidates.iter().find(|&&t| self.reaches_build[t]) {
                             out.push((
                                 sym.file,
                                 Hit {
@@ -392,6 +396,21 @@ impl Graph {
     #[must_use]
     pub fn callees(&self, sym: SymbolId) -> &[SymbolId] {
         &self.edges[sym]
+    }
+
+    /// Resolved call sites inside `sym`'s body, in body order (the effect
+    /// layer's input for confidence-filtered propagation).
+    #[must_use]
+    pub fn calls(&self, sym: SymbolId) -> &[Call] {
+        &self.calls[sym]
+    }
+
+    /// Lines of recognized lock acquisitions in `sym`'s body — `sync`
+    /// effect seeds the token scan cannot see (an acquisition through a
+    /// field never names the lock type).
+    #[must_use]
+    pub(crate) fn acquisition_lines(&self, sym: SymbolId) -> Vec<u32> {
+        self.acquisitions[sym].iter().map(|a| a.line).collect()
     }
 }
 

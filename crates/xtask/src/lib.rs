@@ -34,8 +34,10 @@
 //!   the real workspace must stay quiet.
 
 pub mod dataflow;
+pub mod effects;
 pub mod engine;
 pub mod graph;
+pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod resolve;

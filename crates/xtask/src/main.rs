@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use xtask::{engine, sarif, Policy, RuleId, Severity};
+use xtask::{engine, json, sarif, Policy, RuleId, Severity};
 
 const USAGE: &str = "\
 usage: cargo xtask <command>
@@ -32,6 +32,10 @@ lint options:
                    reachable from a public `sample_*` root with its f64
                    reduction sites classified order-sensitive / order-free;
                    byte-identical across runs
+                   nostd-readiness — the no-std/WASM worklist: every pub fn
+                   classified portable / gated (waived or feature-gated
+                   effects) / blocked (unwaived effects or unsafe, with the
+                   shortest witness chain); byte-identical across runs
   --bench-out <p>  write {files_scanned, diagnostics, wall_ms} JSON to <p>
                    after linting (perf baseline for the call-graph pass)
 
@@ -68,6 +72,7 @@ fn lint(args: &[String]) -> ExitCode {
     let mut quiet = false;
     let mut check_waivers = false;
     let mut batch_readiness = false;
+    let mut nostd_readiness = false;
     let mut format = Format::Text;
     let mut bench_out: Option<PathBuf> = None;
     let mut only_rules: Vec<RuleId> = Vec::new();
@@ -94,8 +99,9 @@ fn lint(args: &[String]) -> ExitCode {
             "--check-waivers" => check_waivers = true,
             "--report" => match it.next().map(String::as_str) {
                 Some("batch-readiness") => batch_readiness = true,
+                Some("nostd-readiness") => nostd_readiness = true,
                 _ => {
-                    eprintln!("xtask lint: --report needs `batch-readiness`");
+                    eprintln!("xtask lint: --report needs `batch-readiness` or `nostd-readiness`");
                     return ExitCode::from(2);
                 }
             },
@@ -127,6 +133,7 @@ fn lint(args: &[String]) -> ExitCode {
     let options = engine::LintOptions {
         check_waivers,
         batch_readiness,
+        nostd_readiness,
     };
     let root = xtask::workspace_root();
     // ntv:allow(wall-clock): timing the linter itself is --bench-out's job
@@ -176,7 +183,11 @@ fn lint(args: &[String]) -> ExitCode {
 
     // With --report, stdout is reserved for the report; diagnostics and
     // the summary move to stderr so piping/redirecting stays clean.
-    if let Some(rep) = &report.batch_readiness {
+    let machine_report = report
+        .batch_readiness
+        .as_ref()
+        .or(report.nostd_readiness.as_ref());
+    if let Some(rep) = machine_report {
         print!("{rep}");
         if !quiet && format == Format::Text {
             for diag in &shown {
@@ -216,7 +227,7 @@ fn lint(args: &[String]) -> ExitCode {
         report.files_scanned,
     );
     // In machine-read formats stdout is reserved for the report.
-    if format == Format::Text && report.batch_readiness.is_none() {
+    if format == Format::Text && machine_report.is_none() {
         println!("{summary}");
     } else {
         eprintln!("{summary}");
@@ -232,41 +243,23 @@ fn lint(args: &[String]) -> ExitCode {
 /// `rule`, `severity`, `message` keys in that order, input order preserved
 /// (already sorted by (file, line, rule)).
 fn render_json(diags: &[&engine::Diagnostic]) -> String {
-    let mut out = String::from("[");
-    for (i, d) in diags.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let severity = match d.severity {
-            Severity::Deny => "deny",
-            Severity::Warn => "warn",
-            Severity::Allow => "allow",
-        };
-        out.push_str(&format!(
-            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
-             \"severity\": \"{severity}\", \"message\": \"{}\"}}",
-            json_escape(&d.file.display().to_string().replace('\\', "/")),
-            d.line,
-            d.rule.name(),
-            json_escape(&d.message),
-        ));
-    }
-    out.push_str(if diags.is_empty() { "]" } else { "\n]" });
-    out
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    let items: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            let severity = match d.severity {
+                Severity::Deny => "deny",
+                Severity::Warn => "warn",
+                Severity::Allow => "allow",
+            };
+            format!(
+                "{{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+                 \"severity\": \"{severity}\", \"message\": \"{}\"}}",
+                json::escape(&d.file.display().to_string().replace('\\', "/")),
+                d.line,
+                d.rule.name(),
+                json::escape(&d.message),
+            )
+        })
+        .collect();
+    json::array(&items, 2, 0)
 }

@@ -79,6 +79,19 @@ pub enum RuleId {
     /// public fn as a bare float — the dataflow extension of the
     /// signature-level `bare-unit` rule.
     UnitEscape,
+    /// An `io` effect (`println!`, `std::fs`, `std::io`) reachable from a
+    /// public Library-class fn — found by the [`effects`](crate::effects)
+    /// lattice over the call graph, not token scanning.
+    HiddenIo,
+    /// A `clock`/`env` effect (`Instant::now`, `available_parallelism`,
+    /// `std::env`) reaching a sampling or solver path, where determinism
+    /// across replicas is a documented invariant.
+    AmbientClock,
+    /// A `thread`/`sync`/`global` effect (spawns, locks, `static` state)
+    /// reachable from the public API of a crate the WASM split must keep
+    /// pure (ntv-units, ntv-device, ntv-circuit, ntv-mc-math) or from the
+    /// waived `Executor`/`OpPointCache` roots in ntv-core.
+    EffectEscape,
     /// An `ntv:allow(..)` waiver that suppresses zero findings (reported
     /// only under `xtask lint --check-waivers`, so waivers cannot rot).
     DeadWaiver,
@@ -103,6 +116,9 @@ impl RuleId {
         RuleId::ReductionOrder,
         RuleId::LossyCast,
         RuleId::UnitEscape,
+        RuleId::HiddenIo,
+        RuleId::AmbientClock,
+        RuleId::EffectEscape,
         RuleId::DeadWaiver,
     ];
 
@@ -126,6 +142,9 @@ impl RuleId {
             RuleId::ReductionOrder => "ntv::reduction-order",
             RuleId::LossyCast => "ntv::lossy-cast",
             RuleId::UnitEscape => "ntv::unit-escape",
+            RuleId::HiddenIo => "ntv::hidden-io",
+            RuleId::AmbientClock => "ntv::ambient-clock",
+            RuleId::EffectEscape => "ntv::effect-escape",
             RuleId::DeadWaiver => "ntv::dead-waiver",
         }
     }
@@ -150,6 +169,9 @@ impl RuleId {
             RuleId::ReductionOrder => "reduction-order",
             RuleId::LossyCast => "lossy-cast",
             RuleId::UnitEscape => "unit-escape",
+            RuleId::HiddenIo => "hidden-io",
+            RuleId::AmbientClock => "ambient-clock",
+            RuleId::EffectEscape => "effect-escape",
             RuleId::DeadWaiver => "dead-waiver",
         }
     }
@@ -247,6 +269,27 @@ impl RuleId {
                  the value leaves a public fn, reopening the unit-mix-up \
                  hole the newtype closed; return the newtype, or convert \
                  through a named accessor at the boundary"
+            }
+            RuleId::HiddenIo => {
+                "this I/O operation is reachable from a public library fn, \
+                 so library consumers (and the future WASM build) inherit a \
+                 hidden stdout/filesystem dependency; return the data and \
+                 let the caller print, or move the printing into the bin \
+                 harness"
+            }
+            RuleId::AmbientClock => {
+                "a wall-clock or environment read reaches a sampling/solver \
+                 path, so identical queries stop being byte-identical \
+                 across replicas; pass the value in as a parameter, or \
+                 waive with the invariant that keeps results independent \
+                 of it"
+            }
+            RuleId::EffectEscape => {
+                "threads, locks, or process-global state are reachable from \
+                 the public API of a crate the no-std/WASM split must keep \
+                 pure; move the effect behind `ntv_core` (the sanctioned \
+                 `Executor`/`OpPointCache` roots carry waivers stating \
+                 their invariant), or gate it behind a feature"
             }
             RuleId::DeadWaiver => {
                 "this waiver suppresses no finding — the code it excused \

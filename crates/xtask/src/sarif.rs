@@ -8,6 +8,7 @@
 //! workspace-relative artifact URIs under the `SRCROOT` base id.
 
 use crate::engine::{Diagnostic, Severity};
+use crate::json::escape as esc;
 use crate::rules::RuleId;
 
 /// Render diagnostics (pre-sorted by (file, line, rule)) as a SARIF 2.1.0
@@ -43,36 +44,33 @@ pub fn render(diags: &[&Diagnostic]) -> String {
         "      \"originalUriBaseIds\": {\"SRCROOT\": {\"description\": \
          {\"text\": \"workspace root\"}}},\n",
     );
-    out.push_str("      \"results\": [");
-    for (i, d) in diags.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let level = match d.severity {
-            Severity::Deny => "error",
-            Severity::Warn | Severity::Allow => "warning",
-        };
-        let index = RuleId::ALL
-            .iter()
-            .position(|&r| r == d.rule)
-            .unwrap_or(usize::MAX);
-        out.push_str(&format!(
-            "\n        {{\"ruleId\": \"{}\", \"ruleIndex\": {index}, \
-             \"level\": \"{level}\", \"message\": {{\"text\": \"{}\"}}, \
-             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
-             {{\"uri\": \"{}\", \"uriBaseId\": \"SRCROOT\"}}, \"region\": \
-             {{\"startLine\": {}}}}}}}]}}",
-            esc(d.rule.name()),
-            esc(&d.message),
-            esc(&d.file.display().to_string().replace('\\', "/")),
-            d.line,
-        ));
-    }
-    out.push_str(if diags.is_empty() {
-        "]\n"
-    } else {
-        "\n      ]\n"
-    });
+    let results: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            let level = match d.severity {
+                Severity::Deny => "error",
+                Severity::Warn | Severity::Allow => "warning",
+            };
+            let index = RuleId::ALL
+                .iter()
+                .position(|&r| r == d.rule)
+                .unwrap_or(usize::MAX);
+            format!(
+                "{{\"ruleId\": \"{}\", \"ruleIndex\": {index}, \
+                 \"level\": \"{level}\", \"message\": {{\"text\": \"{}\"}}, \
+                 \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": \"{}\", \"uriBaseId\": \"SRCROOT\"}}, \"region\": \
+                 {{\"startLine\": {}}}}}}}]}}",
+                esc(d.rule.name()),
+                esc(&d.message),
+                esc(&d.file.display().to_string().replace('\\', "/")),
+                d.line,
+            )
+        })
+        .collect();
+    out.push_str("      \"results\": ");
+    out.push_str(&crate::json::array(&results, 8, 6));
+    out.push('\n');
     out.push_str("    }\n  ]\n}\n");
     out
 }
@@ -80,25 +78,6 @@ pub fn render(diags: &[&Diagnostic]) -> String {
 /// Collapse the multi-line rustfmt-wrapped help strings to single spaces.
 fn normalize_ws(s: &str) -> String {
     s.split_whitespace().collect::<Vec<_>>().join(" ")
-}
-
-/// Minimal JSON string escaping.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]

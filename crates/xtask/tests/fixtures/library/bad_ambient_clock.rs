@@ -1,0 +1,15 @@
+//! Fixture: ambient environment read on a sampling path →
+//! `ntv::ambient-clock`.
+//!
+//! The worker-count probe changes chunking — and therefore results for
+//! order-sensitive folds — per machine, so it may not sit on a path
+//! reachable from a public `sample_*` entry point.
+
+pub fn sample_chunks(n: usize) -> usize {
+    chunk_count(n)
+}
+
+fn chunk_count(n: usize) -> usize {
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    n / workers.max(1)
+}

@@ -1,0 +1,18 @@
+//! Fixture: I/O reachable from public API → `ntv::hidden-io`.
+//!
+//! Both shapes: a `println!` buried in a private helper called from a
+//! `pub fn`, and a direct `std::io` handle grab in a public function.
+
+pub fn report(total: f64) -> f64 {
+    emit(total);
+    total
+}
+
+fn emit(total: f64) {
+    println!("total = {total}");
+}
+
+pub fn flush_now() {
+    let handle = std::io::stdout();
+    let _ = handle;
+}

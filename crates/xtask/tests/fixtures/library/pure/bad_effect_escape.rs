@@ -1,0 +1,23 @@
+//! Fixture: platform effects reachable from pure-crate public API →
+//! `ntv::effect-escape`.
+//!
+//! All three effect families: a lock type, a spawned thread, and a
+//! process-global `static` — each behind a `pub fn` of a file on the
+//! pure-crate path the no-std/WASM split must keep effect-free.
+
+pub fn guarded_total(seed: f64) -> f64 {
+    let cell = std::sync::Mutex::new(seed);
+    let _ = &cell;
+    seed
+}
+
+pub fn offloaded(seed: u64) -> u64 {
+    let worker = std::thread::spawn(move || seed + 1);
+    drop(worker);
+    seed
+}
+
+pub fn tallied(seed: u64) -> u64 {
+    static CALLS: u64 = 0;
+    CALLS + seed
+}

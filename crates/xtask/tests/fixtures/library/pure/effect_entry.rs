@@ -1,0 +1,8 @@
+//! Cross-file effect-propagation fixture, entry half: the public entry
+//! point is effect-free on its own; linted together with
+//! `effect_helper.rs`, the helper's lock becomes reachable from this
+//! pure-crate `pub fn` and `ntv::effect-escape` fires in the helper.
+
+pub fn entry_total(n: u64) -> u64 {
+    effect_helper::bump(n)
+}

@@ -1,0 +1,10 @@
+//! Cross-file effect-propagation fixture, helper half: the lock here is
+//! invisible to the rule when this file is linted alone (`bump` is not a
+//! public root), but linting it together with `effect_entry.rs` connects
+//! it to the pure-crate public API.
+
+pub(crate) fn bump(n: u64) -> u64 {
+    let gate = std::sync::Mutex::new(n);
+    let _ = &gate;
+    n + 1
+}

@@ -1,0 +1,22 @@
+//! Fixture: `ntv:allow(effect-escape)` waivers stating the invariant
+//! silence every shape of the rule.
+
+pub fn guarded_total(seed: f64) -> f64 {
+    // ntv:allow(effect-escape): guards a pure memo; value is a function of the key
+    let cell = std::sync::Mutex::new(seed);
+    let _ = &cell;
+    seed
+}
+
+pub fn offloaded(seed: u64) -> u64 {
+    // ntv:allow(effect-escape): fork-join over a pure fn; merge preserves order
+    let worker = std::thread::spawn(move || seed + 1);
+    drop(worker);
+    seed
+}
+
+pub fn tallied(seed: u64) -> u64 {
+    // ntv:allow(effect-escape): immutable table, never written after init
+    static CALLS: u64 = 0;
+    CALLS + seed
+}

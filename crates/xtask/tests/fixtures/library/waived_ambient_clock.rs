@@ -1,0 +1,12 @@
+//! Fixture: an `ntv:allow(ambient-clock)` waiver stating the invariant
+//! silences the rule.
+
+pub fn sample_chunks(n: usize) -> usize {
+    chunk_count(n)
+}
+
+fn chunk_count(n: usize) -> usize {
+    // ntv:allow(ambient-clock): worker count only sizes chunks; the merge preserves index order
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    n / workers.max(1)
+}

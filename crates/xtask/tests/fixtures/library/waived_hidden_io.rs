@@ -1,0 +1,18 @@
+//! Fixture: `ntv:allow(hidden-io)` waivers stating the invariant silence
+//! every shape of the rule.
+
+pub fn report(total: f64) -> f64 {
+    emit(total);
+    total
+}
+
+fn emit(total: f64) {
+    // ntv:allow(hidden-io): diagnostic trace behind a debug-only build
+    println!("total = {total}");
+}
+
+pub fn flush_now() {
+    // ntv:allow(hidden-io): explicit flush requested by the one CLI caller
+    let handle = std::io::stdout();
+    let _ = handle;
+}

@@ -49,6 +49,9 @@ fn each_bad_library_fixture_triggers_its_rule() {
         ("library/bad_reduction_order.rs", RuleId::ReductionOrder),
         ("library/bad_lossy_cast.rs", RuleId::LossyCast),
         ("library/bad_unit_escape.rs", RuleId::UnitEscape),
+        ("library/bad_hidden_io.rs", RuleId::HiddenIo),
+        ("library/bad_ambient_clock.rs", RuleId::AmbientClock),
+        ("library/pure/bad_effect_escape.rs", RuleId::EffectEscape),
     ];
     for (rel, rule) in cases {
         let rules = lint_rules(rel);
@@ -191,6 +194,118 @@ fn dataflow_fixtures_flag_every_shape_and_waivers_silence() {
     ] {
         assert_eq!(lint_rules(&format!("library/{name}")), vec![], "{name}");
     }
+}
+
+/// The effect rules flag every advertised shape, and waivers stating the
+/// invariant silence each of them.
+#[test]
+fn effect_fixtures_flag_every_shape_and_waivers_silence() {
+    let diags = |rel: &str| {
+        let source = std::fs::read_to_string(fixture(rel)).expect("fixture exists");
+        let ws_rel = Path::new("crates/xtask/tests/fixtures").join(rel);
+        engine::lint_source(&ws_rel, &source, &Policy::default())
+    };
+
+    // println! in a reachable helper + direct std::io grab — one hit each.
+    let io = diags("library/bad_hidden_io.rs");
+    assert_eq!(io.len(), 2, "{io:#?}");
+    assert!(io.iter().all(|d| d.rule == RuleId::HiddenIo));
+    assert!(
+        io.iter().any(|d| d.message.contains("`println!`")
+            && d.message.contains("::emit`")
+            && d.message.contains("::report`")),
+        "{io:#?}"
+    );
+
+    // One ambient read on the sample_* path.
+    let clock = diags("library/bad_ambient_clock.rs");
+    assert_eq!(clock.len(), 1, "{clock:#?}");
+    assert_eq!(clock[0].rule, RuleId::AmbientClock);
+    assert!(
+        clock[0].message.contains("`available_parallelism`")
+            && clock[0].message.contains("::sample_chunks`"),
+        "{clock:#?}"
+    );
+
+    // Lock type, spawned thread, and body-local static — one hit each.
+    let esc = diags("library/pure/bad_effect_escape.rs");
+    assert_eq!(esc.len(), 3, "{esc:#?}");
+    assert!(esc.iter().all(|d| d.rule == RuleId::EffectEscape));
+
+    for rel in [
+        "library/waived_hidden_io.rs",
+        "library/waived_ambient_clock.rs",
+        "library/pure/waived_effect_escape.rs",
+    ] {
+        assert_eq!(lint_rules(rel), vec![], "{rel}");
+    }
+}
+
+/// Cross-file effect propagation: each half of the pair is clean alone;
+/// linted together, the pure-crate public entry point in one file makes
+/// the lock in the other an `ntv::effect-escape` finding.
+#[test]
+fn effect_pair_connects_only_when_linted_together() {
+    assert_eq!(lint_rules("library/pure/effect_entry.rs"), vec![]);
+    assert_eq!(lint_rules("library/pure/effect_helper.rs"), vec![]);
+
+    let files: Vec<(PathBuf, String)> = ["effect_entry.rs", "effect_helper.rs"]
+        .iter()
+        .map(|name| {
+            let source = std::fs::read_to_string(fixture(&format!("library/pure/{name}")))
+                .expect("fixture exists");
+            let ws_rel = Path::new("crates/xtask/tests/fixtures/library/pure").join(name);
+            (ws_rel, source)
+        })
+        .collect();
+    let report = engine::lint_sources(&files, &Policy::default(), &engine::LintOptions::default());
+    assert_eq!(report.diagnostics.len(), 1, "{:#?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RuleId::EffectEscape);
+    assert!(d.file.ends_with("effect_helper.rs"), "{d:?}");
+    assert!(
+        d.message.contains("::bump`")
+            && d.message.contains("pure-crate public API")
+            && d.message.contains("::entry_total`"),
+        "{d:?}"
+    );
+}
+
+/// `--report nostd-readiness` emits a byte-identical worklist across runs,
+/// and the crates the WASM split targets first have no blocked functions.
+#[test]
+fn nostd_readiness_report_is_stable_and_units_device_are_unblocked() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let run = || {
+        Command::new(bin)
+            .args(["lint", "--report", "nostd-readiness", "--quiet"])
+            .current_dir(xtask::workspace_root())
+            .output()
+            .expect("xtask runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.status.code(), Some(0), "workspace must lint clean");
+    assert_eq!(a.stdout, b.stdout, "report must be byte-identical");
+    let report = String::from_utf8(a.stdout).expect("utf-8 report");
+    assert!(
+        report.contains("\"schema\": \"ntv-nostd-readiness/1\""),
+        "{report}"
+    );
+    for krate in ["ntv_units", "ntv_device"] {
+        let line = report
+            .lines()
+            .find(|l| l.contains(&format!("\"crate\":\"{krate}\"")))
+            .expect("crate summary line present");
+        assert!(line.contains("\"blocked\":0"), "{krate}: {line}");
+    }
+    // Every status is one of the three the schema promises.
+    for status in ["\"status\":\"portable\"", "\"status\":\"gated\""] {
+        assert!(report.contains(status), "{report}");
+    }
+    assert!(!report.contains("\"status\":\"blocked\""), "{report}");
+    // The summary stays off the machine-read stream.
+    assert!(!report.contains("xtask lint:"), "{report}");
 }
 
 /// Dead waivers are silent by default, reported under `--check-waivers`,
@@ -357,11 +472,14 @@ fn sarif_format_is_stable_and_complete() {
     let run = |format: &str| {
         Command::new(bin)
             .args(["lint", "--format", format, "--warn-only"])
+            .arg(fixture("library/bad_ambient_clock.rs"))
             .arg(fixture("library/bad_bare_unit.rs"))
+            .arg(fixture("library/bad_hidden_io.rs"))
             .arg(fixture("library/bad_lossy_cast.rs"))
             .arg(fixture("library/bad_reduction_order.rs"))
             .arg(fixture("library/bad_unit_escape.rs"))
             .arg(fixture("library/bad_unwrap.rs"))
+            .arg(fixture("library/pure/bad_effect_escape.rs"))
             .output()
             .expect("xtask runs")
     };
