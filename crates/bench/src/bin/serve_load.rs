@@ -1,0 +1,375 @@
+//! Load bench for the `ntv-serve` query service: concurrent keep-alive
+//! clients firing mixed analytic batches over real TCP, reporting
+//! throughput and request-latency percentiles, plus the double-run
+//! byte-identity check with a deliberately tiny (eviction-stressing)
+//! cache bound.
+//!
+//! ```text
+//! cargo run --release -p ntv-bench --bin serve_load [-- OPTIONS]
+//! ```
+//!
+//! Options:
+//!
+//! * `--clients N`   concurrent client connections (default 2);
+//! * `--requests N`  requests per client (default 800);
+//! * `--batch N`     queries per request (default 8);
+//! * `--out PATH`    also write the summary as JSON.
+//!
+//! The workload is deterministic: every client sends the same request
+//! sequence, so the identity phase can assert byte-equality across two
+//! complete passes against two separate server instances.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use ntv_serve::client::Connection;
+use ntv_serve::{serve, ServeConfig};
+
+struct Options {
+    clients: usize,
+    requests: usize,
+    batch: usize,
+    out: Option<String>,
+}
+
+fn parse_options() -> Result<Options, ExitCode> {
+    let mut options = Options {
+        clients: 2,
+        requests: 800,
+        batch: 8,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || {
+            args.next().ok_or_else(|| {
+                eprintln!("{arg} expects a value");
+                ExitCode::FAILURE
+            })
+        };
+        match arg.as_str() {
+            "--clients" => options.clients = parse_count(&value()?)?,
+            "--requests" => options.requests = parse_count(&value()?)?,
+            "--batch" => options.batch = parse_count(&value()?)?,
+            "--out" => options.out = Some(value()?),
+            other => {
+                eprintln!(
+                    "unrecognised argument `{other}`\n\
+                     usage: serve_load [--clients N] [--requests N] [--batch N] [--out PATH]"
+                );
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    }
+    Ok(options)
+}
+
+fn parse_count(s: &str) -> Result<usize, ExitCode> {
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => {
+            eprintln!("expected a positive integer, got `{s}`");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// The headline analytic probe mix: mostly chip-quantile probes over a
+/// voltage grid across two nodes, salted with a spares quantile and a
+/// margin solve per 16 queries. The heavy kinds (`min_spares`, `dse`,
+/// `sweep`) are measured separately in the per-kind phase — they cost
+/// 1–2 orders of magnitude more per query by construction (spare-count
+/// bisection, margin search per candidate), and folding them into the
+/// probe mix would only report a blend no client actually sends.
+fn batch_body(batch: usize, request_index: usize) -> String {
+    let mut queries = Vec::with_capacity(batch);
+    for i in 0..batch {
+        let slot = (request_index * batch + i) % 16;
+        let vdd = 0.5 + 0.01 * f64::from(u8::try_from(slot).unwrap_or(0));
+        match i % 16 {
+            7 => queries.push(format!(
+                r#"{{"kind":"quantile","node":"90nm","vdd":{vdd},"spares":2}}"#
+            )),
+            15 => queries.push(format!(r#"{{"kind":"margin","node":"45nm","vdd":{vdd}}}"#)),
+            _ => {
+                let node = if i % 2 == 0 { "90nm" } else { "45nm" };
+                queries.push(format!(
+                    r#"{{"kind":"quantile","node":"{node}","vdd":{vdd}}}"#
+                ));
+            }
+        }
+    }
+    format!(r#"{{"queries":[{}]}}"#, queries.join(","))
+}
+
+/// One-kind request bodies for the per-kind phase.
+fn kind_body(kind: &str, batch: usize) -> String {
+    let queries: Vec<String> = (0..batch)
+        .map(|i| {
+            let vdd = 0.5 + 0.01 * f64::from(u8::try_from(i % 16).unwrap_or(0));
+            match kind {
+                "quantile" => format!(r#"{{"kind":"quantile","node":"90nm","vdd":{vdd}}}"#),
+                "quantile_spares" => {
+                    format!(r#"{{"kind":"quantile","node":"90nm","vdd":{vdd},"spares":2}}"#)
+                }
+                "margin" => format!(r#"{{"kind":"margin","node":"45nm","vdd":{vdd}}}"#),
+                "min_spares" => format!(r#"{{"kind":"min_spares","node":"90nm","vdd":{vdd}}}"#),
+                "dse" => format!(r#"{{"kind":"dse","node":"90nm","vdd":{vdd},"spares":[0,2,8]}}"#),
+                _ => r#"{"kind":"sweep","node":"90nm","vdd_start":0.5,"vdd_stop":0.66,"steps":16}"#
+                    .to_string(),
+            }
+        })
+        .collect();
+    format!(r#"{{"queries":[{}]}}"#, queries.join(","))
+}
+
+/// Measure one kind's cost over HTTP: `requests` keep-alive round trips
+/// of `batch` identical-kind queries, returning µs per query.
+fn time_kind(
+    addr: std::net::SocketAddr,
+    kind: &str,
+    batch: usize,
+    requests: usize,
+) -> Result<f64, String> {
+    let body = kind_body(kind, batch);
+    let mut conn = Connection::open(addr).map_err(|e| format!("connect: {e}"))?;
+    // Warm operating points and code paths.
+    let warm = conn.query(&body).map_err(|e| format!("warmup: {e}"))?;
+    if warm.status != 200 {
+        return Err(format!("{kind}: status {} {}", warm.status, warm.body));
+    }
+    let started = Instant::now();
+    for _ in 0..requests {
+        let response = conn.query(&body).map_err(|e| format!("query: {e}"))?;
+        if response.status != 200 {
+            return Err(format!("{kind}: status {}", response.status));
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    Ok(started.elapsed().as_secs_f64() * 1e6 / (requests * batch) as f64)
+}
+
+/// Sorted-latency percentile (nearest-rank).
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Phase 1: the double-run identity check. Two fresh servers, an 8-entry
+/// cache bound the scripted set overflows, byte-compared bodies.
+fn identity_check() -> Result<(), String> {
+    let scripted: Vec<String> = (0..24)
+        .map(|i| {
+            let vdd = 0.5 + 0.008 * f64::from(i);
+            format!(r#"{{"kind":"quantile","node":"90nm","vdd":{vdd}}}"#)
+        })
+        .chain([
+            r#"{"kind":"margin","node":"45nm","vdd":0.6}"#.to_string(),
+            r#"{"kind":"dse","node":"90nm","vdd":0.55,"spares":[0,2,8]}"#.to_string(),
+            r#"{"kind":"sweep","node":"22nm","vdd_start":0.5,"vdd_stop":0.7,"steps":9}"#
+                .to_string(),
+        ])
+        .collect();
+    let run = || -> Result<Vec<String>, String> {
+        let handle = serve(&ServeConfig {
+            cache_bound: Some(8),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .map_err(|e| format!("bind: {e}"))?;
+        let mut conn = Connection::open(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+        let mut bodies = Vec::with_capacity(scripted.len());
+        for query in &scripted {
+            let response = conn.query(query).map_err(|e| format!("query: {e}"))?;
+            if response.status != 200 {
+                return Err(format!("status {}: {}", response.status, response.body));
+            }
+            bodies.push(response.body);
+        }
+        handle.shutdown();
+        Ok(bodies)
+    };
+    let (first, second) = (run()?, run()?);
+    if first == second {
+        Ok(())
+    } else {
+        let diverged = first
+            .iter()
+            .zip(&second)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        Err(format!("bodies diverged at scripted query {diverged}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_options() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+
+    println!("== double-run byte identity (bounded cache, two server instances) ==");
+    match identity_check() {
+        Ok(()) => println!("identical: yes"),
+        Err(e) => {
+            eprintln!("IDENTITY FAILURE: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "\n== load: {} clients x {} requests x {}-query batches ==",
+        options.clients, options.requests, options.batch
+    );
+    let handle = match serve(&ServeConfig {
+        workers: options.clients,
+        cache_bound: Some(1024),
+        ..ServeConfig::default()
+    }) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.addr();
+
+    // Warm the operating points once so the timed section measures query
+    // service, not one-time Gauss-Hermite builds (mirrors BENCH_sweep).
+    {
+        let mut conn = match Connection::open(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("warmup connect: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for r in 0..16 {
+            if conn.query(&batch_body(options.batch, r)).is_err() {
+                eprintln!("warmup query failed");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let mut all_latencies: Vec<Duration> = Vec::new();
+    let mut failures = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut latencies = Vec::with_capacity(options.requests);
+                    let mut conn = Connection::open(addr).ok()?;
+                    for r in 0..options.requests {
+                        let body = batch_body(options.batch, r);
+                        let sent = Instant::now();
+                        let response = conn.query(&body).ok()?;
+                        if response.status != 200 {
+                            return None;
+                        }
+                        latencies.push(sent.elapsed());
+                    }
+                    Some(latencies)
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join().expect("client thread") {
+                Some(latencies) => all_latencies.extend(latencies),
+                None => failures += 1,
+            }
+        }
+    });
+    let elapsed = started.elapsed();
+    if failures > 0 {
+        eprintln!("{failures} client(s) failed");
+        return ExitCode::FAILURE;
+    }
+
+    all_latencies.sort_unstable();
+    let total_requests = options.clients * options.requests;
+    let total_queries = total_requests * options.batch;
+    #[allow(clippy::cast_precision_loss)]
+    let qps = total_queries as f64 / elapsed.as_secs_f64();
+    let (p50, p99) = (
+        percentile(&all_latencies, 0.50),
+        percentile(&all_latencies, 0.99),
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let per_query_us = elapsed.as_secs_f64() * 1e6 / total_queries as f64;
+
+    println!("elapsed           : {:.3} s", elapsed.as_secs_f64());
+    println!("queries           : {total_queries}");
+    println!("throughput        : {qps:.0} queries/s");
+    println!("mean cost/query   : {per_query_us:.2} us");
+    println!(
+        "request latency   : p50 {:.0} us, p99 {:.0} us ({}-query batches)",
+        p50.as_secs_f64() * 1e6,
+        p99.as_secs_f64() * 1e6,
+        options.batch
+    );
+
+    // Cache behaviour over the run, from the service's own endpoint.
+    if let Ok(mut conn) = Connection::open(addr) {
+        if let Ok(stats) = conn.request("GET", "/stats", "") {
+            println!("stats             : {}", stats.body);
+        }
+    }
+
+    println!("\n== per-kind cost over HTTP (keep-alive, 16-query batches) ==");
+    let mut kind_costs: Vec<(&str, f64)> = Vec::new();
+    for (kind, requests) in [
+        ("quantile", 200),
+        ("quantile_spares", 100),
+        ("margin", 50),
+        ("min_spares", 20),
+        ("sweep", 20),
+        ("dse", 5),
+    ] {
+        match time_kind(addr, kind, 16, requests) {
+            Ok(us) => {
+                println!("{kind:<16}: {us:>9.2} us/query");
+                kind_costs.push((kind, us));
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    handle.shutdown();
+
+    if let Some(path) = options.out {
+        let kinds = kind_costs
+            .iter()
+            .map(|(kind, us)| format!("\"{kind}\":{us}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let json = format!(
+            "{{\"benchmark\":\"serve_load\",\"clients\":{},\"requests_per_client\":{},\"batch\":{},\"elapsed_s\":{},\"queries\":{},\"queries_per_s\":{},\"request_p50_us\":{},\"request_p99_us\":{},\"mean_us_per_query\":{},\"per_kind_us\":{{{kinds}}}}}",
+            options.clients,
+            options.requests,
+            options.batch,
+            elapsed.as_secs_f64(),
+            total_queries,
+            qps,
+            p50.as_secs_f64() * 1e6,
+            p99.as_secs_f64() * 1e6,
+            per_query_us,
+        );
+        match std::fs::File::create(&path).and_then(|mut f| writeln!(f, "{json}")) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

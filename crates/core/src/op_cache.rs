@@ -23,16 +23,46 @@
 //! # Locking discipline
 //!
 //! Two-level: an `RwLock` guards only the key → cell map, and each cell is
-//! an `Arc<OnceLock<…>>` that owns the one-time build. The map lock is
+//! an `Arc` whose `OnceLock` owns the one-time build. The map lock is
 //! never held across a build, so concurrent builders of *different*
 //! operating points proceed in parallel, while racing builders of the
 //! *same* point block on that entry's `OnceLock` alone and observe a
-//! single shared distribution. Values are pure functions of the key (plus
-//! the calibrated parameters the key implies), so cache hits are
+//! single shared distribution — request coalescing falls out of the Arc
+//! identity: any number of concurrent queries for one operating point
+//! attach to the one in-flight build. Values are pure functions of the key
+//! (plus the calibrated parameters the key implies), so cache hits are
 //! bit-identical to fresh builds and the cache cannot perturb any
 //! deterministic-replay contract.
+//!
+//! # Bounding and eviction
+//!
+//! A long-running service (`ntv-serve`) faces millions of *distinct*
+//! operating points — every client-chosen voltage is its own key — so the
+//! cache accepts an optional resident bound ([`OpPointCache::with_bound`]
+//! / [`OpPointCache::set_bound`]). Eviction is least-recently-used on a
+//! logical access clock (a monotone `u64` tick per lookup, never wall
+//! time): when an insert pushes the resident count over the bound, the
+//! built entries with the smallest last-use ticks are dropped. Three
+//! invariants keep eviction invisible to results:
+//!
+//! * **Values are pure.** An evicted-and-rebuilt entry is bit-identical to
+//!   the original (pinned by test), so responses cannot depend on cache
+//!   history.
+//! * **In-flight builds are never evicted.** A cell whose `OnceLock` is
+//!   still empty has waiters parked on it; eviction skips unbuilt cells,
+//!   so coalesced queries always observe the build they attached to (the
+//!   resident count may transiently exceed the bound by the number of
+//!   in-flight builds, and each landing build re-runs the sweep so the
+//!   excess drains immediately).
+//! * **Out-standing `Arc`s survive.** Eviction drops the map's reference
+//!   only; a caller still holding a distribution keeps it alive.
+//!
+//! Hit/miss/evict/coalesced counters (plain relaxed atomics — they order
+//! nothing) are exposed through [`OpPointCache::stats`] for the serve
+//! layer's `/stats` endpoint and the load bench.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 use ntv_device::{DeviceParams, TechModel, TechNode};
@@ -43,18 +73,115 @@ use crate::exec::Executor;
 
 type Key = (TechNode, VariationMode, usize, u64);
 
+/// Sentinel for "no resident bound" in the packed capacity word.
+const UNBOUNDED: usize = usize::MAX;
+
+/// One cache cell: the one-time build plus its last-use tick.
+#[derive(Debug, Default)]
+struct CacheEntry {
+    /// The one-time build; racers of the same key park here.
+    cell: OnceLock<Arc<PathDistribution>>,
+    /// Logical access clock value of the most recent lookup.
+    last_use: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache's behaviour counters.
+///
+/// Counters are cumulative since the cache was created; `resident` is the
+/// current number of fully built entries (in-flight builds excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found an already-built entry.
+    pub hits: u64,
+    /// Lookups that built the entry themselves.
+    pub misses: u64,
+    /// Built entries dropped by the LRU bound.
+    pub evictions: u64,
+    /// Lookups that attached to another caller's in-flight build instead
+    /// of racing it (single-flight coalescing).
+    pub coalesced: u64,
+    /// Fully built entries currently resident.
+    pub resident: usize,
+}
+
 /// Shared cache of built [`PathDistribution`]s, one entry per operating
-/// point. See the module docs for keying and locking discipline.
+/// point. See the module docs for keying, locking and eviction discipline.
 #[derive(Debug, Default)]
 pub struct OpPointCache {
-    entries: RwLock<BTreeMap<Key, Arc<OnceLock<Arc<PathDistribution>>>>>,
+    entries: RwLock<BTreeMap<Key, Arc<CacheEntry>>>,
+    /// Resident bound; [`UNBOUNDED`] disables eviction. Default unbounded:
+    /// the experiment suite touches a few hundred points at most.
+    bound: AtomicUsize,
+    /// Logical access clock: one tick per lookup, never wall time, so the
+    /// eviction order is a pure function of the access sequence.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl OpPointCache {
-    /// An empty private cache (for engines with non-calibrated parameters).
+    /// An empty, unbounded private cache (for engines with non-calibrated
+    /// parameters).
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        let cache = Self::default();
+        cache.bound.store(UNBOUNDED, Ordering::Relaxed);
+        cache
+    }
+
+    /// An empty cache bounded to `bound` resident operating points,
+    /// evicted least-recently-used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero — a cache that can hold nothing cannot
+    /// satisfy the exactly-once build contract its waiters rely on.
+    #[must_use]
+    pub fn with_bound(bound: usize) -> Self {
+        let cache = Self::new();
+        cache.set_bound(Some(bound));
+        cache
+    }
+
+    /// Install or clear the resident bound. `None` disables eviction;
+    /// lowering the bound takes effect at the next insert (the cache does
+    /// not shrink eagerly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is `Some(0)`.
+    pub fn set_bound(&self, bound: Option<usize>) {
+        assert!(
+            bound != Some(0),
+            "OpPointCache bound must be at least 1: a cache that can hold \
+             nothing cannot satisfy the exactly-once build contract"
+        );
+        self.bound
+            .store(bound.unwrap_or(UNBOUNDED), Ordering::Relaxed);
+    }
+
+    /// The current resident bound, if any.
+    #[must_use]
+    pub fn bound(&self) -> Option<usize> {
+        match self.bound.load(Ordering::Relaxed) {
+            UNBOUNDED => None,
+            n => Some(n),
+        }
+    }
+
+    /// A point-in-time snapshot of the hit/miss/evict/coalesced counters
+    /// and the resident entry count.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            resident: self.len(),
+        }
     }
 
     /// The process-wide cache shared by every engine running a node's
@@ -77,8 +204,53 @@ impl OpPointCache {
         }
     }
 
+    /// Assert the global-instance parameter invariant (see module docs).
+    fn assert_calibrated(&self, tech: &TechModel) {
+        assert!(
+            !std::ptr::eq(self, Arc::as_ptr(Self::global()))
+                || *tech.params() == DeviceParams::for_node(tech.node()),
+            "global OpPointCache used with custom device parameters for {:?}",
+            tech.node()
+        );
+    }
+
+    /// Next logical clock tick (monotone across threads).
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Drop least-recently-used *built* entries until the resident count
+    /// is back under the bound. Caller holds the map write lock; no build
+    /// ever runs in here.
+    fn evict_over_bound(&self, entries: &mut BTreeMap<Key, Arc<CacheEntry>>) {
+        let bound = self.bound.load(Ordering::Relaxed);
+        if bound == UNBOUNDED {
+            return;
+        }
+        // In-flight (unbuilt) cells are pinned: waiters are parked on them.
+        while entries.len() > bound {
+            let victim = entries
+                .iter()
+                .filter(|(_, e)| e.cell.get().is_some())
+                .min_by_key(|(key, e)| (e.last_use.load(Ordering::Relaxed), **key))
+                .map(|(&key, _)| key);
+            let Some(key) = victim else {
+                // Everything over the bound is in-flight; the transient
+                // excess drains as those builds land and later inserts
+                // re-run eviction.
+                return;
+            };
+            entries.remove(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// The distribution for `(tech.node(), mode, path_length, vdd)`,
-    /// building it exactly once process-wide (per cache instance).
+    /// building it exactly once per *residency*: concurrent callers of a
+    /// resident key share one build (racers park on the entry's
+    /// `OnceLock`), and only eviction can make a later call rebuild — to a
+    /// bit-identical value, since the distribution is a pure function of
+    /// the key.
     ///
     /// # Panics
     ///
@@ -93,35 +265,85 @@ impl OpPointCache {
         vdd: Volts,
         path_length: usize,
     ) -> Arc<PathDistribution> {
-        assert!(
-            !std::ptr::eq(self, Arc::as_ptr(Self::global()))
-                || *tech.params() == DeviceParams::for_node(tech.node()),
-            "global OpPointCache used with custom device parameters for {:?}",
-            tech.node()
-        );
+        self.assert_calibrated(tech);
         let key = (tech.node(), mode, path_length, vdd.get().to_bits());
-        let cell = self
+        let tick = self.tick();
+        let entry = self
             .entries
             .read() // ntv:allow(effect-escape): map lock guards a pure memo; never held across a build
             // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
             .expect("op-point cache lock")
             .get(&key)
             .cloned();
-        let cell = match cell {
-            Some(cell) => cell,
-            None => Arc::clone(
-                self.entries
+        let entry = match entry {
+            Some(entry) => entry,
+            None => {
+                let mut entries = self
+                    .entries
                     .write() // ntv:allow(effect-escape): map lock guards a pure memo; never held across a build
                     // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
-                    .expect("op-point cache lock")
-                    .entry(key)
-                    .or_default(),
-            ),
+                    .expect("op-point cache lock");
+                let len_before = entries.len();
+                let entry = Arc::clone(entries.entry(key).or_default());
+                if entries.len() > len_before {
+                    self.evict_over_bound(&mut entries);
+                }
+                entry
+            }
         };
+        entry.last_use.store(tick, Ordering::Relaxed);
+        let already_built = entry.cell.get().is_some();
         // Build outside both map locks; same-key racers park on this
         // entry's OnceLock only.
-        // ntv:allow(uncached-build, effect-escape): the cache's own build site — every other caller shares it; same-key racers park on a pure function of the key
-        Arc::clone(cell.get_or_init(|| Arc::new(PathDistribution::build(tech, vdd, path_length))))
+        let mut built_here = false;
+        // ntv:allow(effect-escape): same-key racers park on a pure function of the key
+        let dist = Arc::clone(entry.cell.get_or_init(|| {
+            built_here = true;
+            // ntv:allow(uncached-build): the cache's own build site — every other caller shares it
+            Arc::new(PathDistribution::build(tech, vdd, path_length))
+        }));
+        let counter = if built_here {
+            &self.misses
+        } else if already_built {
+            &self.hits
+        } else {
+            // The cell existed (or we raced its insert) and someone else's
+            // build completed while we were parked: a coalesced query.
+            &self.coalesced
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if built_here {
+            // A landed build may have been what an earlier insert's
+            // eviction pass had to skip as in-flight; sweep again so the
+            // resident count settles back under the bound without waiting
+            // for the next insert.
+            self.sweep_if_over_bound();
+        }
+        dist
+    }
+
+    /// Re-run eviction if the map has grown past the bound (entered after
+    /// a build lands, when previously in-flight cells become evictable).
+    fn sweep_if_over_bound(&self) {
+        let bound = self.bound.load(Ordering::Relaxed);
+        if bound == UNBOUNDED {
+            return;
+        }
+        let over = self
+            .entries
+            .read() // ntv:allow(effect-escape): cheap size probe before taking the write lock
+            // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
+            .expect("op-point cache lock")
+            .len()
+            > bound;
+        if over {
+            let mut entries = self
+                .entries
+                .write() // ntv:allow(effect-escape): map lock guards a pure memo; never held across a build
+                // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
+                .expect("op-point cache lock");
+            self.evict_over_bound(&mut entries);
+        }
     }
 
     /// Pre-build a sweep's operating points, and for grid-sampling modes
@@ -136,6 +358,10 @@ impl OpPointCache {
     /// shared `Arc` per operating point (a raced duplicate build is
     /// dropped, never handed out), and cached values stay bit-identical
     /// to fresh scalar builds because `build_grid` is (pinned by test).
+    ///
+    /// On a bounded cache a grid wider than the bound is allowed but
+    /// self-defeating — the tail of the grid evicts its head; the serve
+    /// layer sizes prefetches under the bound.
     pub fn prefetch(
         &self,
         tech: &TechModel,
@@ -144,29 +370,30 @@ impl OpPointCache {
         voltages: &[Volts],
         exec: Executor,
     ) {
-        assert!(
-            !std::ptr::eq(self, Arc::as_ptr(Self::global()))
-                || *tech.params() == DeviceParams::for_node(tech.node()),
-            "global OpPointCache used with custom device parameters for {:?}",
-            tech.node()
-        );
+        self.assert_calibrated(tech);
         // Resolve every entry cell up front (one write-lock pass), keeping
         // only the voltages whose distribution is not yet built.
-        // ntv:allow(effect-escape): per-entry cells resolved under one write pass; builds run outside
-        let jobs: Vec<(Volts, Arc<OnceLock<Arc<PathDistribution>>>)> = {
+        let jobs: Vec<(Volts, Arc<CacheEntry>)> = {
             let mut entries = self
                 .entries
                 .write() // ntv:allow(effect-escape): map lock guards a pure memo; never held across a build
                 // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
                 .expect("op-point cache lock");
-            voltages
+            let len_before = entries.len();
+            let jobs = voltages
                 .iter()
                 .map(|&vdd| {
                     let key = (tech.node(), mode, path_length, vdd.get().to_bits());
-                    (vdd, Arc::clone(entries.entry(key).or_default()))
+                    let entry = Arc::clone(entries.entry(key).or_default());
+                    entry.last_use.store(self.tick(), Ordering::Relaxed);
+                    (vdd, entry)
                 })
-                .filter(|(_, cell)| cell.get().is_none())
-                .collect()
+                .filter(|(_, entry)| entry.cell.get().is_none())
+                .collect();
+            if entries.len() > len_before {
+                self.evict_over_bound(&mut entries);
+            }
+            jobs
         };
 
         let vdds: Vec<Volts> = jobs.iter().map(|&(vdd, _)| vdd).collect();
@@ -175,10 +402,10 @@ impl OpPointCache {
             PathDistribution::build_grid(tech, &vdds[start..start + len], path_length)
         });
         let warm = mode != VariationMode::PaperNormal;
-        for ((_, cell), dist) in jobs.into_iter().zip(built) {
+        for ((_, entry), dist) in jobs.into_iter().zip(built) {
             // A racer may have beaten us to this cell; its value wins and
             // our duplicate is dropped, preserving Arc identity.
-            let dist = cell.get_or_init(move || Arc::new(dist)); // ntv:allow(effect-escape): first racer's value wins; all candidates are bit-identical
+            let dist = entry.cell.get_or_init(move || Arc::new(dist)); // ntv:allow(effect-escape): first racer's value wins; all candidates are bit-identical
             if warm {
                 dist.warm_grid();
             }
@@ -200,7 +427,7 @@ impl OpPointCache {
             // ntv:allow(panic-path): poisoned only if a writer panicked; propagating is correct
             .expect("op-point cache lock")
             .values()
-            .filter(|cell| cell.get().is_some())
+            .filter(|entry| entry.cell.get().is_some())
             .count()
     }
 
@@ -320,5 +547,81 @@ mod tests {
             Executor::serial(),
         );
         assert_eq!(cache.len(), volts.len());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let tech = TechModel::new(TechNode::Gp90);
+        let cache = OpPointCache::with_bound(2);
+        let volts = [Volts(0.52), Volts(0.54), Volts(0.56)];
+        let mode = VariationMode::PaperNormal;
+        let _a = cache.get_or_build(&tech, mode, volts[0], 50);
+        let _b = cache.get_or_build(&tech, mode, volts[1], 50);
+        assert_eq!(cache.len(), 2);
+        // Touch A so B becomes the LRU victim when C is inserted.
+        let _a2 = cache.get_or_build(&tech, mode, volts[0], 50);
+        let _c = cache.get_or_build(&tech, mode, volts[2], 50);
+        assert_eq!(cache.len(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 1);
+        // B was evicted: rebuilding it is a miss that in turn evicts A
+        // (tick 3, now the least recently used); C (tick 4) survives.
+        let before = cache.stats().misses;
+        let _b2 = cache.get_or_build(&tech, mode, volts[1], 50);
+        assert_eq!(cache.stats().misses, before + 1);
+        let hits_before = cache.stats().hits;
+        let _c2 = cache.get_or_build(&tech, mode, volts[2], 50);
+        assert_eq!(cache.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn evicted_and_rebuilt_entries_are_bit_identical() {
+        let tech = TechModel::new(TechNode::Gp45);
+        let cache = OpPointCache::with_bound(1);
+        let mode = VariationMode::SkewedIid;
+        let first = cache.get_or_build(&tech, mode, Volts(0.58), 50);
+        // Force eviction by inserting a second point, then rebuild.
+        let _other = cache.get_or_build(&tech, mode, Volts(0.62), 50);
+        let rebuilt = cache.get_or_build(&tech, mode, Volts(0.58), 50);
+        assert!(
+            !Arc::ptr_eq(&first, &rebuilt),
+            "entry must have been evicted and rebuilt"
+        );
+        assert_eq!(first.mean_ps().to_bits(), rebuilt.mean_ps().to_bits());
+        assert_eq!(first.std_ps().to_bits(), rebuilt.std_ps().to_bits());
+        for g in [1e-6, 1e-3, 0.01, 0.5, 0.99] {
+            assert_eq!(
+                first.quantile_by_survival(g).to_bits(),
+                rebuilt.quantile_by_survival(g).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let tech = TechModel::new(TechNode::PtmHp32);
+        let cache = OpPointCache::new();
+        assert_eq!(cache.stats(), CacheStats::default());
+        let _ = cache.get_or_build(&tech, VariationMode::PaperNormal, Volts(0.6), 50);
+        let _ = cache.get_or_build(&tech, VariationMode::PaperNormal, Volts(0.6), 50);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.resident, 1);
+    }
+
+    #[test]
+    fn bound_is_validated_and_adjustable() {
+        let cache = OpPointCache::new();
+        assert_eq!(cache.bound(), None);
+        cache.set_bound(Some(8));
+        assert_eq!(cache.bound(), Some(8));
+        cache.set_bound(None);
+        assert_eq!(cache.bound(), None);
+        let result = std::panic::catch_unwind(|| OpPointCache::with_bound(0));
+        assert!(result.is_err(), "zero bound must be rejected");
     }
 }

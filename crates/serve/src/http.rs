@@ -1,0 +1,234 @@
+//! A deliberately small HTTP/1.1 implementation: request parsing and
+//! response framing for the serve front end.
+//!
+//! The workspace is offline (no hyper/tokio), and the service needs only
+//! the slice of HTTP that batch JSON clients use: `GET`/`POST`, a
+//! `Content-Length` body, keep-alive connections. Everything else —
+//! chunked bodies, expect/continue, multipart — is rejected with a clear
+//! status. Hard caps on the header block and body size bound per-request
+//! memory before a single byte of JSON is parsed.
+
+use std::io::{self, BufRead, Write};
+
+/// Cap on the request line + headers (16 KiB — far above any sane client).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Cap on the request body (1 MiB — thousands of batched queries).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: enough structure for routing, nothing more.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), as sent.
+    pub method: String,
+    /// Request target path (query strings are not used by this service).
+    pub target: String,
+    /// Decoded body (empty when absent).
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read. Each maps to one response status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// Malformed request line, header, or body framing → 400.
+    Bad(String),
+    /// Headers or body exceeded the hard caps → 413.
+    TooLarge,
+    /// Socket error or timeout; the connection is dropped silently.
+    Io(String),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e.to_string())
+    }
+}
+
+/// Read one request off a connection.
+///
+/// `Ok(None)` is a clean end-of-stream (the client closed between
+/// requests — the normal end of a keep-alive session).
+///
+/// # Errors
+///
+/// See [`RequestError`] for the status each failure maps to.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, RequestError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => return Err(RequestError::Bad("malformed request line".to_string())),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Bad(format!("unsupported version {version}")));
+    }
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+
+    let mut content_length: usize = 0;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(RequestError::Bad("truncated headers".to_string()));
+        }
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(RequestError::Bad(format!("malformed header `{header}`")));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| RequestError::Bad("bad content-length".to_string()))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(RequestError::TooLarge);
+                }
+            }
+            "transfer-encoding" => {
+                // Chunked bodies are out of scope; refusing beats
+                // misinterpreting the framing.
+                return Err(RequestError::Bad(
+                    "transfer-encoding is not supported; send content-length".to_string(),
+                ));
+            }
+            "connection" => {
+                let value = value.to_ascii_lowercase();
+                if value.contains("close") {
+                    keep_alive = false;
+                } else if value.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    io::Read::read_exact(reader, &mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| RequestError::Bad("body is not valid UTF-8".to_string()))?;
+
+    Ok(Some(Request {
+        method,
+        target,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reason phrase for the statuses this service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write a JSON response with exact `Content-Length` framing.
+///
+/// The body bytes pass through untouched — response byte-identity is
+/// decided entirely by the caller's rendering.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the connection is then dropped).
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read(raw: &str) -> Result<Option<Request>, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = read("POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .expect("ok")
+            .expect("some");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/query");
+        assert_eq!(req.body, "{\"a\"");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let req = read("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("ok")
+            .expect("some");
+        assert!(!req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert_eq!(read("").expect("ok"), None);
+    }
+
+    #[test]
+    fn oversized_and_malformed_inputs_are_rejected() {
+        assert!(matches!(read("GARBAGE\r\n\r\n"), Err(RequestError::Bad(_))));
+        assert!(matches!(
+            read("GET / HTTP/2\r\n\r\n"),
+            Err(RequestError::Bad(_))
+        ));
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"),
+            Err(RequestError::TooLarge)
+        ));
+        let huge_header = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "x".repeat(20_000));
+        assert!(matches!(read(&huge_header), Err(RequestError::TooLarge)));
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(RequestError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn responses_are_exactly_framed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 11\r\nconnection: keep-alive\r\n\r\n{\"ok\":true}"
+        );
+    }
+}

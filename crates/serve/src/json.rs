@@ -1,0 +1,445 @@
+//! Minimal JSON support for the serve layer: a total recursive-descent
+//! parser for request bodies and the byte-stable rendering helpers every
+//! response goes through.
+//!
+//! The workspace is offline (no serde_json); the server's schema is small
+//! and flat, so a ~150-line parser covers it. Rendering mirrors the
+//! contract of `xtask`'s report writer: fixed key order decided by each
+//! call site, compact layout (no decorative whitespace), floats through
+//! Rust's shortest-roundtrip `Display` — deterministic for a given value,
+//! which is what makes two runs of the same query set byte-identical.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys are sorted (`BTreeMap`) — the serve
+/// schema has no duplicate or order-sensitive keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, the schema's only numeric type).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on an object; `None` for absent keys or non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array slice, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number with an
+    /// exact integral value in `u64` range.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        let x = self.as_f64()?;
+        // Reject NaN, negatives, fractions and values beyond 2^53 (not
+        // exactly representable, so a client could not have meant them).
+        if (0.0..=9_007_199_254_740_992.0).contains(&x) && x.fract() == 0.0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Some(x as u64)
+        } else {
+            None
+        }
+    }
+}
+
+/// A parse failure, with a byte offset for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a complete JSON document (rejecting trailing garbage).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input, inputs nested deeper than 32
+/// levels, or trailing non-whitespace.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Nesting cap: the serve schema is two levels deep; 32 rejects adversarial
+/// deeply nested bodies without recursing to a stack overflow.
+const MAX_DEPTH: usize = 32;
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", char::from(byte))))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not meaningful in the serve
+                            // schema; map unpaired ones to U+FFFD.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input arrived as &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    if let Ok(s) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("bad number"))?;
+        let x: f64 = text.parse().map_err(|_| self.error("bad number"))?;
+        if x.is_finite() {
+            Ok(Value::Num(x))
+        } else {
+            Err(self.error("number out of range"))
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON document (quotes, backslashes,
+/// control characters — the same minimal set the xtask report writer
+/// guarantees).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float as a byte-stable JSON number: Rust's shortest-roundtrip
+/// `Display` for finite values, `null` otherwise (JSON has no NaN/Inf).
+#[must_use]
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render a compact JSON object from pre-rendered `(key, value)` pairs in
+/// the given order — the one place response key layout is decided.
+#[must_use]
+pub fn obj(fields: &[(&str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape(key), value);
+    }
+    out.push('}');
+    out
+}
+
+/// Render a compact JSON array from pre-rendered items.
+#[must_use]
+pub fn arr(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Render a JSON string value (quoted and escaped).
+#[must_use]
+pub fn str_val(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_serve_schema() {
+        let v = parse(
+            r#"{"queries":[{"kind":"margin","node":"45nm","vdd":0.6},
+                 {"kind":"quantile","vdd":0.55,"q":0.99,"spares":2}]}"#,
+        )
+        .expect("valid");
+        let queries = v.get("queries").and_then(Value::as_arr).expect("array");
+        assert_eq!(queries.len(), 2);
+        assert_eq!(
+            queries[0].get("kind").and_then(Value::as_str),
+            Some("margin")
+        );
+        assert_eq!(queries[1].get("q").and_then(Value::as_f64), Some(0.99));
+        assert_eq!(queries[1].get("spares").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "nul", "1 2", "{\"a\":1}x"] {
+            assert!(parse(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn u64_coercion_is_strict() {
+        assert_eq!(Value::Num(3.0).as_u64(), Some(3));
+        assert_eq!(Value::Num(3.5).as_u64(), None);
+        assert_eq!(Value::Num(-1.0).as_u64(), None);
+        assert_eq!(Value::Str("3".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn rendering_is_compact_and_escaped() {
+        let body = obj(&[
+            ("kind", str_val("margin")),
+            ("vdd", num(0.6)),
+            ("note", str_val("a\"b")),
+        ]);
+        assert_eq!(body, r#"{"kind":"margin","vdd":0.6,"note":"a\"b"}"#);
+        assert_eq!(arr(&[num(1.0), num(0.5)]), "[1,0.5]");
+        assert_eq!(num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn roundtrip_is_stable() {
+        // Two renders of the same data are byte-identical — the property
+        // the response-identity check builds on.
+        let a = obj(&[("x", num(3.470_000_000_000_001e-6))]);
+        let b = obj(&[("x", num(3.470_000_000_000_001e-6))]);
+        assert_eq!(a, b);
+        // And parsing what we render recovers the exact float.
+        let v = parse(&a).expect("valid");
+        let x = v.get("x").and_then(Value::as_f64).expect("num");
+        assert_eq!(x.to_bits(), 3.470_000_000_000_001e-6f64.to_bits());
+    }
+}

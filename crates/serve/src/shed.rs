@@ -1,0 +1,136 @@
+//! Load-shedding for the Monte-Carlo fallback: a fixed pool of admission
+//! permits.
+//!
+//! Analytic queries cost microseconds and are admitted unconditionally;
+//! a Monte-Carlo fallback solve costs seconds of CPU, so unbounded
+//! admission would let a handful of `evaluation: "mc"` requests starve
+//! every analytic client behind them. The gate holds a fixed number of
+//! permits; a request that needs MC work must take one for its whole
+//! lifetime and is rejected with HTTP 429 when none is free — an explicit,
+//! immediate signal the client can back off on, instead of an unbounded
+//! queue that converts overload into timeout roulette.
+//!
+//! The counter discipline is compare-exchange on a single `AtomicUsize`:
+//! acquisition never blocks and never underflows, and the RAII
+//! [`McPermit`] makes release unconditional on every exit path (including
+//! a panicking solver).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Admission gate for Monte-Carlo work. See the module docs.
+#[derive(Debug)]
+pub struct McGate {
+    /// Permits currently free.
+    free: AtomicUsize,
+    /// Total pool size (for `/stats`).
+    capacity: usize,
+    /// Requests admitted through the gate, cumulative.
+    admitted: AtomicU64,
+    /// Requests rejected (shed), cumulative.
+    shed: AtomicU64,
+}
+
+/// An admission permit; dropping it returns the slot to the pool.
+#[derive(Debug)]
+pub struct McPermit<'g> {
+    gate: &'g McGate,
+}
+
+impl McGate {
+    /// A gate with `capacity` concurrent MC slots. Zero is allowed and
+    /// sheds every MC request — a pure-analytic service.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            free: AtomicUsize::new(capacity),
+            capacity,
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Try to take a permit. `None` means the caller must shed (429).
+    #[must_use]
+    pub fn admit(&self) -> Option<McPermit<'_>> {
+        let mut free = self.free.load(Ordering::Relaxed);
+        loop {
+            if free == 0 {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.free.compare_exchange_weak(
+                free,
+                free - 1,
+                // Acquire pairs with the Release of a permit drop, so the
+                // new holder observes the previous holder's completed work.
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.admitted.fetch_add(1, Ordering::Relaxed);
+                    return Some(McPermit { gate: self });
+                }
+                Err(seen) => free = seen,
+            }
+        }
+    }
+
+    /// Pool size the gate was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests admitted so far.
+    #[must_use]
+    pub fn admitted_total(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed so far.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for McPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.free.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_concurrent_permits() {
+        let gate = McGate::new(2);
+        let a = gate.admit().expect("slot 1");
+        let _b = gate.admit().expect("slot 2");
+        assert!(gate.admit().is_none(), "third admission must shed");
+        assert_eq!(gate.shed_total(), 1);
+        drop(a);
+        let _c = gate.admit().expect("freed slot is reusable");
+        assert_eq!(gate.admitted_total(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let gate = McGate::new(0);
+        assert!(gate.admit().is_none());
+        assert_eq!(gate.capacity(), 0);
+    }
+
+    #[test]
+    fn permits_survive_a_panicking_holder() {
+        let gate = McGate::new(1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _permit = gate.admit().expect("slot");
+            panic!("solver blew up");
+        }));
+        assert!(outcome.is_err());
+        assert!(gate.admit().is_some(), "permit released by unwind");
+    }
+}

@@ -66,6 +66,12 @@ impl FileClass {
         if p.starts_with("crates/xtask/") {
             return FileClass::Tool;
         }
+        // The query service is deliberately effectful — sockets, wall-clock
+        // idle timeouts, stderr logging — so the library-only purity rules
+        // (hidden-io, ambient-clock) do not apply to it.
+        if p.starts_with("crates/serve/") {
+            return FileClass::Harness;
+        }
         let in_dir = |d: &str| p.starts_with(&format!("{d}/")) || p.contains(&format!("/{d}/"));
         if in_dir("tests") || in_dir("benches") || in_dir("examples") || in_dir("bin") {
             return FileClass::Harness;
@@ -807,6 +813,8 @@ mod tests {
         assert_eq!(c("crates/circuit/tests/calibration.rs"), FileClass::Harness);
         assert_eq!(c("examples/quickstart.rs"), FileClass::Harness);
         assert_eq!(c("crates/bench/src/experiments/fig1.rs"), FileClass::Bench);
+        assert_eq!(c("crates/serve/src/server.rs"), FileClass::Harness);
+        assert_eq!(c("crates/serve/tests/http.rs"), FileClass::Harness);
         assert_eq!(c("crates/xtask/src/engine.rs"), FileClass::Tool);
         assert_eq!(c("vendor/rand/src/lib.rs"), FileClass::Skip);
         assert_eq!(c("crates/xtask/tests/fixtures/bad.rs"), FileClass::Skip);

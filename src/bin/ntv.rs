@@ -6,14 +6,19 @@
 //! ntv spares    <node> <vdd>        structural-duplication solution
 //! ntv margin    <node> <vdd>        voltage-margining solution
 //! ntv plan      <node> <vdd>        combined design-space exploration
+//! ntv quantile  <node> <vdd>        exact chip-delay quantile (analytic)
 //! ntv yield     <node> <vdd> <ns>   timing yield at a clock period
 //! ntv sensitivity <node> <vdd>      variance decomposition by source
 //! ntv info      <node>              device-model summary
+//! ntv serve                         long-running HTTP query service
 //! ```
 //!
 //! Nodes: `90nm`, `45nm`, `32nm`, `22nm`. Voltages in volts (e.g. `0.55`).
 //! `--threads N` anywhere on the command line sets the worker count
 //! (default: all hardware threads; results are identical for any value).
+//! `margin`, `plan` and `quantile` accept `--json`, emitting the same
+//! byte-stable result objects the `ntv serve` HTTP endpoint returns (one
+//! serialization path — see `ntv_serve::wire`).
 
 use std::process::ExitCode;
 
@@ -26,6 +31,8 @@ use ntv_simd::core::yield_model::YieldStudy;
 use ntv_simd::core::{DatapathConfig, DatapathEngine, Executor};
 use ntv_simd::device::energy::EnergyModel;
 use ntv_simd::device::{Corner, TechModel, TechNode};
+use ntv_simd::serve::wire::{self, Query};
+use ntv_simd::serve::{serve, ServeConfig};
 use ntv_simd::units::Volts;
 
 const SAMPLES: usize = 5_000;
@@ -39,10 +46,14 @@ fn usage() -> ExitCode {
          spares <node> <vdd>        duplication solution (Table 1 cell)\n  \
          margin <node> <vdd>        margining solution (Table 2 cell)\n  \
          plan <node> <vdd>          combined exploration (Table 3 style)\n  \
+         quantile <node> <vdd>      exact chip-delay quantile [--q P] [--spares N]\n  \
          yield <node> <vdd> <ns>    timing yield at a clock period\n  \
          sensitivity <node> <vdd>   variance decomposition by source\n  \
-         info <node>                device-model summary\n\
-         nodes: 90nm | 45nm | 32nm | 22nm"
+         info <node>                device-model summary\n  \
+         serve                      HTTP query service [--addr A] [--workers N]\n                             \
+         [--cache-bound N] [--mc-capacity N]\n\
+         nodes: 90nm | 45nm | 32nm | 22nm\n\
+         margin | plan | quantile accept --json (the serve wire format)"
     );
     ExitCode::FAILURE
 }
@@ -63,6 +74,37 @@ fn take_executor(args: &mut Vec<String>) -> Result<Executor, ExitCode> {
     Ok(Executor::new(threads))
 }
 
+/// Strip a boolean `--flag` out of `args`, reporting whether it was there.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == name) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+/// Strip a `--name VALUE` pair out of `args` and parse the value.
+fn take_value<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    name: &str,
+) -> Result<Option<T>, ExitCode> {
+    let Some(flag) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    let parsed = args.get(flag + 1).and_then(|v| v.parse::<T>().ok());
+    match parsed {
+        Some(value) => {
+            args.drain(flag..=flag + 1);
+            Ok(Some(value))
+        }
+        None => {
+            eprintln!("{name} expects a value");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn parse_node(s: &str) -> Result<TechNode, ExitCode> {
     s.parse().map_err(|e| {
         eprintln!("{e}");
@@ -80,14 +122,71 @@ fn parse_vdd(s: &str) -> Result<f64, ExitCode> {
     }
 }
 
+/// `ntv serve`: bind the HTTP query service and block in the foreground.
+fn cmd_serve(mut args: Vec<String>) -> ExitCode {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7341".to_string(),
+        ..ServeConfig::default()
+    };
+    match (
+        take_value::<String>(&mut args, "--addr"),
+        take_value::<usize>(&mut args, "--workers"),
+        take_value::<usize>(&mut args, "--cache-bound"),
+        take_value::<usize>(&mut args, "--mc-capacity"),
+    ) {
+        (Ok(addr), Ok(workers), Ok(bound), Ok(mc)) => {
+            if let Some(addr) = addr {
+                config.addr = addr;
+            }
+            if let Some(workers) = workers {
+                config.workers = workers;
+            }
+            if let Some(bound) = bound {
+                // 0 over the CLI means "unbounded".
+                config.cache_bound = (bound > 0).then_some(bound);
+            }
+            if let Some(mc) = mc {
+                config.mc_capacity = mc;
+            }
+        }
+        _ => return ExitCode::FAILURE,
+    }
+    if args.len() > 1 {
+        eprintln!("serve: unexpected arguments {:?}", &args[1..]);
+        return ExitCode::FAILURE;
+    }
+    match serve(&config) {
+        Ok(handle) => {
+            println!("ntv-serve listening on http://{}", handle.addr());
+            handle.wait();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: cannot bind {}: {e}", config.addr);
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let exec = match take_executor(&mut args) {
         Ok(e) => e,
         Err(code) => return code,
     };
-    let Some(command) = args.first() else {
+    let json = take_flag(&mut args, "--json");
+    let Some(command) = args.first().cloned() else {
         return usage();
+    };
+    if command == "serve" {
+        return cmd_serve(args);
+    }
+    let (q_level, spares) = match (
+        take_value::<f64>(&mut args, "--q"),
+        take_value::<u32>(&mut args, "--spares"),
+    ) {
+        (Ok(q), Ok(s)) => (q.unwrap_or(0.99), s.unwrap_or(0)),
+        _ => return ExitCode::FAILURE,
     };
 
     match (command.as_str(), args.get(1), args.get(2), args.get(3)) {
@@ -175,12 +274,16 @@ fn main() -> ExitCode {
                 MarginStudy::new(&engine)
                     .with_executor(exec)
                     .solve(Volts(vdd), SAMPLES, SEED);
-            println!(
-                "{node} @{vdd} V: +{:.1} mV margin ({:.2}% power), target {:.3} ns",
-                sol.margin.get() * 1000.0,
-                sol.power_overhead * 100.0,
-                sol.target_ns
-            );
+            if json {
+                println!("{}", wire::render_margin(node, engine.mode(), &sol));
+            } else {
+                println!(
+                    "{node} @{vdd} V: +{:.1} mV margin ({:.2}% power), target {:.3} ns",
+                    sol.margin.get() * 1000.0,
+                    sol.power_overhead * 100.0,
+                    sol.target_ns
+                );
+            }
             ExitCode::SUCCESS
         }
         ("plan", Some(node), Some(vdd), None) => {
@@ -192,6 +295,13 @@ fn main() -> ExitCode {
             let engine = DatapathEngine::new(&tech, DatapathConfig::paper_default());
             let dse = DseStudy::new(&engine).with_executor(exec);
             let choices = dse.explore(Volts(vdd), &[0, 1, 2, 4, 8, 16, 26], SAMPLES, SEED);
+            if json {
+                println!(
+                    "{}",
+                    wire::render_dse(node, engine.mode(), Volts(vdd), &choices)
+                );
+                return ExitCode::SUCCESS;
+            }
             for c in &choices {
                 println!(
                     "  {:>2} spares + {:>5.1} mV -> {:.2}% power",
@@ -207,6 +317,40 @@ fn main() -> ExitCode {
                 best.margin.get() * 1000.0,
                 best.power_overhead * 100.0
             );
+            ExitCode::SUCCESS
+        }
+        ("quantile", Some(node), Some(vdd), None) => {
+            let (node, vdd) = match (parse_node(node), parse_vdd(vdd)) {
+                (Ok(n), Ok(v)) => (n, v),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            if !(0.0..1.0).contains(&q_level) || q_level == 0.0 {
+                eprintln!("--q expects a quantile level in (0, 1)");
+                return ExitCode::FAILURE;
+            }
+            // The CLI goes through the same query object the HTTP service
+            // executes, so `--json` output is the serve wire format by
+            // construction.
+            let query = Query::Quantile {
+                node,
+                mode: Default::default(),
+                vdd: Volts(vdd),
+                q: q_level,
+                spares,
+            };
+            let body = query.run(&exec);
+            if json {
+                println!("{body}");
+            } else {
+                let engine = wire::paper_engine(node, Default::default());
+                let solver = ntv_simd::core::ChipQuantileSolver::new(engine);
+                let fo4 = solver.spares_quantile_fo4(Volts(vdd), spares, q_level);
+                let ns = fo4 * engine.fo4_unit_ps(Volts(vdd)) / 1000.0;
+                println!(
+                    "{node} @{vdd} V: q{:.4} = {fo4:.2} FO4 ({ns:.3} ns) with {spares} spares",
+                    q_level * 100.0
+                );
+            }
             ExitCode::SUCCESS
         }
         ("yield", Some(node), Some(vdd), Some(t_clk)) => {

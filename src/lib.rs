@@ -48,5 +48,6 @@ pub use ntv_circuit as circuit;
 pub use ntv_core as core;
 pub use ntv_device as device;
 pub use ntv_mc as mc;
+pub use ntv_serve as serve;
 pub use ntv_soda as soda;
 pub use ntv_units as units;
