@@ -82,6 +82,11 @@ struct CacheEntry {
     /// The one-time build; racers of the same key park here.
     cell: OnceLock<Arc<PathDistribution>>,
     /// Logical access clock value of the most recent lookup.
+    ///
+    /// All accesses are `Relaxed`: the tick is advisory LRU metadata, read
+    /// only under the map's write lock to pick an eviction victim. A store
+    /// that races the sweep can at worst evict a just-touched entry early,
+    /// and rebuilds are bit-identical, so no ordering can change a result.
     last_use: AtomicU64,
 }
 
@@ -111,9 +116,18 @@ pub struct OpPointCache {
     entries: RwLock<BTreeMap<Key, Arc<CacheEntry>>>,
     /// Resident bound; [`UNBOUNDED`] disables eviction. Default unbounded:
     /// the experiment suite touches a few hundred points at most.
+    ///
+    /// `Relaxed` everywhere: the bound is a standalone configuration cell
+    /// that publishes nothing else, and [`Self::set_bound`] documents that
+    /// a change takes effect at the *next* insert — a sweep reading the
+    /// old value is within contract.
     bound: AtomicUsize,
     /// Logical access clock: one tick per lookup, never wall time, so the
     /// eviction order is a pure function of the access sequence.
+    ///
+    /// `Relaxed` is enough for monotonicity: `fetch_add` on a single cell
+    /// has a total modification order, so ticks never repeat or go
+    /// backwards; nothing is published through the clock.
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,

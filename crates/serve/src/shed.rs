@@ -52,6 +52,10 @@ impl McGate {
     /// Try to take a permit. `None` means the caller must shed (429).
     #[must_use]
     pub fn admit(&self) -> Option<McPermit<'_>> {
+        // Racing seed only: a stale value is revalidated by the CAS below,
+        // whose Acquire success edge carries the handshake; a stale zero
+        // sheds, which overload permits anyway.
+        // ntv:allow(atomic-ordering): seed load; the CAS revalidates with Acquire
         let mut free = self.free.load(Ordering::Relaxed);
         loop {
             if free == 0 {
@@ -67,6 +71,10 @@ impl McGate {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
+                    // The permit is constructed only after the CAS lands:
+                    // there is no early return or panic between the
+                    // decrement and the RAII value taking ownership of it,
+                    // so every decrement has exactly one pending Drop.
                     self.admitted.fetch_add(1, Ordering::Relaxed);
                     return Some(McPermit { gate: self });
                 }
@@ -96,6 +104,9 @@ impl McGate {
 
 impl Drop for McPermit<'_> {
     fn drop(&mut self) {
+        // The sole release site. Runs on normal scope exit, on every `?` /
+        // early-return path, and during unwinding when a solver panics in
+        // a worker thread, so the pool cannot leak slots.
         self.gate.free.fetch_add(1, Ordering::Release);
     }
 }
@@ -121,6 +132,32 @@ mod tests {
         let gate = McGate::new(0);
         assert!(gate.admit().is_none());
         assert_eq!(gate.capacity(), 0);
+    }
+
+    /// Repeatedly leak permits into panicking handlers and assert the pool
+    /// refills to full capacity every round — the RAII release must fire on
+    /// the unwind path as reliably as on normal returns, with no slot decay
+    /// over many panics.
+    #[test]
+    fn permit_pool_refills_after_repeated_handler_panics() {
+        let gate = McGate::new(2);
+        for round in 0..16 {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _held = gate.admit().expect("slot 1");
+                let _also = gate.admit().expect("slot 2");
+                assert!(gate.admit().is_none(), "pool exhausted mid-handler");
+                panic!("handler blew up holding both permits");
+            }));
+            assert!(outcome.is_err(), "round {round}: handler must panic");
+            // Both permits must be back: the whole pool is admittable again.
+            let a = gate.admit();
+            let b = gate.admit();
+            assert!(
+                a.is_some() && b.is_some(),
+                "round {round}: pool did not refill after the unwind"
+            );
+        }
+        assert_eq!(gate.shed_total(), 16, "one shed per exhausted round");
     }
 
     #[test]

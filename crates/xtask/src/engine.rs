@@ -7,6 +7,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::concurrency;
 use crate::dataflow;
 use crate::effects;
 use crate::graph;
@@ -120,6 +121,13 @@ impl FileClass {
             | RuleId::HiddenIo
             | RuleId::AmbientClock
             | RuleId::EffectEscape => matches!(self, Library),
+            // Concurrency soundness spans result code *and* the serve
+            // stack: deadlock cycles, handshake orderings and blocking
+            // under a guard are exactly where harness code bites, so
+            // Library and Harness files are analysed as one topology.
+            RuleId::LockOrderCycle | RuleId::AtomicOrdering | RuleId::BlockingUnderLock => {
+                matches!(self, Library | FileClass::Harness)
+            }
             RuleId::WallClock => matches!(self, Library | Tool),
             RuleId::HashContainer => matches!(self, Library | Tool),
             RuleId::Unwrap | RuleId::Panic => matches!(self, Library | Tool),
@@ -416,6 +424,9 @@ pub struct LintOptions {
     /// Produce the no-std/WASM readiness JSON worklist (`xtask lint
     /// --report nostd-readiness`) in [`LintReport::nostd_readiness`].
     pub nostd_readiness: bool,
+    /// Produce the concurrency inventory (`xtask lint --report
+    /// concurrency`) in [`LintReport::concurrency`].
+    pub concurrency: bool,
 }
 
 /// Everything the engine knows about one file mid-run.
@@ -455,6 +466,9 @@ fn apply_hit(st: &mut FileState, hit: rules::Hit, policy: &Policy) {
                 | RuleId::HiddenIo
                 | RuleId::AmbientClock
                 | RuleId::EffectEscape
+                | RuleId::LockOrderCycle
+                | RuleId::AtomicOrdering
+                | RuleId::BlockingUnderLock
         )
     {
         return;
@@ -608,6 +622,44 @@ pub fn lint_sources(
         }
     }
 
+    // Concurrency rules see Library *and* Harness files as one analysis
+    // unit: the serve stack (Harness) and the core cache (Library) share
+    // one lock/atomic topology, and an ABBA deadlock does not care which
+    // class its halves live in.
+    let conc_idx: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s.class, FileClass::Library | FileClass::Harness))
+        .map(|(i, _)| i)
+        .collect();
+    let mut concurrency_report = None;
+    if !conc_idx.is_empty() {
+        let conc_hits = {
+            let sem_files: Vec<graph::SemFile> = conc_idx
+                .iter()
+                .map(|&i| {
+                    let s = &states[i];
+                    graph::SemFile {
+                        rel: &s.rel,
+                        tokens: &s.lexed.tokens,
+                        parsed: &s.parsed,
+                        test_ranges: &s.regions.ranges,
+                    }
+                })
+                .collect();
+            let g = graph::Graph::build(&sem_files);
+            let eff = effects::Effects::collect(&g, &sem_files);
+            let conc = concurrency::Concurrency::analyze(&g, &sem_files, &eff);
+            if options.concurrency {
+                concurrency_report = Some(conc.report().to_string());
+            }
+            conc.into_hits()
+        };
+        for (fi, hit) in conc_hits {
+            apply_hit(&mut states[conc_idx[fi]], hit, policy);
+        }
+    }
+
     // Waiver hygiene: malformed waivers always, dead waivers on request.
     for st in &mut states {
         if !st.class.rule_applies(RuleId::BadWaiver) {
@@ -638,6 +690,7 @@ pub fn lint_sources(
         files_scanned: files.len(),
         batch_readiness,
         nostd_readiness,
+        concurrency: concurrency_report,
         ..LintReport::default()
     };
     for st in states {
@@ -767,6 +820,9 @@ pub struct LintReport {
     /// The no-std/WASM readiness JSON worklist, when
     /// [`LintOptions::nostd_readiness`] was set.
     pub nostd_readiness: Option<String>,
+    /// The concurrency inventory (`ntv-concurrency/1`), when
+    /// [`LintOptions::concurrency`] was set.
+    pub concurrency: Option<String>,
 }
 
 impl LintReport {

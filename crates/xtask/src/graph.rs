@@ -61,25 +61,26 @@ enum PanicOp {
 }
 
 /// A recognized lock acquisition (`.read()/.write()/.lock()` followed by
-/// `.unwrap()/.expect(..)`).
+/// `.unwrap()/.expect(..)`). Shared with the [`concurrency`](crate::concurrency)
+/// pass, which classifies acquisitions into lock classes.
 #[derive(Debug, Clone, Copy)]
-struct Acquisition {
+pub(crate) struct Acquisition {
     /// Token index of the `read`/`write`/`lock` identifier.
-    tok: usize,
+    pub(crate) tok: usize,
     /// Token index just past the `.unwrap()/.expect(..)` suffix.
-    chain_end: usize,
+    pub(crate) chain_end: usize,
     /// 1-based line of the acquisition.
-    line: u32,
+    pub(crate) line: u32,
 }
 
 /// The token span during which a guard is considered held.
 #[derive(Debug, Clone, Copy)]
-struct HoldRegion {
-    start: usize,
-    end: usize,
+pub(crate) struct HoldRegion {
+    pub(crate) start: usize,
+    pub(crate) end: usize,
     /// `OnceLock::get_or_init` closures only check lock-acquiring callees;
     /// build-under-lock inside the per-entry cell is the sanctioned pattern.
-    once_cell: bool,
+    pub(crate) once_cell: bool,
 }
 
 /// One resolved call site inside a symbol's body.
@@ -412,6 +413,14 @@ impl Graph {
     pub(crate) fn acquisition_lines(&self, sym: SymbolId) -> Vec<u32> {
         self.acquisitions[sym].iter().map(|a| a.line).collect()
     }
+
+    /// Recognized lock acquisitions inside `sym`'s body, in token order —
+    /// the raw input of the [`concurrency`](crate::concurrency) lock-class
+    /// and order-graph analysis.
+    #[must_use]
+    pub(crate) fn acquisitions(&self, sym: SymbolId) -> &[Acquisition] {
+        &self.acquisitions[sym]
+    }
 }
 
 /// Reverse-propagate `seed` up the call graph: a symbol is marked if it is
@@ -594,7 +603,7 @@ fn scan_once_regions(tokens: &[Token], span: (usize, usize)) -> Vec<(usize, usiz
 /// explicit `drop(g)`. A *temporary* guard (the chain continues, or the
 /// acquisition sits inside a larger expression) is held to the end of the
 /// enclosing statement — Rust temporaries drop at the statement's semicolon.
-fn hold_region(tokens: &[Token], span: (usize, usize), acq: &Acquisition) -> HoldRegion {
+pub(crate) fn hold_region(tokens: &[Token], span: (usize, usize), acq: &Acquisition) -> HoldRegion {
     // Statement start: nearest `;`, `{` or `}` before the acquisition.
     let mut s = acq.tok;
     while s > span.0 {
@@ -604,10 +613,19 @@ fn hold_region(tokens: &[Token], span: (usize, usize), acq: &Acquisition) -> Hol
         }
         s -= 1;
     }
-    let binding = if tokens.get(s).and_then(Token::ident) == Some("let")
-        && tokens.get(s + 2).is_some_and(|t| t.is_punct('='))
-    {
-        tokens.get(s + 1).and_then(Token::ident)
+    let b = if tokens.get(s).and_then(Token::ident) == Some("let") {
+        // `let g = ..` or `let mut g = ..` — the binding follows the
+        // optional `mut`.
+        if tokens.get(s + 1).and_then(Token::ident) == Some("mut") {
+            s + 2
+        } else {
+            s + 1
+        }
+    } else {
+        usize::MAX
+    };
+    let binding = if b != usize::MAX && tokens.get(b + 1).is_some_and(|t| t.is_punct('=')) {
+        tokens.get(b).and_then(Token::ident)
     } else {
         None
     };

@@ -33,6 +33,7 @@
 //!   fixture must keep tripping its diagnostic, and the clean fixture plus
 //!   the real workspace must stay quiet.
 
+pub mod concurrency;
 pub mod dataflow;
 pub mod effects;
 pub mod engine;

@@ -36,6 +36,11 @@ lint options:
                    classified portable / gated (waived or feature-gated
                    effects) / blocked (unwaived effects or unsafe, with the
                    shortest witness chain); byte-identical across runs
+                   concurrency — the sync-topology inventory: every lock
+                   class with its acquisition sites, the lock-order graph
+                   edges with witnesses, and every atomic class with its
+                   per-op orderings and handshake flag; byte-identical
+                   across runs
   --bench-out <p>  write {files_scanned, diagnostics, wall_ms} JSON to <p>
                    after linting (perf baseline for the call-graph pass)
 
@@ -73,6 +78,7 @@ fn lint(args: &[String]) -> ExitCode {
     let mut check_waivers = false;
     let mut batch_readiness = false;
     let mut nostd_readiness = false;
+    let mut concurrency = false;
     let mut format = Format::Text;
     let mut bench_out: Option<PathBuf> = None;
     let mut only_rules: Vec<RuleId> = Vec::new();
@@ -100,8 +106,12 @@ fn lint(args: &[String]) -> ExitCode {
             "--report" => match it.next().map(String::as_str) {
                 Some("batch-readiness") => batch_readiness = true,
                 Some("nostd-readiness") => nostd_readiness = true,
+                Some("concurrency") => concurrency = true,
                 _ => {
-                    eprintln!("xtask lint: --report needs `batch-readiness` or `nostd-readiness`");
+                    eprintln!(
+                        "xtask lint: --report needs `batch-readiness`, `nostd-readiness` \
+                         or `concurrency`"
+                    );
                     return ExitCode::from(2);
                 }
             },
@@ -134,6 +144,7 @@ fn lint(args: &[String]) -> ExitCode {
         check_waivers,
         batch_readiness,
         nostd_readiness,
+        concurrency,
     };
     let root = xtask::workspace_root();
     // ntv:allow(wall-clock): timing the linter itself is --bench-out's job
@@ -186,7 +197,8 @@ fn lint(args: &[String]) -> ExitCode {
     let machine_report = report
         .batch_readiness
         .as_ref()
-        .or(report.nostd_readiness.as_ref());
+        .or(report.nostd_readiness.as_ref())
+        .or(report.concurrency.as_ref());
     if let Some(rep) = machine_report {
         print!("{rep}");
         if !quiet && format == Format::Text {

@@ -92,6 +92,19 @@ pub enum RuleId {
     /// pure (ntv-units, ntv-device, ntv-circuit, ntv-mc-math) or from the
     /// waived `Executor`/`OpPointCache` roots in ntv-core.
     EffectEscape,
+    /// A cycle in the workspace lock-order graph: two lock classes each
+    /// acquirable while the other is held (possibly through confident call
+    /// edges), i.e. a latent ABBA deadlock — found by the
+    /// [`concurrency`](crate::concurrency) pass.
+    LockOrderCycle,
+    /// An all-`Relaxed` atomic operation on an atomic that participates in
+    /// a cross-thread handshake (mixed-ordering publication, `Condvar`, or
+    /// an explicit `fence`); pure counters stay `Relaxed` without a waiver.
+    AtomicOrdering,
+    /// A call that can transitively block (socket/file I/O, `Condvar::wait`,
+    /// channel `recv`, `join`, `sleep`) while a lock guard is live — the
+    /// bug shape that convoys every other thread behind one slow caller.
+    BlockingUnderLock,
     /// An `ntv:allow(..)` waiver that suppresses zero findings (reported
     /// only under `xtask lint --check-waivers`, so waivers cannot rot).
     DeadWaiver,
@@ -119,6 +132,9 @@ impl RuleId {
         RuleId::HiddenIo,
         RuleId::AmbientClock,
         RuleId::EffectEscape,
+        RuleId::LockOrderCycle,
+        RuleId::AtomicOrdering,
+        RuleId::BlockingUnderLock,
         RuleId::DeadWaiver,
     ];
 
@@ -145,6 +161,9 @@ impl RuleId {
             RuleId::HiddenIo => "ntv::hidden-io",
             RuleId::AmbientClock => "ntv::ambient-clock",
             RuleId::EffectEscape => "ntv::effect-escape",
+            RuleId::LockOrderCycle => "ntv::lock-order-cycle",
+            RuleId::AtomicOrdering => "ntv::atomic-ordering",
+            RuleId::BlockingUnderLock => "ntv::blocking-under-lock",
             RuleId::DeadWaiver => "ntv::dead-waiver",
         }
     }
@@ -172,6 +191,9 @@ impl RuleId {
             RuleId::HiddenIo => "hidden-io",
             RuleId::AmbientClock => "ambient-clock",
             RuleId::EffectEscape => "effect-escape",
+            RuleId::LockOrderCycle => "lock-order-cycle",
+            RuleId::AtomicOrdering => "atomic-ordering",
+            RuleId::BlockingUnderLock => "blocking-under-lock",
             RuleId::DeadWaiver => "dead-waiver",
         }
     }
@@ -290,6 +312,29 @@ impl RuleId {
                  pure; move the effect behind `ntv_core` (the sanctioned \
                  `Executor`/`OpPointCache` roots carry waivers stating \
                  their invariant), or gate it behind a feature"
+            }
+            RuleId::LockOrderCycle => {
+                "two lock classes can each be acquired while the other is \
+                 held, so two threads taking them in opposite orders \
+                 deadlock; pick one global order (document it where the \
+                 first lock lives), or drop the inner guard before taking \
+                 the outer"
+            }
+            RuleId::AtomicOrdering => {
+                "this atomic takes part in a cross-thread handshake (it is \
+                 written with stronger orderings elsewhere, or sits next to \
+                 a `Condvar`/`fence`), so a fully `Relaxed` operation can \
+                 observe torn protocol state; use `Acquire`/`Release` on \
+                 the handshake edges, or waive with the invariant that \
+                 makes `Relaxed` sufficient"
+            }
+            RuleId::BlockingUnderLock => {
+                "a call that can block (socket/file I/O, `Condvar::wait`, \
+                 channel `recv`, `join`, `sleep`) runs while a lock guard \
+                 is live, so one slow peer stalls every thread behind the \
+                 lock; drop the guard first, or move the blocking call out \
+                 of the critical section (the `op_cache` build-outside-lock \
+                 pattern)"
             }
             RuleId::DeadWaiver => {
                 "this waiver suppresses no finding — the code it excused \

@@ -1,0 +1,20 @@
+//! Fixture: a fully-`Relaxed` load on an atomic whose other operations use
+//! acquire/release orderings → `ntv::atomic-ordering`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Gate {
+    free: AtomicUsize,
+}
+
+impl Gate {
+    pub fn peek(&self) -> usize {
+        self.free.load(Ordering::Relaxed)
+    }
+
+    pub fn take(&self) -> bool {
+        self.free
+            .compare_exchange(1, 0, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+}

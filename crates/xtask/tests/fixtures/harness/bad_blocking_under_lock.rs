@@ -1,0 +1,19 @@
+//! Fixture: a channel `recv()` — a call that can block indefinitely —
+//! while a mutex guard is live → `ntv::blocking-under-lock`.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+static LOG: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+pub fn drain(rx: &Receiver<String>) {
+    let mut log = LOG.lock().expect("log lock");
+    let item = rx.recv().expect("sender alive");
+    log.push(item);
+}
+
+pub fn drain_ok(rx: &Receiver<String>) {
+    let item = rx.recv().expect("sender alive");
+    let mut log = LOG.lock().expect("log lock");
+    log.push(item);
+}

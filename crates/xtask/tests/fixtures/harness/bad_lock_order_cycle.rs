@@ -1,0 +1,20 @@
+//! Fixture: two functions acquiring the same pair of locks in opposite
+//! orders → `ntv::lock-order-cycle`.
+
+use std::sync::Mutex;
+
+static REGISTRY: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+static JOURNAL: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+pub fn record(v: u64) {
+    let mut reg = REGISTRY.lock().expect("registry lock");
+    let mut jl = JOURNAL.lock().expect("journal lock");
+    reg.push(v);
+    jl.push(v);
+}
+
+pub fn replay() -> usize {
+    let jl = JOURNAL.lock().expect("journal lock");
+    let reg = REGISTRY.lock().expect("registry lock");
+    jl.len() + reg.len()
+}

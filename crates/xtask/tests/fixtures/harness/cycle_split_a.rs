@@ -1,0 +1,18 @@
+//! Fixture (half 1 of a cross-file pair): acquires `left` before `right`.
+//! Clean alone; forms an `ntv::lock-order-cycle` with `cycle_split_b.rs`,
+//! which acquires the same pair in the opposite order.
+
+use std::sync::Mutex;
+
+pub struct SplitPair {
+    pub left: Mutex<u64>,
+    pub right: Mutex<u64>,
+}
+
+impl SplitPair {
+    pub fn lr(&self) -> u64 {
+        let l = self.left.lock().expect("left lock");
+        let r = self.right.lock().expect("right lock");
+        *l + *r
+    }
+}

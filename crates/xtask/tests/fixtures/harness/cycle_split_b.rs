@@ -1,0 +1,13 @@
+//! Fixture (half 2 of a cross-file pair): acquires `right` before `left`
+//! on the same `SplitPair` as `cycle_split_a.rs`. Clean alone; a cycle
+//! when the two files are analyzed together.
+
+use crate::cycle_split_a::SplitPair;
+
+impl SplitPair {
+    pub fn rl(&self) -> u64 {
+        let r = self.right.lock().expect("right lock");
+        let l = self.left.lock().expect("left lock");
+        *l + *r
+    }
+}

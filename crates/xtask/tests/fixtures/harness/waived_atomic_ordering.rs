@@ -1,0 +1,21 @@
+//! Fixture: an `ntv:allow(atomic-ordering)` waiver stating why `Relaxed`
+//! is sufficient silences the rule.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub struct Gate {
+    free: AtomicUsize,
+}
+
+impl Gate {
+    pub fn peek(&self) -> usize {
+        // ntv:allow(atomic-ordering): monitoring probe; no decision is made on it
+        self.free.load(Ordering::Relaxed)
+    }
+
+    pub fn take(&self) -> bool {
+        self.free
+            .compare_exchange(1, 0, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: an `ntv:allow(blocking-under-lock)` waiver stating why the
+//! blocking call cannot deadlock silences the rule.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+static LOG: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+pub fn drain(rx: &Receiver<String>) {
+    let mut log = LOG.lock().expect("log lock");
+    // ntv:allow(blocking-under-lock): sender never takes LOG; disconnect unblocks
+    let item = rx.recv().expect("sender alive");
+    log.push(item);
+}

@@ -1,0 +1,22 @@
+//! Fixture: an `ntv:allow(lock-order-cycle)` waiver on the cycle's anchor
+//! acquisition silences the rule where the two paths can never run
+//! concurrently.
+
+use std::sync::Mutex;
+
+static REGISTRY: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+static JOURNAL: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+pub fn record(v: u64) {
+    let mut reg = REGISTRY.lock().expect("registry lock");
+    let mut jl = JOURNAL.lock().expect("journal lock");
+    reg.push(v);
+    jl.push(v);
+}
+
+pub fn replay() -> usize {
+    let jl = JOURNAL.lock().expect("journal lock");
+    // ntv:allow(lock-order-cycle): replay only runs after workers joined
+    let reg = REGISTRY.lock().expect("registry lock");
+    jl.len() + reg.len()
+}

@@ -241,6 +241,118 @@ fn effect_fixtures_flag_every_shape_and_waivers_silence() {
     }
 }
 
+/// The concurrency rules flag every advertised shape in harness-classed
+/// fixtures, and waivers stating the invariant silence each of them.
+#[test]
+fn concurrency_fixtures_flag_every_shape_and_waivers_silence() {
+    let diags = |rel: &str| {
+        let source = std::fs::read_to_string(fixture(rel)).expect("fixture exists");
+        let ws_rel = Path::new("crates/xtask/tests/fixtures").join(rel);
+        engine::lint_source(&ws_rel, &source, &Policy::default())
+    };
+
+    // One cycle between the two opposite-order functions — one hit, with
+    // the full witness chain in the message.
+    let cycle = diags("harness/bad_lock_order_cycle.rs");
+    assert_eq!(cycle.len(), 1, "{cycle:#?}");
+    assert_eq!(cycle[0].rule, RuleId::LockOrderCycle);
+    assert!(
+        cycle[0].message.contains("JOURNAL")
+            && cycle[0].message.contains("REGISTRY")
+            && cycle[0].message.contains("::record`")
+            && cycle[0].message.contains("::replay`"),
+        "{cycle:#?}"
+    );
+
+    // The all-Relaxed peek on the CAS-guarded cell — one hit; the CAS's
+    // Relaxed failure ordering stays clean.
+    let atomic = diags("harness/bad_atomic_ordering.rs");
+    assert_eq!(atomic.len(), 1, "{atomic:#?}");
+    assert_eq!(atomic[0].rule, RuleId::AtomicOrdering);
+    assert!(atomic[0].message.contains("Gate.free"), "{atomic:#?}");
+
+    // recv() under the guard fires; the drop-then-recv twin stays clean.
+    let blocking = diags("harness/bad_blocking_under_lock.rs");
+    assert_eq!(blocking.len(), 1, "{blocking:#?}");
+    assert_eq!(blocking[0].rule, RuleId::BlockingUnderLock);
+    assert!(blocking[0].message.contains("recv"), "{blocking:#?}");
+
+    for rel in [
+        "harness/waived_lock_order_cycle.rs",
+        "harness/waived_atomic_ordering.rs",
+        "harness/waived_blocking_under_lock.rs",
+    ] {
+        assert_eq!(lint_rules(rel), vec![], "{rel}");
+    }
+}
+
+/// Cross-file lock-order propagation: each half of the pair acquires the
+/// `SplitPair` locks in a consistent order and is clean alone; linted
+/// together, the opposite orders form an `ntv::lock-order-cycle`.
+#[test]
+fn lock_order_pair_cycles_only_when_linted_together() {
+    assert_eq!(lint_rules("harness/cycle_split_a.rs"), vec![]);
+    assert_eq!(lint_rules("harness/cycle_split_b.rs"), vec![]);
+
+    let files: Vec<(PathBuf, String)> = ["cycle_split_a.rs", "cycle_split_b.rs"]
+        .iter()
+        .map(|name| {
+            let source = std::fs::read_to_string(fixture(&format!("harness/{name}")))
+                .expect("fixture exists");
+            let ws_rel = Path::new("crates/xtask/tests/fixtures/harness").join(name);
+            (ws_rel, source)
+        })
+        .collect();
+    let report = engine::lint_sources(&files, &Policy::default(), &engine::LintOptions::default());
+    assert_eq!(report.diagnostics.len(), 1, "{:#?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, RuleId::LockOrderCycle);
+    assert!(
+        d.message.contains("SplitPair.left")
+            && d.message.contains("SplitPair.right")
+            && d.message.contains("::lr`")
+            && d.message.contains("::rl`"),
+        "{d:?}"
+    );
+}
+
+/// `--report concurrency` emits a byte-identical sync-topology inventory
+/// across runs, covering the serve stack's locks and atomics.
+#[test]
+fn concurrency_report_is_stable_and_covers_the_serve_stack() {
+    let bin = env!("CARGO_BIN_EXE_xtask");
+    let run = || {
+        Command::new(bin)
+            .args(["lint", "--report", "concurrency", "--quiet"])
+            .current_dir(xtask::workspace_root())
+            .output()
+            .expect("xtask runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.status.code(), Some(0), "workspace must lint clean");
+    assert_eq!(a.stdout, b.stdout, "report must be byte-identical");
+    let report = String::from_utf8(a.stdout).expect("utf-8 report");
+    assert!(
+        report.contains("\"schema\": \"ntv-concurrency/1\""),
+        "{report}"
+    );
+    // The op-point cache's entry map is the workspace's one real lock.
+    assert!(
+        report.contains("\"class\": \"OpPointCache.entries\", \"kind\": \"rwlock\""),
+        "{report}"
+    );
+    // The admission gate's CAS handshake is inventoried with its mix of
+    // orderings, and the waived seed load stays visible in the report.
+    assert!(report.contains("\"class\": \"McGate.free\""), "{report}");
+    assert!(report.contains("\"handshake\": true"), "{report}");
+    assert!(report.contains("\"compare_exchange_weak\""), "{report}");
+    // The shutdown flag and the stats counters are atomic classes too.
+    assert!(report.contains("SeqCst"), "{report}");
+    // The summary stays off the machine-read stream.
+    assert!(!report.contains("xtask lint:"), "{report}");
+}
+
 /// Cross-file effect propagation: each half of the pair is clean alone;
 /// linted together, the pure-crate public entry point in one file makes
 /// the lock in the other an `ntv::effect-escape` finding.
@@ -480,6 +592,9 @@ fn sarif_format_is_stable_and_complete() {
             .arg(fixture("library/bad_unit_escape.rs"))
             .arg(fixture("library/bad_unwrap.rs"))
             .arg(fixture("library/pure/bad_effect_escape.rs"))
+            .arg(fixture("harness/bad_lock_order_cycle.rs"))
+            .arg(fixture("harness/bad_atomic_ordering.rs"))
+            .arg(fixture("harness/bad_blocking_under_lock.rs"))
             .output()
             .expect("xtask runs")
     };
